@@ -1,0 +1,170 @@
+(* Benchmark and experiment harness.
+
+   Two parts:
+   1. bechamel micro-benchmarks — one Test.make per experiment table,
+      timing a scaled-down kernel of that experiment;
+   2. the experiment tables themselves (E1-E14 + ablations A1-A3),
+      regenerated at full scale and printed.
+
+   Usage:  main.exe            micro-benches + all tables (full scale)
+           main.exe --quick    micro-benches + all tables (quick scale)
+           main.exe --no-bench tables only
+           main.exe e3 e8      just those tables (full scale)            *)
+
+open Bechamel
+open Toolkit
+
+module B = Mm_graph.Builders
+module E = Mm_graph.Expansion
+module Cut = Mm_graph.Sm_cut
+module Domain_ = Mm_core.Domain
+module Hbo = Mm_consensus.Hbo
+module Ben_or = Mm_consensus.Ben_or
+module Omega = Mm_election.Omega
+module Mp = Mm_election.Mp_omega
+module Mutex = Mm_mutex.Mutex
+module Abd = Mm_abd.Abd
+module Sched = Mm_sim.Sched
+
+let inputs n = Array.init n (fun i -> i mod 2)
+
+(* One micro-kernel per experiment table: the time being measured is the
+   dominant computational piece that the table's rows are built from. *)
+let kernels =
+  [
+    ( "e1/domain-construction",
+      fun () ->
+        ignore
+          (Domain_.uniform_of_graph
+             (Mm_graph.Graph.create 5 [ (0, 1); (1, 2); (2, 3); (2, 4); (3, 4) ]))
+    );
+    ( "e2/ben-or-n4",
+      fun () -> ignore (Ben_or.run ~seed:1 ~n:4 ~inputs:(inputs 4) ()) );
+    ( "e3/expansion-exact-q3",
+      fun () ->
+        let h = E.vertex_expansion_exact (B.hypercube 3) in
+        ignore (E.ft_bound ~h ~n:8) );
+    ( "e4/sm-cut-search-barbell",
+      fun () -> ignore (Cut.min_f_with_cut (B.barbell ~k:3 ~bridge:1)) );
+    ( "e5/omega-reliable-n3",
+      fun () ->
+        ignore
+          (Omega.run ~seed:1 ~warmup:6_000 ~window:1_000
+             ~variant:Omega.Reliable ~n:3 ()) );
+    ( "e6/omega-lossy-n3",
+      fun () ->
+        ignore
+          (Omega.run ~seed:1 ~warmup:8_000 ~window:1_000
+             ~variant:(Omega.Fair_lossy 0.3) ~n:3 ()) );
+    ( "e7/omega-counter-fold",
+      fun () ->
+        let o =
+          Omega.run ~seed:1 ~warmup:6_000 ~window:1_000
+            ~variant:Omega.Reliable ~n:3 ()
+        in
+        ignore
+          (Array.fold_left
+             (fun acc c -> acc + Mm_mem.Mem.total_ops c)
+             0 o.Omega.window_mem) );
+    ( "e8/mp-omega-n3",
+      fun () -> ignore (Mp.run ~seed:1 ~warmup:6_000 ~window:1_000 ~n:3 ()) );
+    ( "e9/mutex-both-n3",
+      fun () ->
+        ignore (Mutex.run_bakery ~seed:1 ~n:3 ~entries:2 ());
+        ignore (Mutex.run_mm ~seed:1 ~n:3 ~entries:2 ()) );
+    ( "e10/abd-write-read",
+      fun () ->
+        ignore
+          (Abd.run ~seed:1 ~n:3
+             ~scripts:[| [ `Write 1; `Read ]; [ `Read ]; [] |]
+             ()) );
+    ( "e11/margulis-analysis",
+      fun () ->
+        let g = B.margulis ~m:4 in
+        let rng = Mm_rng.Rng.create 7 in
+        ignore (E.vertex_expansion_sampled rng g ~samples:50) );
+    ( "e12/paxos-sm-n4",
+      fun () ->
+        ignore
+          (Mm_consensus.Paxos.run ~seed:1 ~oracle:Mm_consensus.Paxos.Heartbeat
+             ~n:4 ~inputs:(inputs 4) ()) );
+    ( "e13/replicated-log-n3",
+      fun () ->
+        ignore
+          (Mm_smr.Replicated_log.run ~seed:1 ~n:3 ~commands_per_proc:2 ()) );
+    ( "e14/omega-memfail-n3",
+      fun () ->
+        ignore
+          (Omega.run ~seed:1 ~warmup:8_000 ~window:1_000
+             ~memory_failures:[ (0, 2_000) ] ~variant:Omega.Reliable ~n:3 ()) );
+    ( "a1/hbo-registers-ring4",
+      fun () ->
+        ignore
+          (Hbo.run ~seed:1 ~impl:Hbo.Registers ~graph:(B.ring 4)
+             ~inputs:(inputs 4) ()) );
+    ( "a2/ben-or-round-robin",
+      fun () ->
+        ignore
+          (Ben_or.run ~seed:1 ~sched:(Sched.create Sched.Round_robin) ~n:4
+             ~inputs:(inputs 4) ()) );
+    ( "a3/expansion-sampled",
+      fun () ->
+        let rng = Mm_rng.Rng.create 7 in
+        ignore (E.vertex_expansion_sampled rng (B.ring 12) ~samples:100) );
+  ]
+
+let tests =
+  List.map
+    (fun (name, kernel) -> Test.make ~name (Staged.stage kernel))
+    kernels
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  print_endline "== micro-benchmarks (one kernel per experiment table) ==";
+  Printf.printf "%-28s %14s\n" "kernel" "ns/run";
+  Printf.printf "%-28s %14s\n" (String.make 28 '-') (String.make 14 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ x ] -> x
+            | _ -> Float.nan
+          in
+          Printf.printf "%-28s %14.0f\n" name ns)
+        analysis)
+    tests;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let no_bench = List.mem "--no-bench" args in
+  let wanted =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let scale = if quick then `Quick else `Full in
+  if not no_bench then run_benchmarks ();
+  let to_run =
+    match wanted with
+    | [] -> Mm_bench.Experiments.all
+    | ids ->
+      List.filter_map
+        (fun id ->
+          match Mm_bench.Experiments.find id with
+          | Some f -> Some (String.uppercase_ascii id, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S\n" id;
+            None)
+        ids
+  in
+  List.iter (fun (_id, f) -> Mm_bench.Table.print (f scale)) to_run

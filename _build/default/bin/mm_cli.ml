@@ -1,0 +1,358 @@
+(* mm — command-line front end for the m&m model library.
+
+   Subcommands:
+     experiment   regenerate experiment tables (E1-E14, A1-A3)
+     consensus    run HBO / Ben-Or on a chosen graph with crashes
+     paxos        run Ω-driven shared-memory Paxos
+     election     run eventual leader election
+     mutex        run the mutual-exclusion comparison
+     graph        analyze a shared-memory graph (expansion, bounds, cuts) *)
+
+open Cmdliner
+
+module G = Mm_graph.Graph
+module B = Mm_graph.Builders
+module E = Mm_graph.Expansion
+module Cut = Mm_graph.Sm_cut
+module Net = Mm_net.Network
+module Mem = Mm_mem.Mem
+module Engine = Mm_sim.Engine
+module Hbo = Mm_consensus.Hbo
+module Omega = Mm_election.Omega
+module Mutex = Mm_mutex.Mutex
+
+(* --- shared graph-family argument --- *)
+
+let make_graph family n seed =
+  let rng = Mm_rng.Rng.create seed in
+  match String.lowercase_ascii family with
+  | "edgeless" -> B.edgeless n
+  | "ring" -> B.ring n
+  | "path" -> B.path n
+  | "star" -> B.star n
+  | "complete" -> B.complete n
+  | "hypercube" ->
+    let d = int_of_float (Float.round (Float.log2 (float_of_int n))) in
+    if 1 lsl d <> n then failwith "hypercube needs n = 2^d";
+    B.hypercube d
+  | "torus" ->
+    let r = int_of_float (sqrt (float_of_int n)) in
+    if r * r <> n then failwith "torus needs a square n";
+    B.torus ~rows:r ~cols:r
+  | "regular3" -> B.random_regular rng ~n ~d:3
+  | "regular4" -> B.random_regular rng ~n ~d:4
+  | "regular6" -> B.random_regular rng ~n ~d:6
+  | "margulis" ->
+    let m = int_of_float (sqrt (float_of_int n)) in
+    if m * m <> n then failwith "margulis needs a square n";
+    B.margulis ~m
+  | "barbell" ->
+    if n < 3 then failwith "barbell needs n >= 3";
+    B.barbell ~k:(n / 2) ~bridge:(n mod 2)
+  | "cliques" ->
+    if n mod 3 <> 0 then failwith "cliques family uses k=3; n must be divisible by 3";
+    B.ring_of_cliques ~cliques:(n / 3) ~k:3
+  | f -> failwith ("unknown graph family: " ^ f)
+
+let family_arg =
+  let doc =
+    "Shared-memory graph family: edgeless | ring | path | star | complete \
+     | hypercube | torus | regular3 | regular4 | regular6 | margulis | \
+     barbell | cliques."
+  in
+  Arg.(value & opt string "ring" & info [ "g"; "graph" ] ~docv:"FAMILY" ~doc)
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let crashes_arg =
+  let doc = "Crash injections as pid:step pairs, e.g. --crash 0:0 --crash 2:500." in
+  Arg.(value & opt_all string [] & info [ "crash" ] ~docv:"PID:STEP" ~doc)
+
+let parse_crashes specs =
+  List.map
+    (fun s ->
+      match String.split_on_char ':' s with
+      | [ pid; step ] -> (int_of_string pid, int_of_string step)
+      | [ pid ] -> (int_of_string pid, 0)
+      | _ -> failwith ("bad crash spec: " ^ s))
+    specs
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and seed counts.")
+  in
+  let run ids quick =
+    let scale = if quick then `Quick else `Full in
+    let selected =
+      match ids with
+      | [] -> Mm_bench.Experiments.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Mm_bench.Experiments.find id with
+            | Some f -> (String.uppercase_ascii id, f)
+            | None -> failwith ("unknown experiment: " ^ id))
+          ids
+    in
+    List.iter (fun (_, f) -> Mm_bench.Table.print (f scale)) selected
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate experiment tables (see DESIGN.md).")
+    Term.(const run $ ids $ quick)
+
+(* --- consensus --- *)
+
+let consensus_cmd =
+  let impl_arg =
+    let impl =
+      Arg.enum [ ("registers", Hbo.Registers); ("trusted", Hbo.Trusted); ("direct", Hbo.Direct) ]
+    in
+    Arg.(value & opt impl Hbo.Trusted & info [ "impl" ] ~docv:"IMPL"
+           ~doc:"Consensus-object implementation: registers | trusted | direct.")
+  in
+  let run family n seed impl crash_specs =
+    let graph = make_graph family n seed in
+    let inputs = Array.init n (fun i -> i mod 2) in
+    let crashes = parse_crashes crash_specs in
+    let o = Hbo.run ~seed ~impl ~graph ~crashes ~inputs () in
+    Format.printf "graph: %s %a   crashes: %d@." family G.pp graph
+      (List.length crashes);
+    Format.printf "stopped: %a after %d steps@." Engine.pp_stop_reason
+      o.Hbo.reason o.Hbo.total_steps;
+    Array.iteri
+      (fun i d ->
+        Format.printf "  p%d%s: %s@." i
+          (if o.Hbo.crashed.(i) then " (crashed)" else "")
+          (match d with
+          | Some v -> Printf.sprintf "decided %d (round %s, step %s)" v
+                        (Mm_bench.Table.fmt_opt_int o.Hbo.decide_round.(i))
+                        (Mm_bench.Table.fmt_opt_int o.Hbo.decide_step.(i))
+          | None -> "undecided"))
+      o.Hbo.decisions;
+    Format.printf "agreement: %b  validity: %b  all correct decided: %b@."
+      (Hbo.agreement o) (Hbo.validity ~inputs o) (Hbo.all_correct_decided o);
+    Format.printf "messages: %d  registers: %d  mem ops: %d  coins: %d@."
+      o.Hbo.net.Net.sent o.Hbo.registers
+      (Mem.total_ops o.Hbo.mem_total)
+      o.Hbo.coin_flips
+  in
+  Cmd.v
+    (Cmd.info "consensus" ~doc:"Run HBO consensus (Figure 2) on a graph.")
+    Term.(const run $ family_arg $ n_arg 8 $ seed_arg $ impl_arg $ crashes_arg)
+
+(* --- paxos --- *)
+
+let paxos_cmd =
+  let module Paxos = Mm_consensus.Paxos in
+  let oracle_arg =
+    Arg.(value & opt string "heartbeat" & info [ "oracle" ] ~docv:"O"
+           ~doc:"Leader oracle: heartbeat | static:<pid> | anarchy.")
+  in
+  let run oracle n seed crash_specs =
+    let oracle =
+      match String.split_on_char ':' (String.lowercase_ascii oracle) with
+      | [ "heartbeat" ] -> Paxos.Heartbeat
+      | [ "anarchy" ] -> Paxos.Anarchy
+      | [ "static"; pid ] -> Paxos.Static (int_of_string pid)
+      | _ -> failwith ("unknown oracle: " ^ oracle)
+    in
+    let inputs = Array.init n (fun i -> i * 10) in
+    let crashes = parse_crashes crash_specs in
+    let o = Paxos.run ~seed ~oracle ~n ~crashes ~inputs () in
+    Format.printf "stopped: %a after %d steps, max ballot %d@."
+      Engine.pp_stop_reason o.Paxos.reason o.Paxos.total_steps
+      o.Paxos.max_ballot;
+    Array.iteri
+      (fun i d ->
+        Format.printf "  p%d%s: %s@." i
+          (if o.Paxos.crashed.(i) then " (crashed)" else "")
+          (match d with
+          | Some v -> Printf.sprintf "decided %d" v
+          | None -> "undecided"))
+      o.Paxos.decisions;
+    Format.printf "agreement: %b  validity: %b  all correct decided: %b@."
+      (Paxos.agreement o)
+      (Paxos.validity ~inputs o)
+      (Paxos.all_correct_decided o);
+    Format.printf "messages: %d  mem ops: %d@." o.Paxos.net.Net.sent
+      (Mem.total_ops o.Paxos.mem_total)
+  in
+  Cmd.v
+    (Cmd.info "paxos"
+       ~doc:"Run Ω-driven shared-memory Paxos (Disk-Paxos style).")
+    Term.(const run $ oracle_arg $ n_arg 5 $ seed_arg $ crashes_arg)
+
+(* --- smr --- *)
+
+let smr_cmd =
+  let module Log = Mm_smr.Replicated_log in
+  let cmds_arg =
+    Arg.(value & opt int 3 & info [ "commands" ] ~docv:"K"
+           ~doc:"Commands issued per process.")
+  in
+  let run n seed cmds crash_specs =
+    let crashes = parse_crashes crash_specs in
+    let o =
+      Log.run ~seed ~n ~commands_per_proc:cmds ~crashes ~max_steps:5_000_000 ()
+    in
+    Format.printf
+      "stopped: %a after %d steps; %d slots, %d duplicate slot(s)@."
+      Engine.pp_stop_reason o.Log.reason o.Log.total_steps o.Log.slots_used
+      o.Log.duplicate_slots;
+    Format.printf "all committed: %b   consistent: %b@." o.Log.all_committed
+      o.Log.consistent;
+    Format.printf "messages: %d   mem ops: %d@." o.Log.net.Net.sent
+      (Mem.total_ops o.Log.mem_total);
+    Array.iteri
+      (fun i log ->
+        Format.printf "  p%d%s log: %s@." i
+          (if o.Log.crashed.(i) then " (crashed)" else "")
+          (String.concat " "
+             (List.map
+                (fun (s, c) ->
+                  Format.asprintf "%d:%a" s Log.pp_command c)
+                log)))
+      o.Log.logs
+  in
+  Cmd.v
+    (Cmd.info "smr" ~doc:"Run the replicated log (multi-decree consensus).")
+    Term.(const run $ n_arg 4 $ seed_arg $ cmds_arg $ crashes_arg)
+
+(* --- election --- *)
+
+let election_cmd =
+  let variant_arg =
+    Arg.(value & opt string "reliable" & info [ "variant" ] ~docv:"V"
+           ~doc:"reliable | lossy.")
+  in
+  let drop_arg =
+    Arg.(value & opt float 0.3 & info [ "drop" ] ~docv:"P"
+           ~doc:"Drop probability for the lossy variant.")
+  in
+  let run variant drop n seed crash_specs =
+    let variant =
+      match String.lowercase_ascii variant with
+      | "reliable" -> Omega.Reliable
+      | "lossy" -> Omega.Fair_lossy drop
+      | v -> failwith ("unknown variant: " ^ v)
+    in
+    let crashes = parse_crashes crash_specs in
+    let timely =
+      (* ensure at least one never-crashed process is timely *)
+      let crashed_pids = List.map fst crashes in
+      let candidate =
+        List.find (fun p -> not (List.mem p crashed_pids)) (List.init n Fun.id)
+      in
+      [ (0, 4); (candidate, 4) ]
+    in
+    let o = Omega.run ~seed ~timely ~crashes ~variant ~n () in
+    Format.printf "Ω holds: %b  agreed leader: %s  converged at step %d@."
+      (Omega.holds o)
+      (Mm_bench.Table.fmt_opt_int o.Omega.agreed_leader)
+      o.Omega.last_change_step;
+    Format.printf "leadership changes: %d  steady-state messages: %d@."
+      o.Omega.total_changes o.Omega.window_net.Net.sent;
+    Array.iteri
+      (fun i c ->
+        Format.printf "  p%d%s window mem: %a@." i
+          (if o.Omega.crashed.(i) then " (crashed)" else "")
+          Mem.pp_counters c)
+      o.Omega.window_mem
+  in
+  Cmd.v
+    (Cmd.info "election" ~doc:"Run eventual leader election (Figures 3-5).")
+    Term.(const run $ variant_arg $ drop_arg $ n_arg 4 $ seed_arg $ crashes_arg)
+
+(* --- mutex --- *)
+
+let mutex_cmd =
+  let algo_arg =
+    Arg.(value & opt string "all" & info [ "algo" ] ~docv:"A"
+           ~doc:"bakery | local | mm | all.")
+  in
+  let entries_arg =
+    Arg.(value & opt int 5 & info [ "entries" ] ~docv:"K"
+           ~doc:"Critical-section entries per process.")
+  in
+  let print_mutex name (o : Mutex.outcome) =
+    Format.printf
+      "%s: safe=%b entries=%d wait-reads/entry=%.2f messages=%d steps=%d@."
+      name
+      (o.Mutex.safety_violations = 0)
+      (Array.fold_left ( + ) 0 o.Mutex.entries)
+      (Mutex.wait_reads_per_entry o)
+      o.Mutex.messages_sent o.Mutex.steps
+  in
+  let run algo n seed entries =
+    (match String.lowercase_ascii algo with
+    | "bakery" -> print_mutex "bakery" (Mutex.run_bakery ~seed ~n ~entries ())
+    | "local" ->
+      print_mutex "local-spin" (Mutex.run_local_spin ~seed ~n ~entries ())
+    | "mm" -> print_mutex "m&m" (Mutex.run_mm ~seed ~n ~entries ())
+    | "all" | _ ->
+      print_mutex "bakery" (Mutex.run_bakery ~seed ~n ~entries ());
+      print_mutex "local-spin" (Mutex.run_local_spin ~seed ~n ~entries ());
+      print_mutex "m&m" (Mutex.run_mm ~seed ~n ~entries ()))
+  in
+  Cmd.v
+    (Cmd.info "mutex" ~doc:"Compare bakery (remote-spin), local-spin and m&m (no-spin) locks.")
+    Term.(const run $ algo_arg $ n_arg 4 $ seed_arg $ entries_arg)
+
+(* --- graph analysis --- *)
+
+let graph_cmd =
+  let run family n seed =
+    let g = make_graph family n seed in
+    Format.printf "%s: %a, max degree %d, connected: %b@." family G.pp g
+      (G.max_degree g) (G.is_connected g);
+    let n = G.order g in
+    if n <= 24 then begin
+      let h = E.vertex_expansion_exact g in
+      Format.printf "vertex expansion h(G) = %.4f (exact)@." h;
+      Format.printf "Thm 4.3 bound: HBO tolerates f* = %d of %d@."
+        (E.ft_bound ~h ~n) n
+    end
+    else begin
+      let rng = Mm_rng.Rng.create seed in
+      let hu = E.vertex_expansion_sampled rng g ~samples:2000 in
+      Format.printf "vertex expansion h(G) <= %.4f (sampled)@." hu
+    end;
+    (match E.spectral_lower_bound g with
+    | Some lo -> Format.printf "spectral lower bound: h(G) >= %.4f@." lo
+    | None -> ());
+    if n <= 22 then
+      Format.printf "true fault tolerance (represented majority): %d@."
+        (E.max_guaranteed_f g);
+    match Cut.min_f_with_cut g with
+    | Some f ->
+      let cut = Option.get (Cut.find g ~f) in
+      Format.printf "SM-cut exists at f = %d: %a (Thm 4.4 impossibility)@." f
+        Cut.pp cut
+    | None -> Format.printf "no SM-cut found up to f = n@."
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Analyze a shared-memory graph: expansion, fault-tolerance bounds, SM-cuts.")
+    Term.(const run $ family_arg $ n_arg 12 $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "mm" ~version:"1.0.0"
+      ~doc:"The m&m (message-and-memory) model: consensus and leader election \
+            from PODC'18 \"Passing Messages while Sharing Memory\"."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            experiment_cmd; consensus_cmd; paxos_cmd; smr_cmd; election_cmd;
+            mutex_cmd; graph_cmd;
+          ]))

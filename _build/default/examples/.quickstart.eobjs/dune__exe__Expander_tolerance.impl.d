@@ -1,0 +1,1 @@
+examples/expander_tolerance.ml: Array List Mm_consensus Mm_graph Mm_rng Printf

@@ -1,0 +1,1 @@
+examples/expander_tolerance.mli:

@@ -1,0 +1,1 @@
+examples/leader_failover.ml: Array Mm_election Mm_mem Mm_net Printf

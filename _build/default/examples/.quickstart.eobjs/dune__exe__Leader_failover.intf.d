@@ -1,0 +1,1 @@
+examples/leader_failover.mli:

@@ -1,0 +1,1 @@
+examples/mutex_no_spin.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Mm_consensus Mm_graph Mm_mem Mm_net Option Printf

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Format Fun Hashtbl List Mm_mem Mm_net Mm_sim Mm_smr Printf String

@@ -1,0 +1,59 @@
+(* Leader failover under asynchronous links.
+
+   A 5-process cluster elects a leader using only one timely process and
+   NO link timeliness (messages take anywhere from 1 to 500 steps).  We
+   crash the elected leader mid-run and watch the cluster re-elect,
+   then verify the Theorem 5.1 steady state: no messages at all, the
+   leader writing one register, everyone else just reading it.
+
+   Run with:  dune exec examples/leader_failover.exe *)
+
+module Omega = Mm_election.Omega
+module Net = Mm_net.Network
+module Mem = Mm_mem.Mem
+
+let run_and_report ~title ~variant ~crashes ~warmup =
+  Printf.printf "--- %s ---\n" title;
+  let o =
+    Omega.run ~seed:7
+      ~timely:[ (0, 4); (1, 4) ] (* two timely candidates: survivor exists *)
+      ~crashes ~warmup
+      ~delay:(Net.Uniform (1, 500)) (* wildly asynchronous links *)
+      ~variant ~n:5 ()
+  in
+  Printf.printf "omega holds: %b\n" (Omega.holds o);
+  (match o.Omega.agreed_leader with
+  | Some l -> Printf.printf "agreed leader: p%d\n" l
+  | None -> Printf.printf "no agreement (should not happen!)\n");
+  Printf.printf "last leadership change at step %d (of %d total steps)\n"
+    o.Omega.last_change_step o.Omega.steps;
+  Printf.printf "steady-state window: %d messages sent\n"
+    o.Omega.window_net.Net.sent;
+  Array.iteri
+    (fun i c ->
+      let role =
+        if o.Omega.crashed.(i) then "crashed "
+        else if Some i = o.Omega.agreed_leader then "leader  "
+        else "follower"
+      in
+      Printf.printf "  p%d %s  writes=%d reads=%d (local %d / remote %d ops)\n"
+        i role
+        (c.Mem.writes_local + c.Mem.writes_remote)
+        (c.Mem.reads_local + c.Mem.reads_remote)
+        (c.Mem.reads_local + c.Mem.writes_local)
+        (c.Mem.reads_remote + c.Mem.writes_remote))
+    o.Omega.window_mem;
+  print_newline ()
+
+let () =
+  run_and_report ~title:"healthy cluster (reliable links)"
+    ~variant:Omega.Reliable ~crashes:[] ~warmup:80_000;
+  run_and_report ~title:"leader p0 crashes at step 30000"
+    ~variant:Omega.Reliable ~crashes:[ (0, 30_000) ] ~warmup:200_000;
+  run_and_report ~title:"same failover, 40% message loss (Fig. 5 mechanism)"
+    ~variant:(Omega.Fair_lossy 0.4) ~crashes:[ (0, 30_000) ] ~warmup:250_000;
+  Printf.printf
+    "Note the theorem shapes: zero steady-state messages in every case;\n\
+     with reliable links the leader only writes; with fair-lossy links it\n\
+     also reads (NOTIFICATIONS) — and that extra read is provably \n\
+     unavoidable (Theorem 5.4).\n"

@@ -1,0 +1,1 @@
+lib/abd/abd.ml: Array Hashtbl List Mm_core Mm_net Mm_sim Option Printf

@@ -1,0 +1,1 @@
+lib/abd/abd.mli: Mm_net Mm_sim

@@ -1,0 +1,1 @@
+lib/bench_support/experiments.ml: Array List Mm_abd Mm_consensus Mm_core Mm_election Mm_graph Mm_mem Mm_mutex Mm_net Mm_rng Mm_sim Mm_smr Option Printf String Table

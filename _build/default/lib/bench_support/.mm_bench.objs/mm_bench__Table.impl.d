@@ -1,0 +1,1 @@
+lib/bench_support/table.ml: Buffer Float List Option Printf String

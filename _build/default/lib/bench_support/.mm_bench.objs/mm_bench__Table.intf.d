@@ -1,0 +1,1 @@
+lib/bench_support/table.mli:

@@ -1,0 +1,1028 @@
+module Id = Mm_core.Id
+module Domain_ = Mm_core.Domain
+module G = Mm_graph.Graph
+module B = Mm_graph.Builders
+module E = Mm_graph.Expansion
+module Cut = Mm_graph.Sm_cut
+module Network = Mm_net.Network
+module Mem = Mm_mem.Mem
+module Engine = Mm_sim.Engine
+module Sched = Mm_sim.Sched
+module Hbo = Mm_consensus.Hbo
+module Ben_or = Mm_consensus.Ben_or
+module Sm = Mm_consensus.Sm_consensus
+module Omega = Mm_election.Omega
+module Mp = Mm_election.Mp_omega
+module Mutex = Mm_mutex.Mutex
+module Abd = Mm_abd.Abd
+
+type scale =
+  [ `Quick
+  | `Full
+  ]
+
+let pick scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
+let seeds scale = pick scale ~quick:[ 1 ] ~full:[ 1; 2; 3 ]
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let mean_int xs = mean (List.map float_of_int xs)
+let ff = Table.fmt_float
+let fb = Table.fmt_bool
+
+let alternating n = Array.init n (fun i -> i mod 2)
+
+(* ------------------------------------------------------------------ *)
+(* E1: shared-memory domains (Figure 1)                                *)
+(* ------------------------------------------------------------------ *)
+
+let paper_figure1_graph () =
+  (* p=0, q=1, r=2, s=3, t=4; edges p-q, q-r, r-s, r-t, s-t. *)
+  G.create 5 [ (0, 1); (1, 2); (2, 3); (2, 4); (3, 4) ]
+
+let e1_domains _scale =
+  let g = paper_figure1_graph () in
+  let dom = Domain_.uniform_of_graph g in
+  let names = [| "p"; "q"; "r"; "s"; "t" |] in
+  let expected =
+    [| [ 0; 1 ]; [ 0; 1; 2 ]; [ 1; 2; 3; 4 ]; [ 2; 3; 4 ]; [ 2; 3; 4 ] |]
+  in
+  let set_str ids =
+    "{"
+    ^ String.concat "," (List.map (fun i -> names.(Id.to_int i)) ids)
+    ^ "}"
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let pi = Id.to_int p in
+        let computed = Domain_.set_of dom p in
+        let matches =
+          List.map Id.to_int computed = expected.(pi)
+        in
+        [ names.(pi); set_str computed; fb matches ])
+      (Id.all 5)
+  in
+  {
+    Table.id = "E1";
+    title = "Uniform shared-memory domain of the paper's Figure 1 graph";
+    header = [ "process"; "S_p = {p} ∪ N(p)"; "matches paper" ];
+    rows;
+    notes =
+      [
+        "G_SM: p-q, q-r, r-s, r-t, s-t; S as listed in Figure 1 of the paper";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E2: consensus correctness and cost (Figure 2)                       *)
+(* ------------------------------------------------------------------ *)
+
+let e2_consensus_cost scale =
+  let sizes = pick scale ~quick:[ 5 ] ~full:[ 6; 10; 16 ] in
+  let row_of_runs label n runs =
+    let all_ok =
+      List.for_all
+        (fun (o : Hbo.outcome) ->
+          Hbo.all_correct_decided o && Hbo.agreement o)
+        runs
+    in
+    let rounds = mean_int (List.map Hbo.max_round runs) in
+    let steps = mean_int (List.map (fun o -> o.Hbo.total_steps) runs) in
+    let msgs = mean_int (List.map (fun o -> o.Hbo.net.Network.sent) runs) in
+    let mem = mean_int (List.map (fun o -> Mem.total_ops o.Hbo.mem_total) runs) in
+    [ string_of_int n; label; fb all_ok; ff rounds; ff steps; ff msgs; ff mem ]
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let inputs = alternating n in
+        let ben_or =
+          List.map (fun seed -> Ben_or.run ~seed ~n ~inputs ()) (seeds scale)
+        in
+        let hbo_t =
+          List.map
+            (fun seed ->
+              Hbo.run ~seed ~impl:Hbo.Trusted ~graph:(B.ring n) ~inputs ())
+            (seeds scale)
+        in
+        let hbo_r =
+          List.map
+            (fun seed ->
+              Hbo.run ~seed ~impl:Hbo.Registers ~graph:(B.ring n) ~inputs ())
+            (seeds scale)
+        in
+        let sm_rows =
+          let runs = List.map (fun seed -> Sm.run ~seed ~n ~inputs ()) (seeds scale) in
+          let ok =
+            List.for_all (fun o -> Sm.all_correct_decided o && Sm.agreement o) runs
+          in
+          let steps = mean_int (List.map (fun o -> o.Sm.total_steps) runs) in
+          let mem = mean_int (List.map (fun o -> Mem.total_ops o.Sm.mem_total) runs) in
+          [ string_of_int n; "SM-only (K_n)"; fb ok; "-"; ff steps; "0"; ff mem ]
+        in
+        [
+          row_of_runs "Ben-Or (MP-only)" n ben_or;
+          row_of_runs "HBO ring/trusted" n hbo_t;
+          row_of_runs "HBO ring/registers" n hbo_r;
+          sm_rows;
+        ])
+      sizes
+  in
+  {
+    Table.id = "E2";
+    title = "Consensus on crash-free runs: correctness and cost";
+    header = [ "n"; "algorithm"; "correct"; "rounds"; "steps"; "msgs"; "mem ops" ];
+    rows;
+    notes =
+      [
+        "means over seeds; rounds = max Ben-Or round at decision";
+        "HBO on a ring already pays shared-memory cost; its benefit shows \
+         under crashes (E3)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E3: fault tolerance vs expansion (Theorem 4.3)                      *)
+(* ------------------------------------------------------------------ *)
+
+let e3_tolerance_vs_expansion scale =
+  let n = pick scale ~quick:8 ~full:16 in
+  let rng = Mm_rng.Rng.create 1234 in
+  let families =
+    if n = 8 then
+      [ ("edgeless", B.edgeless 8); ("ring", B.ring 8);
+        ("hypercube d=3", B.hypercube 3); ("complete", B.complete 8) ]
+    else
+      [
+        ("edgeless", B.edgeless 16);
+        ("ring", B.ring 16);
+        ("torus 4x4", B.torus ~rows:4 ~cols:4);
+        ("hypercube d=4", B.hypercube 4);
+        ("random 4-regular", B.random_regular rng ~n:16 ~d:4);
+        ("random 6-regular", B.random_regular rng ~n:16 ~d:6);
+        ("complete", B.complete 16);
+      ]
+  in
+  let inputs = alternating n in
+  let decided_at g f =
+    if f > G.order g - 1 then None
+    else begin
+      let crashed, _rep = E.worst_crash_set g ~f in
+      let crashes = List.map (fun p -> (p, 0)) crashed in
+      let ok =
+        List.for_all
+          (fun seed ->
+            let o =
+              Hbo.run ~seed ~impl:Hbo.Trusted ~max_steps:400_000 ~graph:g
+                ~crashes ~inputs ()
+            in
+            Hbo.all_correct_decided o && Hbo.agreement o)
+          (pick scale ~quick:[ 1 ] ~full:[ 1; 2 ])
+      in
+      Some ok
+    end
+  in
+  let blocked_at g f =
+    if f > G.order g - 1 then None
+    else begin
+      let crashed, _ = E.worst_crash_set g ~f in
+      let crashes = List.map (fun p -> (p, 0)) crashed in
+      let o =
+        Hbo.run ~seed:1 ~impl:Hbo.Trusted ~max_steps:80_000 ~graph:g ~crashes
+          ~inputs ()
+      in
+      Some (not (Hbo.all_correct_decided o))
+    end
+  in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let h = E.vertex_expansion_exact g in
+        let spectral =
+          match E.spectral_lower_bound g with
+          | Some x -> ff x
+          | None -> "-"
+        in
+        let bound = E.ft_bound ~h ~n in
+        let true_f = E.max_guaranteed_f g in
+        let at_bound =
+          match decided_at g bound with Some b -> fb b | None -> "-"
+        in
+        let over =
+          match blocked_at g (true_f + 1) with Some b -> fb b | None -> "-"
+        in
+        [
+          name;
+          string_of_int (G.max_degree g);
+          ff h;
+          spectral;
+          string_of_int bound;
+          string_of_int true_f;
+          at_bound;
+          over;
+        ])
+      families
+  in
+  {
+    Table.id = "E3";
+    title =
+      Printf.sprintf
+        "HBO fault tolerance vs shared-memory expansion (n = %d)" n;
+    header =
+      [ "G_SM"; "deg"; "h(G)"; "h spectral>="; "Thm4.3 f*"; "true f";
+        "decides@f*"; "blocked@f+1" ];
+    rows;
+    notes =
+      [
+        "f* = Thm 4.3 bound; true f = exact representation analysis \
+         (worst crash set keeping a represented majority)";
+        "decides@f* runs HBO against the WORST crash set of size f*; \
+         blocked@f+1 shows the threshold is real";
+        "Ben-Or's bound is the edgeless row; the complete graph reaches \
+         n-1 via the pure-SM algorithm (its f* is only Thm 4.3's \
+         guarantee, which is not tight there)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E4: impossibility via SM-cuts (Theorem 4.4)                         *)
+(* ------------------------------------------------------------------ *)
+
+let e4_impossibility scale =
+  let ks = pick scale ~quick:[ 3 ] ~full:[ 3; 4; 5 ] in
+  let rows =
+    List.concat_map
+      (fun k ->
+        let g = B.barbell ~k ~bridge:1 in
+        let n = G.order g in
+        let inputs = alternating n in
+        match Cut.min_f_with_cut g with
+        | None -> [ [ Printf.sprintf "barbell k=%d" k; "-"; "-"; "no cut"; "-"; "-" ] ]
+        | Some f ->
+          let cut = Option.get (Cut.find g ~f) in
+          let crashes = List.map (fun p -> (p, 0)) cut.Cut.b in
+          let partition = (cut.Cut.s, cut.Cut.t) in
+          let o =
+            Hbo.run ~seed:1 ~impl:Hbo.Trusted ~max_steps:80_000 ~graph:g
+              ~crashes ~partition ~inputs ()
+          in
+          let k_n = B.complete n in
+          let o_kn =
+            Hbo.run ~seed:1 ~impl:Hbo.Trusted ~max_steps:400_000 ~graph:k_n
+              ~crashes ~partition ~inputs ()
+          in
+          [
+            [
+              Printf.sprintf "barbell k=%d (n=%d)" k n;
+              string_of_int (List.length cut.Cut.b);
+              "yes";
+              fb (Hbo.all_correct_decided o);
+              fb (Hbo.agreement o);
+              "blocked as Thm 4.4 predicts";
+            ];
+            [
+              Printf.sprintf "complete (n=%d)" n;
+              string_of_int (List.length cut.Cut.b);
+              "no";
+              fb (Hbo.all_correct_decided o_kn);
+              fb (Hbo.agreement o_kn);
+              "same adversary, no SM-cut: decides";
+            ];
+          ])
+      ks
+  in
+  {
+    Table.id = "E4";
+    title =
+      "Theorem 4.4: crash the SM-cut boundary B and delay cross-cut \
+       messages forever";
+    header = [ "G_SM"; "f=|B|"; "SM-cut"; "decided"; "safe"; "comment" ];
+    rows;
+    notes =
+      [
+        "the adversary crashes B and holds every S<->T message; on the \
+         barbell neither side has a represented majority";
+        "on K_n every process's message represents all n, so the same \
+         partition is harmless";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E5-E7: leader election                                              *)
+(* ------------------------------------------------------------------ *)
+
+let leader_row n (o : Omega.outcome) =
+  let l = o.Omega.agreed_leader in
+  let leader_c =
+    match l with
+    | Some l -> o.Omega.window_mem.(l)
+    | None -> Mem.zero_counters
+  in
+  let foll_reads = ref 0 and foll_writes = ref 0 and foll_n = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if Some i <> l && not o.Omega.crashed.(i) then begin
+        incr foll_n;
+        foll_reads := !foll_reads + c.Mem.reads_local + c.Mem.reads_remote;
+        foll_writes := !foll_writes + c.Mem.writes_local + c.Mem.writes_remote
+      end)
+    o.Omega.window_mem;
+  [
+    string_of_int n;
+    fb (Omega.holds o);
+    string_of_int o.Omega.last_change_step;
+    string_of_int o.Omega.window_net.Network.sent;
+    string_of_int (leader_c.Mem.writes_local + leader_c.Mem.writes_remote);
+    string_of_int (leader_c.Mem.reads_local + leader_c.Mem.reads_remote);
+    string_of_int !foll_writes;
+    (if !foll_n = 0 then "-"
+     else ff (float_of_int !foll_reads /. float_of_int !foll_n));
+  ]
+
+let e5_leader_reliable scale =
+  let sizes = pick scale ~quick:[ 4 ] ~full:[ 4; 8 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun seed ->
+            leader_row n (Omega.run ~seed ~variant:Omega.Reliable ~n ()))
+          (pick scale ~quick:[ 1 ] ~full:[ 1; 2 ]))
+      sizes
+  in
+  {
+    Table.id = "E5";
+    title = "Leader election, reliable links (Thm 5.1): silent steady state";
+    header =
+      [ "n"; "Ω holds"; "conv step"; "win msgs"; "ldr writes"; "ldr reads";
+        "foll writes"; "foll reads avg" ];
+    rows;
+    notes =
+      [
+        "window = steady-state measurement interval after convergence";
+        "Thm 5.1 shape: win msgs = 0, ldr reads = 0, foll writes = 0";
+      ];
+  }
+
+let e6_leader_lossy scale =
+  let drops = pick scale ~quick:[ 0.3 ] ~full:[ 0.2; 0.5; 0.8 ] in
+  let rows =
+    List.map
+      (fun drop ->
+        let o =
+          Omega.run ~seed:1 ~warmup:120_000
+            ~variant:(Omega.Fair_lossy drop) ~n:4 ()
+        in
+        match leader_row 4 o with
+        | _ :: rest -> Printf.sprintf "%.1f" drop :: rest
+        | [] -> assert false)
+      drops
+  in
+  {
+    Table.id = "E6";
+    title = "Leader election, fair-lossy links (Thm 5.2)";
+    header =
+      [ "drop"; "Ω holds"; "conv step"; "win msgs"; "ldr writes"; "ldr reads";
+        "foll writes"; "foll reads avg" ];
+    rows;
+    notes =
+      [
+        "Thm 5.2 shape: win msgs = 0 but now ldr reads > 0 (the \
+         NOTIFICATIONS register check)";
+      ];
+  }
+
+let e7_locality scale =
+  let _ = scale in
+  let rows =
+    List.concat_map
+      (fun (label, variant) ->
+        let o = Omega.run ~seed:13 ~variant ~n:4 () in
+        let l = o.Omega.agreed_leader in
+        Array.to_list
+          (Array.mapi
+             (fun i c ->
+               [
+                 label;
+                 Printf.sprintf "p%d%s" i (if Some i = l then " (leader)" else "");
+                 string_of_int (c.Mem.reads_local + c.Mem.writes_local);
+                 string_of_int (c.Mem.reads_remote + c.Mem.writes_remote);
+               ])
+             o.Omega.window_mem))
+      [ ("reliable", Omega.Reliable); ("fair-lossy 0.2", Omega.Fair_lossy 0.2) ]
+  in
+  {
+    Table.id = "E7";
+    title = "Locality (§5.3): steady-state register accesses, local vs remote";
+    header = [ "variant"; "process"; "local ops"; "remote ops" ];
+    rows;
+    notes =
+      [
+        "the leader touches only registers it owns (STATE[l], \
+         NOTIFICATIONS[l]); followers only remote ones";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E8: synchrony robustness                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e8_synchrony scale =
+  let spreads = pick scale ~quick:[ 4; 256 ] ~full:[ 4; 64; 256; 1024 ] in
+  let rows =
+    List.map
+      (fun d ->
+        let delay = Network.Uniform (1, d) in
+        let mp = Mp.run ~seed:3 ~timeout:32 ~delay ~n:4 () in
+        let mm = Omega.run ~seed:3 ~delay ~variant:Omega.Reliable ~n:4 () in
+        let mm_leader_writes =
+          match mm.Omega.agreed_leader with
+          | Some l ->
+            let c = mm.Omega.window_mem.(l) in
+            c.Mem.writes_local + c.Mem.writes_remote
+          | None -> 0
+        in
+        [
+          Printf.sprintf "1..%d" d;
+          fb (Mp.holds mp);
+          string_of_int mp.Mp.total_changes;
+          string_of_int mp.Mp.window_net.Network.sent;
+          fb (Omega.holds mm);
+          string_of_int mm.Omega.total_changes;
+          string_of_int mm.Omega.window_net.Network.sent;
+          string_of_int mm_leader_writes;
+        ])
+      spreads
+  in
+  {
+    Table.id = "E8";
+    title =
+      "Synchrony: message-passing heartbeat Ω vs m&m Ω under growing link \
+       delays";
+    header =
+      [ "delay"; "MP holds"; "MP changes"; "MP win msgs"; "m&m holds";
+        "m&m changes"; "m&m win msgs"; "m&m ldr writes" ];
+    rows;
+    notes =
+      [
+        "MP baseline timeout = 32 steps: once delays exceed it, \
+         leadership flaps forever and heartbeats never stop";
+        "m&m needs no link timeliness (links here are delayed, not \
+         lossy); leader writes stay > 0 — the Thm 5.3 lower bound in \
+         action";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E9: mutual exclusion                                                *)
+(* ------------------------------------------------------------------ *)
+
+let e9_mutex scale =
+  let sizes = pick scale ~quick:[ 2; 4 ] ~full:[ 2; 4; 8 ] in
+  let entries = pick scale ~quick:4 ~full:8 in
+  let rows =
+    List.map
+      (fun n ->
+        let b = Mutex.run_bakery ~seed:3 ~cs_work:25 ~n ~entries () in
+        let l = Mutex.run_local_spin ~seed:3 ~cs_work:25 ~n ~entries () in
+        let m = Mutex.run_mm ~seed:3 ~cs_work:25 ~n ~entries () in
+        let per_entry v = float_of_int v /. float_of_int (n * entries) in
+        let remote_per_entry (o : Mutex.outcome) =
+          let total = Array.fold_left ( + ) 0 o.Mutex.wait_reads in
+          let local = Array.fold_left ( + ) 0 o.Mutex.wait_reads_local in
+          per_entry (total - local)
+        in
+        [
+          string_of_int n;
+          fb
+            (b.Mutex.safety_violations = 0
+            && l.Mutex.safety_violations = 0
+            && m.Mutex.safety_violations = 0);
+          ff (Mutex.wait_reads_per_entry b);
+          ff (Mutex.wait_reads_per_entry l);
+          ff (remote_per_entry l);
+          ff (Mutex.wait_reads_per_entry m);
+          ff (per_entry m.Mutex.messages_sent);
+        ])
+      sizes
+  in
+  {
+    Table.id = "E9";
+    title =
+      "Mutual exclusion (§1): remote spinning vs local spinning vs no \
+       spinning";
+    header =
+      [ "n"; "safe"; "bakery spins/entry"; "local-spin spins/entry";
+        "of which remote"; "m&m wait reads/entry"; "m&m msgs/entry" ];
+    rows;
+    notes =
+      [
+        "bakery waiters re-read REMOTE registers (interconnect traffic); \
+         the local-spin lock (prior art the paper cites) spins on a \
+         register the waiter OWNS (CPU busy, interconnect quiet); the \
+         m&m lock sleeps on its mailbox — no spinning at all, one \
+         message per handoff";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E10: ABD emulation vs native m&m registers                          *)
+(* ------------------------------------------------------------------ *)
+
+let native_register_reads_after_crashes ~n ~crashes ~reads =
+  let eng =
+    Engine.create ~seed:1 ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
+  in
+  let store = Engine.store eng in
+  let owner = Id.of_int (n - 1) in
+  let reg =
+    Mem.alloc store ~name:"native" ~owner
+      ~shared_with:(List.filter (fun q -> not (Id.equal q owner)) (Id.all n))
+      7
+  in
+  let survivor = Id.of_int 0 in
+  let done_reads = ref 0 in
+  Engine.spawn eng survivor (fun () ->
+      for _ = 1 to reads do
+        ignore (Mm_sim.Proc.read reg);
+        incr done_reads
+      done);
+  List.iter (fun p -> Engine.crash_at eng (Id.of_int p) 0) crashes;
+  ignore (Engine.run eng ~max_steps:10_000 ());
+  !done_reads
+
+let e10_abd_vs_native scale =
+  let _ = scale in
+  let n = 5 in
+  let scripts = [| [ `Write 7; `Read ]; [ `Read ]; [ `Read ]; []; [] |] in
+  let abd_row label crashes =
+    let o =
+      Abd.run ~seed:5 ~n ~max_steps:120_000
+        ~crashes:(List.map (fun p -> (p, 0)) crashes)
+        ~scripts ()
+    in
+    [
+      "ABD over messages";
+      label;
+      string_of_int (List.length o.Abd.history);
+      string_of_int o.Abd.pending;
+      fb (Abd.atomicity_violations o = []);
+      string_of_int o.Abd.messages_sent;
+    ]
+  in
+  let native_row label crashes =
+    let completed = native_register_reads_after_crashes ~n ~crashes ~reads:5 in
+    [
+      "native m&m register";
+      label;
+      string_of_int completed;
+      "0";
+      "yes";
+      "0";
+    ]
+  in
+  {
+    Table.id = "E10";
+    title =
+      "Registers from messages (ABD, [11]) need a correct majority; \
+       native m&m registers do not";
+    header = [ "system"; "crashes"; "ops done"; "blocked"; "atomic"; "msgs" ];
+    rows =
+      [
+        abd_row "0 of 5" [];
+        abd_row "2 of 5" [ 3; 4 ];
+        abd_row "3 of 5" [ 2; 3; 4 ];
+        native_row "3 of 5" [ 2; 3; 4 ];
+        native_row "4 of 5" [ 1; 2; 3; 4 ];
+      ];
+    notes =
+      [
+        "with 3 of 5 replicas crashed every ABD quorum stalls; a native \
+         register still serves any lone survivor (m&m memory survives \
+         crashes, §3)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E11: scalability with constant-degree expanders                     *)
+(* ------------------------------------------------------------------ *)
+
+let e11_scalability scale =
+  let ms = pick scale ~quick:[ 4 ] ~full:[ 4; 6; 7 ] in
+  let rows =
+    List.map
+      (fun m ->
+        let g = B.margulis ~m in
+        let n = G.order g in
+        let rng = Mm_rng.Rng.create (100 + m) in
+        let h_upper = E.vertex_expansion_sampled rng g ~samples:400 in
+        let h_lower =
+          (* Margulis graphs are not exactly regular after collapsing
+             coincident edges, so the spectral bound may be unavailable;
+             the sound lower bound we use for f* is then the sampled
+             value when n is small enough to verify exactly. *)
+          match E.spectral_lower_bound g with
+          | Some x -> x
+          | None -> if n <= 24 then E.vertex_expansion_exact g else 0.0
+        in
+        let f_star = E.ft_bound ~h:h_lower ~n in
+        (* Exercise the claim: crash a GREEDY worst set of size
+           ceil(0.55 n) — strictly beyond any message-passing bound —
+           and check HBO still decides. *)
+        let f_test = (55 * n / 100) + 1 in
+        let crashed, rep = E.worst_crash_set g ~f:f_test in
+        let inputs = alternating n in
+        let o =
+          Hbo.run ~seed:m ~impl:Hbo.Trusted ~max_steps:3_000_000 ~graph:g
+            ~crashes:(List.map (fun p -> (p, 0)) crashed)
+            ~inputs ()
+        in
+        [
+          string_of_int n;
+          string_of_int (G.max_degree g);
+          ff h_upper;
+          ff h_lower;
+          string_of_int f_star;
+          Printf.sprintf "%d (%d%%)" f_test (100 * f_test / n);
+          string_of_int rep;
+          fb (Hbo.all_correct_decided o && Hbo.agreement o);
+          string_of_int o.Hbo.total_steps;
+        ])
+      ms
+  in
+  {
+    Table.id = "E11";
+    title =
+      "Scalability: Margulis-Gabber-Galil expanders — constant degree, \
+       constant crash FRACTION as n grows";
+    header =
+      [ "n"; "deg"; "h<= (sampled)"; "h>= (bound)"; "Thm4.3 f*";
+        "crashed f (frac)"; "represented"; "HBO decides"; "steps" ];
+    rows;
+    notes =
+      [
+        "the crash set is a greedy worst case of ~55% of all processes \
+         — beyond any pure message-passing algorithm's reach at every n";
+        "degree stays <= 8 while n grows: the hardware constraint of §3 \
+         respected";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E12: the consensus design space                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e12_consensus_families scale =
+  let n = pick scale ~quick:8 ~full:16 in
+  let inputs = alternating n in
+  let f = (n / 2) + 2 in
+  (* crash f processes — beyond the message-passing majority bound *)
+  let g_exp = if n = 16 then B.hypercube 4 else B.hypercube 3 in
+  let crashed, _ = E.worst_crash_set g_exp ~f in
+  let crashes = List.map (fun p -> (p, 0)) crashed in
+  let hbo_row label impl graph =
+    let o =
+      Hbo.run ~seed:9 ~impl ~max_steps:1_000_000 ~graph ~crashes ~inputs ()
+    in
+    [
+      label;
+      fb (Hbo.all_correct_decided o);
+      fb (Hbo.agreement o && Hbo.validity ~inputs o);
+      string_of_int o.Hbo.total_steps;
+      string_of_int o.Hbo.net.Network.sent;
+      string_of_int (Mem.total_ops o.Hbo.mem_total);
+    ]
+  in
+  let paxos_row =
+    let o =
+      Mm_consensus.Paxos.run ~seed:9 ~oracle:Mm_consensus.Paxos.Heartbeat
+        ~max_steps:1_000_000 ~n ~crashes ~inputs ()
+    in
+    [
+      "Paxos-SM + Ω (K_n)";
+      fb (Mm_consensus.Paxos.all_correct_decided o);
+      fb
+        (Mm_consensus.Paxos.agreement o
+        && Mm_consensus.Paxos.validity ~inputs o);
+      string_of_int o.Mm_consensus.Paxos.total_steps;
+      string_of_int o.Mm_consensus.Paxos.net.Network.sent;
+      string_of_int (Mem.total_ops o.Mm_consensus.Paxos.mem_total);
+    ]
+  in
+  let sm_row =
+    let o = Sm.run ~seed:9 ~max_steps:1_000_000 ~n ~crashes ~inputs () in
+    [
+      "rand-consensus (K_n)";
+      fb (Sm.all_correct_decided o);
+      fb (Sm.agreement o);
+      string_of_int o.Sm.total_steps;
+      "0";
+      string_of_int (Mem.total_ops o.Sm.mem_total);
+    ]
+  in
+  let ben_or_row =
+    let o =
+      Ben_or.run ~seed:9 ~max_steps:120_000 ~n ~crashes ~inputs ()
+    in
+    [
+      "Ben-Or (MP-only)";
+      fb (Hbo.all_correct_decided o);
+      fb (Hbo.agreement o);
+      Printf.sprintf "%d (cap)" o.Hbo.total_steps;
+      string_of_int o.Hbo.net.Network.sent;
+      "0";
+    ]
+  in
+  {
+    Table.id = "E12";
+    title =
+      Printf.sprintf
+        "Consensus design space under f = %d of %d crashes (beyond the \
+         message-passing majority)"
+        f n;
+    header = [ "algorithm"; "decides"; "safe"; "steps"; "msgs"; "mem ops" ];
+    rows =
+      [
+        ben_or_row;
+        hbo_row "HBO hypercube/trusted" Hbo.Trusted g_exp;
+        hbo_row "HBO hypercube/registers" Hbo.Registers g_exp;
+        paxos_row;
+        sm_row;
+      ];
+    notes =
+      [
+        "Ben-Or waits forever (run capped); the three m&m designs all \
+         decide: HBO needs only a degree-4 graph, Paxos-SM and the \
+         randomized object need full sharing but tolerate n-1";
+        "Paxos-SM composes §5's Ω with ballot voting in registers — the \
+         design direction of the RDMA-consensus systems that followed \
+         the paper (DARE, APUS, Mu)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E13: the replicated log (SMR over m&m)                              *)
+(* ------------------------------------------------------------------ *)
+
+let e13_replicated_log scale =
+  let module Log = Mm_smr.Replicated_log in
+  let configs =
+    pick scale
+      ~quick:[ (3, 2, []) ]
+      ~full:[ (3, 4, []); (5, 4, []); (5, 4, [ (0, 1_000) ]); (7, 3, []) ]
+  in
+  let rows =
+    List.map
+      (fun (n, k, crashes) ->
+        let o =
+          Log.run ~seed:13 ~n ~commands_per_proc:k ~crashes
+            ~max_steps:3_000_000 ()
+        in
+        let slots = max o.Log.slots_used 1 in
+        [
+          string_of_int n;
+          string_of_int (n * k);
+          (match crashes with
+          | [] -> "none"
+          | (p, s) :: _ -> Printf.sprintf "p%d@%d" p s);
+          fb o.Log.all_committed;
+          fb o.Log.consistent;
+          string_of_int o.Log.slots_used;
+          string_of_int o.Log.duplicate_slots;
+          ff (float_of_int o.Log.total_steps /. float_of_int slots);
+          ff (float_of_int o.Log.net.Network.sent /. float_of_int slots);
+          ff
+            (float_of_int (Mem.total_ops o.Log.mem_total)
+            /. float_of_int slots);
+        ])
+      configs
+  in
+  {
+    Table.id = "E13";
+    title =
+      "Replicated log (multi-decree Disk-Paxos + Ω + message wake-ups) — \
+       the RDMA-SMR design the paper seeded";
+    header =
+      [ "n"; "cmds"; "crash"; "committed"; "consistent"; "slots"; "dup";
+        "steps/slot"; "msgs/slot"; "mem ops/slot" ];
+    rows;
+    notes =
+      [
+        "slot recovery after a leader crash runs over registers (the new \
+         leader reads the old leader's slot blocks); messages only carry \
+         command forwarding and Learn notifications";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* E14: failures of the shared memory (§6 future work)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e14_memory_failure scale =
+  let _ = scale in
+  let scenario label variant =
+    (* find the elected leader, then wedge its host memory read-only *)
+    let dry = Omega.run ~seed:31 ~timely:[ (0, 4); (1, 4) ] ~variant ~n:4 () in
+    let victim = Option.value ~default:0 dry.Omega.agreed_leader in
+    let o =
+      Omega.run ~seed:31 ~timely:[ (0, 4); (1, 4) ]
+        ~memory_failures:[ (victim, 20_000) ] ~warmup:200_000 ~variant ~n:4 ()
+    in
+    [
+      label;
+      Printf.sprintf "p%d" victim;
+      fb (Omega.holds o);
+      (match o.Omega.agreed_leader with
+      | Some l -> Printf.sprintf "p%d" l
+      | None -> "none");
+      (match o.Omega.final_leaders.(victim) with
+      | Some l -> Printf.sprintf "p%d" l
+      | None -> "⊥");
+    ]
+  in
+  {
+    Table.id = "E14";
+    title =
+      "Partial memory failure (§6): the elected leader's registers go \
+       omission-faulty while the process keeps running";
+    header =
+      [ "notification mechanism"; "failed host"; "Ω recovers";
+        "new common leader"; "failed host's own output" ];
+    rows =
+      [
+        scenario "messages (Fig. 4, reliable links)" Omega.Reliable;
+        scenario "registers (Fig. 5, fair-lossy links)" (Omega.Fair_lossy 0.2);
+      ];
+    notes =
+      [
+        "message-based notifications tolerate the failure: followers \
+         elect a successor and the old leader learns of it by message \
+         and defers";
+        "register-based notifications do NOT: the new leader's \
+         notification writes land in the dead memory, so the old leader \
+         keeps electing itself forever — the paper's §6 question \
+         (failures of shared memory) has real bite, and m&m's message \
+         side is the mitigation";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let a1_object_impl scale =
+  let n = 6 in
+  let g = B.ring_of_cliques ~cliques:2 ~k:3 in
+  let inputs = alternating n in
+  let rows =
+    List.map
+      (fun (label, impl) ->
+        let runs =
+          List.map (fun seed -> Hbo.run ~seed ~impl ~graph:g ~inputs ()) (seeds scale)
+        in
+        let ok =
+          List.for_all
+            (fun o -> Hbo.all_correct_decided o && Hbo.agreement o)
+            runs
+        in
+        [
+          label;
+          fb ok;
+          ff (mean_int (List.map (fun (o : Hbo.outcome) -> o.Hbo.total_steps) runs));
+          ff (mean_int (List.map (fun o -> o.Hbo.registers) runs));
+          ff (mean_int (List.map (fun o -> Mem.total_ops o.Hbo.mem_total) runs));
+          ff (mean_int (List.map Hbo.max_round runs));
+        ])
+      [ ("trusted objects", Hbo.Trusted); ("register objects", Hbo.Registers) ]
+  in
+  {
+    Table.id = "A1";
+    title = "Ablation: consensus-object implementation inside HBO";
+    header = [ "objects"; "correct"; "steps"; "registers"; "mem ops"; "rounds" ];
+    rows;
+    notes =
+      [
+        "register-based objects (adopt-commit + conciliator rounds) cost \
+         more memory traffic for the same decisions — the paper's cited \
+         constructions, vs a hardware-style atomic object";
+      ];
+  }
+
+let a2_scheduler scale =
+  let n = 6 in
+  let inputs = alternating n in
+  let schedulers =
+    [ ("random", Sched.Random); ("round-robin", Sched.Round_robin) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (sname, base) ->
+        List.map
+          (fun (aname, run) ->
+            let runs =
+              List.map
+                (fun seed -> run ~seed ~sched:(Sched.create base))
+                (seeds scale)
+            in
+            let ok =
+              List.for_all
+                (fun (o : Hbo.outcome) ->
+                  Hbo.all_correct_decided o && Hbo.agreement o)
+                runs
+            in
+            [
+              sname;
+              aname;
+              fb ok;
+              ff (mean_int (List.map Hbo.max_round runs));
+              ff (mean_int (List.map (fun o -> o.Hbo.total_steps) runs));
+            ])
+          [
+            ( "ben-or",
+              fun ~seed ~sched -> Ben_or.run ~seed ~sched ~n ~inputs () );
+            ( "hbo ring/trusted",
+              fun ~seed ~sched ->
+                Hbo.run ~seed ~sched ~impl:Hbo.Trusted ~graph:(B.ring n)
+                  ~inputs () );
+          ])
+      schedulers
+  in
+  {
+    Table.id = "A2";
+    title = "Ablation: scheduler policy vs consensus convergence";
+    header = [ "scheduler"; "algorithm"; "correct"; "rounds"; "steps" ];
+    rows;
+    notes = [ "round-robin approximates a synchronous lockstep schedule" ];
+  }
+
+let a3_expansion_estimators scale =
+  let rng = Mm_rng.Rng.create 77 in
+  let samples = pick scale ~quick:100 ~full:500 in
+  let families =
+    [
+      ("ring 12", B.ring 12);
+      ("torus 3x4", B.torus ~rows:3 ~cols:4);
+      ("hypercube d=3", B.hypercube 3);
+      ("random 4-regular n=12", B.random_regular rng ~n:12 ~d:4);
+      ("margulis m=4", B.margulis ~m:4);
+      ("complete 10", B.complete 10);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let exact = E.vertex_expansion_exact g in
+        let sampled = E.vertex_expansion_sampled rng g ~samples in
+        let spectral = E.spectral_lower_bound g in
+        [
+          name;
+          ff exact;
+          ff sampled;
+          (match spectral with Some x -> ff x | None -> "-");
+          fb (sampled >= exact -. 1e-9);
+          fb (match spectral with Some x -> x <= exact +. 1e-6 | None -> true);
+        ])
+      families
+  in
+  {
+    Table.id = "A3";
+    title = "Ablation: expansion estimators (exact vs sampled vs spectral)";
+    header =
+      [ "graph"; "h exact"; "h sampled (upper)"; "h spectral (lower)";
+        "sampled>=exact"; "spectral<=exact" ];
+    rows;
+    notes =
+      [
+        "exact is exponential (used for n <= 24); the two bounds bracket \
+         it for larger systems";
+      ];
+  }
+
+let all =
+  [
+    ("E1", e1_domains);
+    ("E2", e2_consensus_cost);
+    ("E3", e3_tolerance_vs_expansion);
+    ("E4", e4_impossibility);
+    ("E5", e5_leader_reliable);
+    ("E6", e6_leader_lossy);
+    ("E7", e7_locality);
+    ("E8", e8_synchrony);
+    ("E9", e9_mutex);
+    ("E10", e10_abd_vs_native);
+    ("E11", e11_scalability);
+    ("E12", e12_consensus_families);
+    ("E13", e13_replicated_log);
+    ("E14", e14_memory_failure);
+    ("A1", a1_object_impl);
+    ("A2", a2_scheduler);
+    ("A3", a3_expansion_estimators);
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.assoc_opt id all

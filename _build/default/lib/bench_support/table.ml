@@ -1,0 +1,57 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let render t =
+  let all = t.header :: t.rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = Option.value ~default:"" (List.nth_opt row c) in
+          cell ^ String.make (w - String.length cell) ' ')
+        widths
+    in
+    String.concat "  " cells
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  Buffer.add_string buf (render_row t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  List.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "  note: %s\n" note))
+    t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t ^ "\n")
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e6 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3f" x
+
+let fmt_bool b = if b then "yes" else "no"
+let fmt_opt_int = function None -> "-" | Some i -> string_of_int i

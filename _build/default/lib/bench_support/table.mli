@@ -1,0 +1,19 @@
+(** Plain-text tables for the experiment reports. *)
+
+type t = {
+  id : string;           (** experiment id, e.g. "E3" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;   (** free-form lines printed under the table *)
+}
+
+(** Render with aligned columns, a rule under the header, and notes. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** Formatting helpers used by the experiments. *)
+val fmt_float : float -> string
+val fmt_bool : bool -> string
+val fmt_opt_int : int option -> string

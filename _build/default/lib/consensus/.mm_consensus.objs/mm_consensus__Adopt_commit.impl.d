@@ -1,0 +1,1 @@
+lib/consensus/adopt_commit.ml: Array List Mm_core Mm_mem Mm_sim Printf

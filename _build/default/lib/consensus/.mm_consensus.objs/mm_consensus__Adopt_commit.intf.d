@@ -1,0 +1,1 @@
+lib/consensus/adopt_commit.mli: Mm_core Mm_mem

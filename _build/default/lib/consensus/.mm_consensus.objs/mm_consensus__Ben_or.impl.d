@@ -1,0 +1,1 @@
+lib/consensus/ben_or.ml: Hbo Mm_graph

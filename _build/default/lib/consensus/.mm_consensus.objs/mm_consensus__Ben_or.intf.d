@@ -1,0 +1,1 @@
+lib/consensus/ben_or.mli: Hbo Mm_net Mm_sim

@@ -1,0 +1,1 @@
+lib/consensus/hbo.ml: Array Fun Hashtbl Int List Mm_core Mm_graph Mm_mem Mm_net Mm_sim Printf Rand_consensus

@@ -1,0 +1,1 @@
+lib/consensus/hbo.mli: Mm_graph Mm_mem Mm_net Mm_sim

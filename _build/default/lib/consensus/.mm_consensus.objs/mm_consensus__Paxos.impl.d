@@ -1,0 +1,1 @@
+lib/consensus/paxos.ml: Array Fun Int List Mm_core Mm_election Mm_mem Mm_net Mm_sim Printf

@@ -1,0 +1,1 @@
+lib/consensus/paxos.mli: Mm_mem Mm_net Mm_sim

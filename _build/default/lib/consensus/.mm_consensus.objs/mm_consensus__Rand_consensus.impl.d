@@ -1,0 +1,1 @@
+lib/consensus/rand_consensus.ml: Adopt_commit Array Hashtbl List Mm_core Mm_mem Mm_sim Printf

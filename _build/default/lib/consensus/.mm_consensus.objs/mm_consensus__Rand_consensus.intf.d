@@ -1,0 +1,1 @@
+lib/consensus/rand_consensus.mli: Mm_core Mm_mem

@@ -1,0 +1,1 @@
+lib/consensus/sm_consensus.ml: Array Fun List Mm_core Mm_mem Mm_net Mm_sim Rand_consensus

@@ -1,0 +1,1 @@
+lib/consensus/sm_consensus.mli: Mm_mem Mm_sim

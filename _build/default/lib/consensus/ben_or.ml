@@ -1,0 +1,3 @@
+let run ?seed ?max_steps ?crashes ?sched ?link ?delay ~n ~inputs () =
+  Hbo.run ?seed ~impl:Hbo.Direct ?max_steps ?crashes ?sched ?link ?delay
+    ~graph:(Mm_graph.Builders.edgeless n) ~inputs ()

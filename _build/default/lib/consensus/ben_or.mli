@@ -1,0 +1,20 @@
+(** Pure message-passing Ben-Or — the baseline HBO is measured against.
+
+    This is exactly {!Hbo} run on the edgeless shared-memory graph with
+    [Direct] (identity) consensus objects: every neighborhood is the
+    singleton {p}, each message represents only its sender, and no shared
+    memory is touched — i.e. Ben-Or's 1983 algorithm.  Tolerates
+    f < n/2 crashes; with more, waits forever. *)
+
+(** Same semantics as {!Hbo.run} with the graph and impl fixed. *)
+val run :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?crashes:(int * int) list ->
+  ?sched:Mm_sim.Sched.t ->
+  ?link:Mm_net.Network.kind ->
+  ?delay:Mm_net.Network.delay ->
+  n:int ->
+  inputs:int array ->
+  unit ->
+  Hbo.outcome

@@ -1,0 +1,94 @@
+module Id = Mm_core.Id
+module Mem = Mm_mem.Mem
+module Proc = Mm_sim.Proc
+
+type 'a t = {
+  name : string;
+  owner : Id.t;
+  members : Id.t list;
+  store : Mem.store;
+  (* One write-once decision register per participant (SWMR): a process
+     that commits publishes its decision so later arrivals return fast
+     and, crucially, so do participants whose conciliator keeps missing. *)
+  decisions : 'a option Mem.reg array;
+  (* AC_r, materialized on demand — the paper's infinite object arrays. *)
+  rounds : (int, 'a Adopt_commit.t) Hashtbl.t;
+}
+
+let create store ~name ~owner ~participants =
+  if participants = [] then invalid_arg "Rand_consensus.create: no participants";
+  if not (List.exists (Id.equal owner) participants) then
+    invalid_arg "Rand_consensus.create: owner must participate";
+  let members = List.sort_uniq Id.compare participants in
+  let shared_with = List.filter (fun p -> not (Id.equal p owner)) members in
+  let decisions =
+    Array.init (List.length members) (fun i ->
+        Mem.alloc store
+          ~name:(Printf.sprintf "%s.dec[%d]" name i)
+          ~owner ~shared_with None)
+  in
+  { name; owner; members; store; decisions; rounds = Hashtbl.create 4 }
+
+let participants t = t.members
+let rounds_used t = Hashtbl.length t.rounds
+
+(* Materializing a round's registers is not a process step: conceptually
+   the whole array pre-exists (paper: "∀i ∈ {1, 2, ...}"); we just avoid
+   allocating rounds nobody reaches. *)
+let round_object t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some ac -> ac
+  | None ->
+    let ac =
+      Adopt_commit.create t.store
+        ~name:(Printf.sprintf "%s.ac[%d]" t.name r)
+        ~owner:t.owner ~participants:t.members
+    in
+    Hashtbl.add t.rounds r ac;
+    ac
+
+let index_of t me =
+  let rec find i = function
+    | [] -> invalid_arg "Rand_consensus.propose: caller is not a participant"
+    | p :: rest -> if Id.equal p me then i else find (i + 1) rest
+  in
+  find 0 t.members
+
+let propose t v =
+  let me = Proc.self () in
+  let my_ix = index_of t me in
+  let k = Array.length t.decisions in
+  let decided_value () =
+    let rec scan j =
+      if j >= k then None
+      else
+        match Proc.read t.decisions.(j) with
+        | Some w -> Some w
+        | None -> scan (j + 1)
+    in
+    scan 0
+  in
+  let rec round r prefer =
+    match decided_value () with
+    | Some w -> w
+    | None -> (
+      let ac = round_object t r in
+      let { Adopt_commit.outcome; seen } = Adopt_commit.run ac prefer in
+      match outcome with
+      | Adopt_commit.Commit w ->
+        Proc.write t.decisions.(my_ix) (Some w);
+        w
+      | Adopt_commit.Adopt w -> round (r + 1) w
+      | Adopt_commit.Free w ->
+        (* Conciliator: randomize among the live candidates.  When all
+           coins land on the same value, the next round commits. *)
+        let next =
+          match seen with
+          | [] | [ _ ] -> w
+          | candidates ->
+            let i = Proc.rand_int (List.length candidates) in
+            List.nth candidates i
+        in
+        round (r + 1) next)
+  in
+  round 1 v

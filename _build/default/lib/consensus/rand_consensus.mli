@@ -1,0 +1,43 @@
+(** Wait-free randomized consensus from read/write registers.
+
+    This is the consensus-object implementation the HBO algorithm plugs
+    in for RVals[q, k] and PVals[q, k] (paper §4.1 cites [10, 12] — the
+    Aspnes–Herlihy line of register-based randomized consensus).  The
+    construction is the classic round structure:
+
+      round r: adopt-commit AC_r, then a local-coin conciliator
+
+    - safety (agreement + validity) holds in every run, by adopt-commit
+      coherence plus a write-once decision register per participant;
+    - termination holds with probability 1 against the oblivious
+      adversaries the simulator provides (local coins do not guarantee
+      polynomial termination against a content-adaptive strong adversary;
+      the paper's references use a weak shared coin for that — the
+      interface is identical, so the substitution preserves HBO's
+      behaviour; see DESIGN.md).
+
+    Registers are hosted at the object's owner, so in HBO an object for
+    process q lives in q's memory and is reachable by exactly
+    {q} ∪ N(q), matching Figure 2's access annotation. *)
+
+type 'a t
+
+(** [create store ~name ~owner ~participants] allocates the decision
+    registers now and the per-round adopt-commit objects lazily (the
+    paper's unbounded object arrays). *)
+val create :
+  Mm_mem.Mem.store ->
+  name:string ->
+  owner:Mm_core.Id.t ->
+  participants:Mm_core.Id.t list ->
+  'a t
+
+val participants : 'a t -> Mm_core.Id.t list
+
+(** Rounds the object has materialized so far (for tests/benches). *)
+val rounds_used : 'a t -> int
+
+(** [propose t v] runs consensus for the calling process and returns the
+    decided value.  Must be called from process context by a
+    participant. *)
+val propose : 'a t -> 'a -> 'a

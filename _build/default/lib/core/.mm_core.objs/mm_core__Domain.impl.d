@@ -1,0 +1,1 @@
+lib/core/domain.ml: Array Format Id List Mm_graph String

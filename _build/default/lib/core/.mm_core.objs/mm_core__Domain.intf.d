@@ -1,0 +1,1 @@
+lib/core/domain.mli: Format Id Mm_graph

@@ -1,0 +1,54 @@
+type t = {
+  n : int;
+  member_sets : Id.Set.t list;
+  host : Id.t list array option; (* S_p per process, for uniform domains *)
+}
+
+let of_sets n sets =
+  if n < 0 then invalid_arg "Domain.of_sets: negative order";
+  let build set =
+    match set with
+    | [] -> invalid_arg "Domain.of_sets: empty member set"
+    | _ ->
+      List.fold_left
+        (fun acc i ->
+          if i < 0 || i >= n then invalid_arg "Domain.of_sets: id out of range";
+          Id.Set.add (Id.of_int i) acc)
+        Id.Set.empty set
+  in
+  { n; member_sets = List.map build sets; host = None }
+
+let uniform_of_graph g =
+  let n = Mm_graph.Graph.order g in
+  let host =
+    Array.init n (fun p ->
+        List.map Id.of_int (Mm_graph.Graph.closed_neighborhood g p))
+  in
+  let member_sets =
+    Array.to_list (Array.map (fun ids -> Id.Set.of_list ids) host)
+  in
+  { n; member_sets; host = Some host }
+
+let full n = uniform_of_graph (Mm_graph.Builders.complete n)
+let isolated n = uniform_of_graph (Mm_graph.Builders.edgeless n)
+let order t = t.n
+let sets t = List.map Id.Set.elements t.member_sets
+
+let can_share t ids =
+  let query = Id.Set.of_list ids in
+  List.exists (fun s -> Id.Set.subset query s) t.member_sets
+
+let set_of t p =
+  match t.host with
+  | None -> raise Not_found
+  | Some host -> host.(Id.to_int p)
+
+let pp fmt t =
+  let pp_set fmt s =
+    Format.fprintf fmt "{%s}"
+      (String.concat ","
+         (List.map (fun i -> string_of_int (Id.to_int i)) (Id.Set.elements s)))
+  in
+  Format.fprintf fmt "S = {%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_set)
+    t.member_sets

@@ -1,0 +1,14 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Id.of_int: negative id";
+  i
+
+let to_int i = i
+let all n = List.init n of_int
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt i = Format.fprintf fmt "p%d" i
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

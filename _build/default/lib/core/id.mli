@@ -1,0 +1,24 @@
+(** Process identifiers.
+
+    Processes are Π = {0, ..., n-1} as in paper §3.  Ids are plain
+    integers wrapped behind this interface so that the rest of the code
+    cannot confuse them with counts or indices by accident in signatures. *)
+
+type t = private int
+
+(** [of_int i] wraps a non-negative integer id.
+    Raises [Invalid_argument] on negatives. *)
+val of_int : int -> t
+
+(** [to_int id] unwraps. *)
+val to_int : t -> int
+
+(** [all n] is [0; ...; n-1]. *)
+val all : int -> t list
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

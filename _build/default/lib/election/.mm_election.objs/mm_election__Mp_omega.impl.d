@@ -1,0 +1,1 @@
+lib/election/mp_omega.ml: Array List Mm_core Mm_net Mm_sim

@@ -1,0 +1,1 @@
+lib/election/mp_omega.mli: Mm_net Mm_sim

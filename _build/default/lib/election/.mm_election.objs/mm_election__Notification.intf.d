@@ -1,0 +1,1 @@
+lib/election/notification.mli: Mm_core Mm_mem Mm_net

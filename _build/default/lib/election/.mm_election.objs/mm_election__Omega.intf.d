@@ -1,0 +1,1 @@
+lib/election/omega.mli: Mm_mem Mm_net Mm_sim

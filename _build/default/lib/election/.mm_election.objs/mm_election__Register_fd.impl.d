@@ -1,0 +1,1 @@
+lib/election/register_fd.ml: Array List Mm_core Mm_mem Mm_sim Printf

@@ -1,0 +1,1 @@
+lib/election/register_fd.mli: Mm_mem

@@ -1,0 +1,80 @@
+module Id = Mm_core.Id
+module Mem = Mm_mem.Mem
+module Proc = Mm_sim.Proc
+
+type Mm_net.Message.payload += Notify_msg
+
+type t = {
+  notify : Id.t -> unit;
+  poll : unit -> Id.t list;
+  on_message : Id.t -> Mm_net.Message.payload -> bool;
+}
+
+let reliable ~me:_ =
+  let pending = ref Id.Set.empty in
+  {
+    notify = (fun q -> Proc.send q Notify_msg);
+    poll =
+      (fun () ->
+        let notifiers = Id.Set.elements !pending in
+        pending := Id.Set.empty;
+        notifiers);
+    on_message =
+      (fun src payload ->
+        match payload with
+        | Notify_msg ->
+          pending := Id.Set.add src !pending;
+          true
+        | _ -> false);
+  }
+
+type lossy_registers = {
+  notifications : bool Mem.reg array;      (* NOTIFICATIONS[p], owner p *)
+  notifies : bool Mem.reg array array;     (* NOTIFIES[p][q], owner p *)
+}
+
+let alloc_lossy store ~n =
+  let everyone_but p =
+    List.filter (fun q -> not (Id.equal q p)) (Id.all n)
+  in
+  let notifications =
+    Array.init n (fun p ->
+        let owner = Id.of_int p in
+        Mem.alloc store
+          ~name:(Printf.sprintf "NOTIFICATIONS[%d]" p)
+          ~owner ~shared_with:(everyone_but owner) false)
+  in
+  let notifies =
+    Array.init n (fun p ->
+        let owner = Id.of_int p in
+        Array.init n (fun q ->
+            Mem.alloc store
+              ~name:(Printf.sprintf "NOTIFIES[%d][%d]" p q)
+              ~owner ~shared_with:(everyone_but owner) false))
+  in
+  { notifications; notifies }
+
+let lossy regs ~me =
+  let mi = Id.to_int me in
+  {
+    notify =
+      (fun q ->
+        let qi = Id.to_int q in
+        Proc.write regs.notifies.(qi).(mi) true;
+        Proc.write regs.notifications.(qi) true);
+    poll =
+      (fun () ->
+        if not (Proc.read regs.notifications.(mi)) then []
+        else begin
+          Proc.write regs.notifications.(mi) false;
+          let notifiers = ref [] in
+          for q = Array.length regs.notifies.(mi) - 1 downto 0 do
+            if q <> mi && Proc.read regs.notifies.(mi).(q) then begin
+              Proc.write regs.notifies.(mi).(q) false;
+              notifiers := Id.of_int q :: !notifiers
+            end
+          done;
+          !notifiers
+        end);
+    on_message = (fun _ _ -> false);
+  }

@@ -1,0 +1,1 @@
+lib/graph/builders.ml: Array Graph Hashtbl List Mm_rng

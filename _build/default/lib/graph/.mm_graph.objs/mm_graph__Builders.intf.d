@@ -1,0 +1,1 @@
+lib/graph/builders.mli: Graph Mm_rng

@@ -1,0 +1,1 @@
+lib/graph/expansion.ml: Array Float Graph List Mm_rng Option Queue

@@ -1,0 +1,1 @@
+lib/graph/expansion.mli: Graph Mm_rng

@@ -1,0 +1,1 @@
+lib/graph/sm_cut.ml: Array Format Graph List Queue String

@@ -1,0 +1,1 @@
+lib/graph/sm_cut.mli: Format Graph

@@ -1,0 +1,158 @@
+let edgeless n = Graph.create n []
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let ring n =
+  if n < 3 then invalid_arg "Builders.ring: need n >= 3";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Graph.create n edges
+
+let path n =
+  let edges = if n <= 1 then [] else List.init (n - 1) (fun i -> (i, i + 1)) in
+  Graph.create n edges
+
+let star n =
+  let edges = if n <= 1 then [] else List.init (n - 1) (fun i -> (0, i + 1)) in
+  Graph.create n edges
+
+let torus ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.torus: empty dimension";
+  let n = rows * cols in
+  let id r c = (r mod rows) * cols + (c mod cols) in
+  let edges = ref [] in
+  let add u v = if u <> v then edges := (min u v, max u v) :: !edges in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      add (id r c) (id r (c + 1));
+      add (id r c) (id (r + 1) c)
+    done
+  done;
+  Graph.create n (List.sort_uniq compare !edges)
+
+let hypercube dim =
+  if dim < 0 then invalid_arg "Builders.hypercube: negative dimension";
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let w = v lxor (1 lsl b) in
+      if v < w then edges := (v, w) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let random_regular rng ~n ~d =
+  if d >= n then invalid_arg "Builders.random_regular: d >= n";
+  if d < 0 then invalid_arg "Builders.random_regular: negative degree";
+  if n * d mod 2 <> 0 then invalid_arg "Builders.random_regular: n*d odd";
+  (* Configuration model: pair up d stubs per vertex; retry on self-loops or
+     multi-edges.  For the small d and n we use, acceptance is fast. *)
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let rec attempt tries =
+    if tries > 10_000 then
+      failwith "Builders.random_regular: too many rejections"
+    else begin
+      Mm_rng.Rng.shuffle_in_place rng stubs;
+      let seen = Hashtbl.create (n * d) in
+      let ok = ref true in
+      let edges = ref [] in
+      let i = ref 0 in
+      while !ok && !i < n * d do
+        let u = stubs.(!i) and v = stubs.(!i + 1) in
+        let key = (min u v, max u v) in
+        if u = v || Hashtbl.mem seen key then ok := false
+        else begin
+          Hashtbl.add seen key ();
+          edges := key :: !edges
+        end;
+        i := !i + 2
+      done;
+      if !ok then Graph.create n !edges else attempt (tries + 1)
+    end
+  in
+  if d = 0 then edgeless n else attempt 0
+
+let margulis ~m =
+  if m < 2 then invalid_arg "Builders.margulis: need m >= 2";
+  let n = m * m in
+  let id x y = (((x mod m) + m) mod m * m) + (((y mod m) + m) mod m) in
+  let edges = Hashtbl.create (n * 8) in
+  for x = 0 to m - 1 do
+    for y = 0 to m - 1 do
+      let v = id x y in
+      let nbrs =
+        [
+          id (x + (2 * y)) y;
+          id (x - (2 * y)) y;
+          id (x + (2 * y) + 1) y;
+          id (x - (2 * y) - 1) y;
+          id x (y + (2 * x));
+          id x (y - (2 * x));
+          id x (y + (2 * x) + 1);
+          id x (y - (2 * x) - 1);
+        ]
+      in
+      List.iter
+        (fun w ->
+          if v <> w then Hashtbl.replace edges (min v w, max v w) ())
+        nbrs
+    done
+  done;
+  Graph.create n (Hashtbl.fold (fun e () acc -> e :: acc) edges [])
+
+let clique_edges ~offset ~k =
+  let edges = ref [] in
+  for u = 0 to k - 1 do
+    for v = u + 1 to k - 1 do
+      edges := (offset + u, offset + v) :: !edges
+    done
+  done;
+  !edges
+
+let barbell ~k ~bridge =
+  if k < 1 then invalid_arg "Builders.barbell: need k >= 1";
+  if bridge < 0 then invalid_arg "Builders.barbell: negative bridge";
+  let n = (2 * k) + bridge in
+  let left = clique_edges ~offset:0 ~k in
+  let right = clique_edges ~offset:(k + bridge) ~k in
+  (* Chain: last left vertex - bridge vertices - first right vertex. *)
+  let chain =
+    List.init (bridge + 1) (fun i -> (k - 1 + i, k + i))
+  in
+  Graph.create n (left @ right @ chain)
+
+let ring_of_cliques ~cliques ~k =
+  if cliques < 1 || k < 1 then invalid_arg "Builders.ring_of_cliques";
+  let n = cliques * k in
+  let edges = ref [] in
+  for c = 0 to cliques - 1 do
+    edges := clique_edges ~offset:(c * k) ~k @ !edges
+  done;
+  if cliques >= 2 then
+    for c = 0 to cliques - 1 do
+      (* Link the last vertex of clique c to the first of clique c+1; skip
+         the wrap-around edge when there are exactly two cliques and k = 1,
+         which would duplicate the forward edge. *)
+      let u = (c * k) + (k - 1) and v = ((c + 1) mod cliques) * k in
+      if u <> v then begin
+        let key = (min u v, max u v) in
+        if not (List.mem key !edges) then edges := key :: !edges
+      end
+    done;
+  Graph.create n !edges
+
+let disjoint_cliques ~cliques ~k =
+  if cliques < 1 || k < 1 then invalid_arg "Builders.disjoint_cliques";
+  let n = cliques * k in
+  let edges = ref [] in
+  for c = 0 to cliques - 1 do
+    edges := clique_edges ~offset:(c * k) ~k @ !edges
+  done;
+  Graph.create n !edges

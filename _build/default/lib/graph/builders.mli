@@ -1,0 +1,55 @@
+(** Constructors for the shared-memory graph families used in the
+    experiments: from the edgeless graph (pure message passing) through
+    low-degree expanders up to the complete graph (pure shared memory). *)
+
+(** Graph with no edges: degenerates the m&m model to pure message passing. *)
+val edgeless : int -> Graph.t
+
+(** Complete graph K_n: every pair of processes shares memory. *)
+val complete : int -> Graph.t
+
+(** Cycle C_n (requires n >= 3). *)
+val ring : int -> Graph.t
+
+(** Path P_n. *)
+val path : int -> Graph.t
+
+(** Star with center [0]. *)
+val star : int -> Graph.t
+
+(** [torus ~rows ~cols] is the 2D wrap-around grid (degree 4 when both
+    dimensions exceed 2). Requires [rows >= 1] and [cols >= 1]. *)
+val torus : rows:int -> cols:int -> Graph.t
+
+(** [hypercube dim] is the boolean hypercube Q_dim on 2^dim vertices. *)
+val hypercube : int -> Graph.t
+
+(** [random_regular rng ~n ~d] samples a d-regular simple graph with the
+    configuration model and retries until simple; [n * d] must be even and
+    [d < n].  Random regular graphs are expanders with high probability,
+    which is what Theorem 4.3 wants. *)
+val random_regular : Mm_rng.Rng.t -> n:int -> d:int -> Graph.t
+
+(** [margulis ~m] is the Margulis–Gabber–Galil expander on m^2 vertices:
+    vertex (x, y) ∈ Z_m × Z_m is adjacent to (x ± 2y, y), (x ± (2y+1), y),
+    (x, y ± 2x) and (x, y ± (2x+1)), all mod m.  This is the classic
+    *explicit* constant-degree expander family (degree <= 8 after
+    collapsing coincident edges) — the kind of construction the paper's
+    full version points to for scaling Theorem 4.3: constant degree,
+    expansion bounded below uniformly in n. Requires m >= 2. *)
+val margulis : m:int -> Graph.t
+
+(** [barbell ~k ~bridge] joins two cliques K_k by a path of [bridge]
+    intermediate vertices (bridge >= 0; [bridge = 0] joins them by one
+    edge).  Low expansion by construction: the bridge is a small SM-cut,
+    making it the canonical witness for the Theorem 4.4 impossibility. *)
+val barbell : k:int -> bridge:int -> Graph.t
+
+(** [ring_of_cliques ~cliques ~k] arranges [cliques] copies of K_k in a
+    cycle, adjacent cliques linked by one edge — a realistic "rack-scale
+    sharing" topology. Requires [cliques >= 2] (or [1] for a lone clique). *)
+val ring_of_cliques : cliques:int -> k:int -> Graph.t
+
+(** [disjoint_cliques ~cliques ~k] is the disconnected union of cliques:
+    maximal sharing locally, no global connectivity. *)
+val disjoint_cliques : cliques:int -> k:int -> Graph.t

@@ -1,0 +1,111 @@
+type t = {
+  n : int;
+  adj : int list array; (* sorted neighbor lists *)
+  m : int;
+}
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative order";
+  let adj = Array.make (max n 1) [] in
+  let seen = Hashtbl.create 16 in
+  let add_edge (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg
+        (Printf.sprintf "Graph.create: edge (%d,%d) out of range [0,%d)" u v n);
+    if u = v then invalid_arg "Graph.create: self-loop";
+    let key = if u < v then (u, v) else (v, u) in
+    if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
+    Hashtbl.add seen key ();
+    adj.(u) <- v :: adj.(u);
+    adj.(v) <- u :: adj.(v)
+  in
+  List.iter add_edge edge_list;
+  for v = 0 to n - 1 do
+    adj.(v) <- List.sort_uniq compare adj.(v)
+  done;
+  { n; adj; m = Hashtbl.length seen }
+
+let order g = g.n
+let size g = g.m
+
+let neighbors g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.neighbors: vertex out of range";
+  g.adj.(v)
+
+let closed_neighborhood g v = List.sort_uniq compare (v :: neighbors g v)
+
+let mem_edge g u v =
+  u >= 0 && u < g.n && v >= 0 && v < g.n && List.mem v g.adj.(u)
+
+let degree g v = List.length (neighbors g v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    let d = List.length g.adj.(v) in
+    if d > !best then best := d
+  done;
+  !best
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.sort compare !acc
+
+let components g =
+  let seen = Array.make (max g.n 1) false in
+  let comps = ref [] in
+  for start = 0 to g.n - 1 do
+    if not seen.(start) then begin
+      let comp = ref [] in
+      let stack = ref [ start ] in
+      seen.(start) <- true;
+      let rec drain () =
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          comp := v :: !comp;
+          List.iter
+            (fun w ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                stack := w :: !stack
+              end)
+            g.adj.(v);
+          drain ()
+      in
+      drain ();
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected g = g.n <= 1 || List.length (components g) = 1
+
+let vertex_boundary g s =
+  let in_s = Array.make (max g.n 1) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= g.n then
+        invalid_arg "Graph.vertex_boundary: vertex out of range";
+      in_s.(v) <- true)
+    s;
+  let out = ref [] in
+  for v = g.n - 1 downto 0 do
+    if (not in_s.(v)) && List.exists (fun w -> in_s.(w)) g.adj.(v) then
+      out := v :: !out
+  done;
+  !out
+
+let is_regular g =
+  if g.n = 0 then Some 0
+  else begin
+    let d = degree g 0 in
+    let rec check v = v >= g.n || (degree g v = d && check (v + 1)) in
+    if check 1 then Some d else None
+  end
+
+let pp fmt g = Format.fprintf fmt "graph(n=%d, m=%d)" g.n g.m

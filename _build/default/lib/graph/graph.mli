@@ -1,0 +1,54 @@
+(** Undirected simple graphs on vertices [0 .. n-1].
+
+    These model the shared-memory graph G_SM of the m&m model (paper §3):
+    vertices are processes and an edge {p, q} means p and q can share
+    registers.  The representation is immutable after construction. *)
+
+type t
+
+(** [create n edges] builds a graph on [n] vertices from an edge list.
+    Self-loops and duplicate edges are rejected with [Invalid_argument],
+    as are endpoints outside [\[0, n)]. *)
+val create : int -> (int * int) list -> t
+
+(** Number of vertices. *)
+val order : t -> int
+
+(** Number of edges. *)
+val size : t -> int
+
+(** [neighbors g v] is the sorted list of neighbors of [v]. *)
+val neighbors : t -> int -> int list
+
+(** [closed_neighborhood g v] is [v] together with its neighbors, sorted.
+    This is the set S_v of the uniform shared-memory domain. *)
+val closed_neighborhood : t -> int -> int list
+
+(** [mem_edge g u v] tests adjacency (symmetric). *)
+val mem_edge : t -> int -> int -> bool
+
+(** [degree g v] is the number of neighbors of [v]. *)
+val degree : t -> int -> int
+
+(** Maximum degree over all vertices ([0] for the empty graph). *)
+val max_degree : t -> int
+
+(** All edges as pairs [(u, v)] with [u < v], sorted. *)
+val edges : t -> (int * int) list
+
+(** [is_connected g] holds when the graph has one connected component
+    (the empty graph and singletons are connected). *)
+val is_connected : t -> bool
+
+(** Connected components as sorted vertex lists. *)
+val components : t -> int list list
+
+(** [vertex_boundary g s] is the set of vertices outside [s] adjacent to a
+    vertex in [s] — the boundary δS of paper Definition 1, as a sorted list. *)
+val vertex_boundary : t -> int list -> int list
+
+(** [is_regular g] is [Some d] when every vertex has degree [d]. *)
+val is_regular : t -> int option
+
+(** Pretty-printer: ["graph(n=5, m=6)"]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,180 @@
+type t = {
+  b : int list;
+  s : int list;
+  t : int list;
+}
+
+let pp fmt { b; s; t } =
+  let pl fmt xs =
+    Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int xs))
+  in
+  Format.fprintf fmt "SM-cut(B=%a, S=%a, T=%a)" pl b pl s pl t
+
+let check g cut =
+  let n = Graph.order g in
+  let tag = Array.make (max n 1) ' ' in
+  let assign c v =
+    if v < 0 || v >= n || tag.(v) <> ' ' then raise Exit else tag.(v) <- c
+  in
+  match
+    List.iter (assign 'b') cut.b;
+    List.iter (assign 's') cut.s;
+    List.iter (assign 't') cut.t
+  with
+  | exception Exit -> None
+  | () ->
+    if Array.exists (fun c -> c = ' ') (Array.sub tag 0 n) then None
+    else begin
+      (* No S-T edges. *)
+      let st_edge =
+        List.exists
+          (fun s -> List.exists (fun w -> tag.(w) = 't') (Graph.neighbors g s))
+          cut.s
+      in
+      if st_edge then None
+      else begin
+        (* Split B: a boundary vertex adjacent to T cannot be in B1, one
+           adjacent to S cannot be in B2; adjacency to both is fatal.  The
+           per-vertex choices are independent, so greedy is complete.
+           (Edges inside B, including B1-B2 edges, are permitted: the
+           definition only excludes S-T, B1-T and B2-S edges.) *)
+        let b1 = ref [] and b2 = ref [] in
+        let feasible =
+          List.for_all
+            (fun b ->
+              let adj_s = List.exists (fun w -> tag.(w) = 's') (Graph.neighbors g b)
+              and adj_t = List.exists (fun w -> tag.(w) = 't') (Graph.neighbors g b) in
+              match (adj_s, adj_t) with
+              | true, true -> false
+              | _, false ->
+                b1 := b :: !b1;
+                true
+              | false, true ->
+                b2 := b :: !b2;
+                true)
+            cut.b
+        in
+        if feasible then Some (List.rev !b1, List.rev !b2) else None
+      end
+    end
+
+let is_sm_cut g cut = check g cut <> None
+
+(* Both sides must be non-empty: with f >= n the size constraints are
+   vacuous and the "cut" (V, ∅) would qualify, which is meaningless for
+   the partitioning argument. *)
+let violates_theorem g cut ~f =
+  let n = Graph.order g in
+  is_sm_cut g cut
+  && List.length cut.s >= max 1 (n - f)
+  && List.length cut.t >= max 1 (n - f)
+
+(* Canonical construction from a side S: B1 must absorb δS (a neighbor of S
+   can be neither in T nor in B2), B2 must absorb the remaining neighbors
+   of B1 (they cannot be in T), and T takes everything else.  This
+   maximizes |T| for the given S, so enumerating S is a complete search. *)
+let canonical_of_side g side_mask =
+  let n = Graph.order g in
+  let adj =
+    Array.init n (fun v ->
+        List.fold_left (fun m w -> m lor (1 lsl w)) 0 (Graph.neighbors g v))
+  in
+  let nb_of mask =
+    let u = ref 0 in
+    for v = 0 to n - 1 do
+      if mask land (1 lsl v) <> 0 then u := !u lor adj.(v)
+    done;
+    !u land lnot mask
+  in
+  let b1 = nb_of side_mask in
+  let b2 = nb_of (side_mask lor b1) land lnot (side_mask lor b1) in
+  let full = (1 lsl n) - 1 in
+  let t_mask = full land lnot (side_mask lor b1 lor b2) in
+  let to_list mask =
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      if mask land (1 lsl v) <> 0 then acc := v :: !acc
+    done;
+    !acc
+  in
+  { b = to_list (b1 lor b2); s = to_list side_mask; t = to_list t_mask }
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+let bfs_ball_mask g v radius =
+  let n = Graph.order g in
+  let dist = Array.make n (-1) in
+  dist.(v) <- 0;
+  let q = Queue.create () in
+  Queue.add v q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if dist.(u) < radius then
+      List.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(u) + 1;
+            Queue.add w q
+          end)
+        (Graph.neighbors g u)
+  done;
+  let mask = ref 0 and count = ref 0 in
+  for u = 0 to n - 1 do
+    if dist.(u) >= 0 then begin
+      mask := !mask lor (1 lsl u);
+      incr count
+    end
+  done;
+  (!mask, !count)
+
+let find g ~f =
+  let n = Graph.order g in
+  if n = 0 || f < 0 then None
+  else begin
+    let need = max 1 (n - f) in
+    let candidate side_mask =
+      if popcount side_mask >= need then begin
+        let cut = canonical_of_side g side_mask in
+        if List.length cut.t >= need && is_sm_cut g cut then Some cut else None
+      end
+      else None
+    in
+    if n <= 20 then begin
+      (* Exhaustive over all S sides. *)
+      let found = ref None in
+      let mask = ref 1 in
+      while !found = None && !mask < 1 lsl n do
+        found := candidate !mask;
+        incr mask
+      done;
+      !found
+    end
+    else begin
+      (* BFS balls around every vertex as S candidates. *)
+      let found = ref None in
+      let v = ref 0 in
+      while !found = None && !v < n do
+        let radius = ref 0 in
+        let continue = ref true in
+        while !found = None && !continue do
+          let mask, count = bfs_ball_mask g !v !radius in
+          if count >= need then found := candidate mask;
+          if count = n || !radius > n then continue := false;
+          incr radius
+        done;
+        incr v
+      done;
+      !found
+    end
+  end
+
+let min_f_with_cut g =
+  let n = Graph.order g in
+  let rec scan f = if f > n then None else
+      match find g ~f with
+      | Some _ -> Some f
+      | None -> scan (f + 1)
+  in
+  scan 0

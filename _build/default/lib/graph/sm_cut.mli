@@ -1,0 +1,45 @@
+(** SM-cuts (paper §4.3): the structure whose existence makes consensus
+    impossible in the m&m model.
+
+    A triple (B, S, T) of disjoint sets covering V is an SM-cut when B can
+    be split into B1 and B2 such that (B1 ∪ S, B2 ∪ T) partitions V and no
+    edge joins S-T, B1-T, or B2-S.  Crashing B and delaying all messages
+    then isolates S from T: neither messages (delayed) nor registers (no
+    shared neighborhood crosses the cut) connect them, so by the
+    partitioning argument consensus cannot be solved when both |S| >= n-f
+    and |T| >= n-f (Theorem 4.4). *)
+
+type t = {
+  b : int list;  (** boundary vertices (crashed by the adversary) *)
+  s : int list;  (** one side *)
+  t : int list;  (** other side *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** [check g cut] validates the SM-cut conditions and returns the witness
+    split [(b1, b2)] of [cut.b], or [None] if the triple is not an SM-cut
+    (not a partition of V, an S-T edge exists, or no feasible split). *)
+val check : Graph.t -> t -> (int list * int list) option
+
+(** [is_sm_cut g cut] is [check g cut <> None]. *)
+val is_sm_cut : Graph.t -> t -> bool
+
+(** [violates_theorem g cut ~f] holds when [cut] is an SM-cut with
+    |S| >= n-f and |T| >= n-f — i.e. consensus with up to [f] crashes is
+    impossible on [g] by Theorem 4.4.  Both sides must additionally be
+    non-empty (with f >= n the size constraints are vacuous and a
+    degenerate (V, ∅) split would otherwise qualify). *)
+val violates_theorem : Graph.t -> t -> f:int -> bool
+
+(** [find g ~f] searches for an SM-cut witnessing impossibility for [f]
+    crashes.  Exact (exhaustive over S sides) for [Graph.order g <= 14];
+    for larger graphs it grows BFS balls S, takes B1 = δS and
+    B2 = δ(S ∪ B1), and checks the size constraints.  [None] means the
+    search found nothing (for large graphs this is not a proof of
+    absence). *)
+val find : Graph.t -> f:int -> t option
+
+(** [min_f_with_cut g] is the smallest [f] for which [find] produces a
+    witness, or [None] if none exists up to [f = n]. *)
+val min_f_with_cut : Graph.t -> int option

@@ -1,0 +1,1 @@
+lib/mem/mem.ml: Array Format List Mm_core Printf

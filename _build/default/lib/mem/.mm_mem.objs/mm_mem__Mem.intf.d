@@ -1,0 +1,1 @@
+lib/mem/mem.mli: Format Mm_core

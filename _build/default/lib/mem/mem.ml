@@ -1,0 +1,156 @@
+module Id = Mm_core.Id
+module Domain_ = Mm_core.Domain
+
+type counters = {
+  reads_local : int;
+  reads_remote : int;
+  writes_local : int;
+  writes_remote : int;
+}
+
+let zero_counters =
+  { reads_local = 0; reads_remote = 0; writes_local = 0; writes_remote = 0 }
+
+let add_counters a b =
+  {
+    reads_local = a.reads_local + b.reads_local;
+    reads_remote = a.reads_remote + b.reads_remote;
+    writes_local = a.writes_local + b.writes_local;
+    writes_remote = a.writes_remote + b.writes_remote;
+  }
+
+let sub_counters a b =
+  {
+    reads_local = a.reads_local - b.reads_local;
+    reads_remote = a.reads_remote - b.reads_remote;
+    writes_local = a.writes_local - b.writes_local;
+    writes_remote = a.writes_remote - b.writes_remote;
+  }
+
+let total_ops c =
+  c.reads_local + c.reads_remote + c.writes_local + c.writes_remote
+
+let pp_counters fmt c =
+  Format.fprintf fmt "rl=%d rr=%d wl=%d wr=%d" c.reads_local c.reads_remote
+    c.writes_local c.writes_remote
+
+(* Mutable per-process tallies, shared by every register of a store. *)
+type tallies = {
+  mutable t_reads_local : int;
+  mutable t_reads_remote : int;
+  mutable t_writes_local : int;
+  mutable t_writes_remote : int;
+}
+
+type store = {
+  dom : Domain_.t;
+  per_proc : tallies array;
+  mutable regs : int;
+  failed_hosts : bool array;
+  mutable dropped : int;
+}
+
+type 'a reg = {
+  reg_name : string;
+  reg_owner : Id.t;
+  allowed : bool array;
+  member_list : Id.t list;
+  home : store;
+  tally : tallies array;
+  mutable value : 'a;
+}
+
+exception Access_violation of { reg : string; by : Id.t }
+
+let create dom =
+  let n = Domain_.order dom in
+  {
+    dom;
+    per_proc =
+      Array.init (max n 1) (fun _ ->
+          {
+            t_reads_local = 0;
+            t_reads_remote = 0;
+            t_writes_local = 0;
+            t_writes_remote = 0;
+          });
+    regs = 0;
+    failed_hosts = Array.make (max n 1) false;
+    dropped = 0;
+  }
+
+let fail_host_memory s p = s.failed_hosts.(Id.to_int p) <- true
+let host_memory_failed s p = s.failed_hosts.(Id.to_int p)
+let dropped_writes s = s.dropped
+
+let domain s = s.dom
+
+let alloc s ~name ~owner ~shared_with init =
+  let members = List.sort_uniq Id.compare (owner :: shared_with) in
+  if not (Domain_.can_share s.dom members) then
+    invalid_arg
+      (Printf.sprintf
+         "Mem.alloc %S: sharing set not permitted by the shared-memory domain"
+         name);
+  let n = Domain_.order s.dom in
+  let allowed = Array.make n false in
+  List.iter (fun p -> allowed.(Id.to_int p) <- true) members;
+  s.regs <- s.regs + 1;
+  {
+    reg_name = name;
+    reg_owner = owner;
+    allowed;
+    member_list = members;
+    home = s;
+    tally = s.per_proc;
+    value = init;
+  }
+
+let check r by =
+  let i = Id.to_int by in
+  if i >= Array.length r.allowed || not r.allowed.(i) then
+    raise (Access_violation { reg = r.reg_name; by })
+
+let read r ~by =
+  check r by;
+  let t = r.tally.(Id.to_int by) in
+  if Id.equal by r.reg_owner then t.t_reads_local <- t.t_reads_local + 1
+  else t.t_reads_remote <- t.t_reads_remote + 1;
+  r.value
+
+let write r ~by v =
+  check r by;
+  let t = r.tally.(Id.to_int by) in
+  if Id.equal by r.reg_owner then t.t_writes_local <- t.t_writes_local + 1
+  else t.t_writes_remote <- t.t_writes_remote + 1;
+  (* Omission-faulty host memory: the write op completes but the stored
+     value never changes. *)
+  if r.home.failed_hosts.(Id.to_int r.reg_owner) then
+    r.home.dropped <- r.home.dropped + 1
+  else r.value <- v
+
+let peek r = r.value
+let name r = r.reg_name
+let owner r = r.reg_owner
+let members r = r.member_list
+let reg_count s = s.regs
+
+let counters_of_tally t =
+  {
+    reads_local = t.t_reads_local;
+    reads_remote = t.t_reads_remote;
+    writes_local = t.t_writes_local;
+    writes_remote = t.t_writes_remote;
+  }
+
+let counters_of s p = counters_of_tally s.per_proc.(Id.to_int p)
+
+let total_counters s =
+  Array.fold_left
+    (fun acc t -> add_counters acc (counters_of_tally t))
+    zero_counters s.per_proc
+
+let snapshot s = Array.map counters_of_tally s.per_proc
+
+let diff_since s snap =
+  Array.mapi (fun i c0 -> sub_counters (counters_of_tally s.per_proc.(i)) c0) snap

@@ -1,0 +1,97 @@
+(** The shared memory of an m&m system: atomic registers under a
+    shared-memory domain.
+
+    A store enforces the domain discipline of paper §3: allocating a
+    register shared among a set of processes is only permitted when some
+    S ∈ S contains that set, and every access is checked against the
+    register's member set ([Access_violation] otherwise).  Registers are
+    atomic — in the simulator each read or write is one indivisible
+    scheduler step — and they survive process crashes, as the paper
+    assumes of RDMA-registered memory.
+
+    Following §5.3 (locality), each register has an owner — the process
+    on whose host it physically lives — and the store counts local
+    accesses (by the owner) separately from remote ones, per process. *)
+
+type store
+
+(** An atomic read/write register holding values of type ['a]. *)
+type 'a reg
+
+exception Access_violation of { reg : string; by : Mm_core.Id.t }
+
+(** Per-process access counters (local = by the register's owner). *)
+type counters = {
+  reads_local : int;
+  reads_remote : int;
+  writes_local : int;
+  writes_remote : int;
+}
+
+val zero_counters : counters
+val add_counters : counters -> counters -> counters
+val sub_counters : counters -> counters -> counters
+val total_ops : counters -> int
+val pp_counters : Format.formatter -> counters -> unit
+
+(** [create domain] makes an empty store governed by [domain]. *)
+val create : Mm_core.Domain.t -> store
+
+(** Memory failures (paper §6 future work, citing Afek et al. and
+    Jayanti-Chandra-Toueg faulty shared objects): [fail_host_memory
+    store p] makes every register hosted at [p] *omission-faulty* from
+    now on — writes (by anyone) are silently discarded while reads keep
+    returning the last value written before the failure.  This models a
+    host whose memory module wedged read-only: the paper's base model
+    (§3) assumes this never happens; the E14 experiment shows which
+    algorithms tolerate it anyway.  Idempotent. *)
+val fail_host_memory : store -> Mm_core.Id.t -> unit
+
+(** Has this host's memory been failed? *)
+val host_memory_failed : store -> Mm_core.Id.t -> bool
+
+(** Writes dropped because the target register's host memory had failed. *)
+val dropped_writes : store -> int
+
+val domain : store -> Mm_core.Domain.t
+
+(** [alloc store ~name ~owner ~shared_with init] allocates a register
+    hosted at [owner] and accessible by [owner :: shared_with].
+    Raises [Invalid_argument] when the domain forbids that sharing set. *)
+val alloc :
+  store ->
+  name:string ->
+  owner:Mm_core.Id.t ->
+  shared_with:Mm_core.Id.t list ->
+  'a ->
+  'a reg
+
+(** [read reg ~by] returns the current value.
+    Raises [Access_violation] when [by] is not a member. *)
+val read : 'a reg -> by:Mm_core.Id.t -> 'a
+
+(** [write reg ~by v] stores [v].
+    Raises [Access_violation] when [by] is not a member. *)
+val write : 'a reg -> by:Mm_core.Id.t -> 'a -> unit
+
+(** [peek reg] reads without access checks or accounting — for test
+    assertions and trace printers only, never from algorithm code. *)
+val peek : 'a reg -> 'a
+
+val name : 'a reg -> string
+val owner : 'a reg -> Mm_core.Id.t
+val members : 'a reg -> Mm_core.Id.t list
+
+(** Number of registers allocated so far. *)
+val reg_count : store -> int
+
+(** [counters_of store p] is the access counters of process [p]. *)
+val counters_of : store -> Mm_core.Id.t -> counters
+
+(** Sum of all processes' counters. *)
+val total_counters : store -> counters
+
+(** Window accounting for the §5 steady-state measurements: [snapshot]
+    then later [diff_since] gives per-process activity in between. *)
+val snapshot : store -> counters array
+val diff_since : store -> counters array -> counters array

@@ -1,0 +1,1 @@
+lib/mutex/mutex.ml: Array List Mm_core Mm_mem Mm_net Mm_sim Printf

@@ -1,0 +1,1 @@
+lib/mutex/mutex.mli: Mm_mem Mm_sim

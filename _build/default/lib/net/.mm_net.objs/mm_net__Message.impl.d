@@ -1,0 +1,1 @@
+lib/net/message.ml: Format Mm_core

@@ -1,0 +1,1 @@
+lib/net/message.mli: Format Mm_core

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Hashtbl List Message Mm_core Mm_rng Queue

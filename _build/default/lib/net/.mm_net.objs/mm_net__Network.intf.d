@@ -1,0 +1,1 @@
+lib/net/network.mli: Message Mm_core Mm_rng

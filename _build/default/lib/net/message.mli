@@ -1,0 +1,17 @@
+(** Messages carried by the network.
+
+    Payloads form an open (extensible) variant: each algorithm registers
+    its own constructors, so a single simulated network can carry messages
+    from several protocols at once while keeping pattern matching typed. *)
+
+type payload = ..
+
+type t = {
+  src : Mm_core.Id.t;
+  dst : Mm_core.Id.t;
+  payload : payload;
+  sent_at : int;  (** global step at which [send] ran *)
+  uid : int;      (** unique per network, for Integrity accounting *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+module Id = Mm_core.Id
+module Rng = Mm_rng.Rng
+
+type kind =
+  | Reliable
+  | Fair_lossy of float
+
+type delay =
+  | Immediate
+  | Fixed of int
+  | Uniform of int * int
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  in_flight : int;
+}
+
+type in_flight = {
+  msg : Message.t;
+  due : int;
+}
+
+type t = {
+  n : int;
+  net_kind : kind;
+  net_delay : delay;
+  rng : Rng.t;
+  (* One queue per directed link, indexed src * n + dst; [active] tracks
+     the non-empty links so that a tick touches only live traffic. *)
+  queues : in_flight list ref array;
+  active : (int, unit) Hashtbl.t;
+  mailboxes : (Id.t * Message.payload) Queue.t array;
+  mutable block_fn : (now:int -> src:Id.t -> dst:Id.t -> bool) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable next_uid : int;
+}
+
+let validate_delay = function
+  | Immediate -> ()
+  | Fixed d -> if d < 1 then invalid_arg "Network: delay must be >= 1"
+  | Uniform (lo, hi) ->
+    if lo < 1 || hi < lo then invalid_arg "Network: bad uniform delay bounds"
+
+let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
+  if n < 1 then invalid_arg "Network.create: need n >= 1";
+  (match kind with
+  | Reliable -> ()
+  | Fair_lossy p ->
+    if p < 0.0 || p >= 1.0 then
+      invalid_arg "Network.create: drop probability must be in [0, 1)");
+  validate_delay delay;
+  {
+    n;
+    net_kind = kind;
+    net_delay = delay;
+    rng;
+    queues = Array.init (n * n) (fun _ -> ref []);
+    active = Hashtbl.create 64;
+    mailboxes = Array.init n (fun _ -> Queue.create ());
+    block_fn = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    next_uid = 0;
+  }
+
+let order t = t.n
+let kind t = t.net_kind
+
+let draw_delay t =
+  match t.net_delay with
+  | Immediate -> 1
+  | Fixed d -> d
+  | Uniform (lo, hi) -> Rng.int_in_range t.rng ~lo ~hi
+
+let send t ~now ~src ~dst payload =
+  let si = Id.to_int src and di = Id.to_int dst in
+  if si >= t.n || di >= t.n then invalid_arg "Network.send: id out of range";
+  t.sent <- t.sent + 1;
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  if Id.equal src dst then begin
+    (* Local delivery: a process handing itself a message involves no
+       link, hence no loss and no delay. *)
+    Queue.add (src, payload) t.mailboxes.(si);
+    t.delivered <- t.delivered + 1
+  end
+  else begin
+    let drop =
+      match t.net_kind with
+      | Reliable -> false
+      | Fair_lossy p -> Rng.float t.rng < p
+    in
+    if drop then t.dropped <- t.dropped + 1
+    else begin
+      let msg = { Message.src; dst; payload; sent_at = now; uid } in
+      let idx = (si * t.n) + di in
+      let q = t.queues.(idx) in
+      if !q = [] then Hashtbl.replace t.active idx ();
+      q := { msg; due = now + draw_delay t } :: !q
+    end
+  end
+
+let tick t ~now =
+  let live = Hashtbl.fold (fun idx () acc -> idx :: acc) t.active [] in
+  let deliver idx =
+    let si = idx / t.n and di = idx mod t.n in
+    let q = t.queues.(idx) in
+    match !q with
+    | [] -> Hashtbl.remove t.active idx
+    | entries ->
+      let blocked =
+        match t.block_fn with
+        | None -> false
+        | Some f -> f ~now ~src:(Id.of_int si) ~dst:(Id.of_int di)
+      in
+      if not blocked then begin
+        let due, still = List.partition (fun e -> e.due <= now) entries in
+        if due <> [] then begin
+          q := still;
+          if still = [] then Hashtbl.remove t.active idx;
+          (* Deliver in send order within the link (FIFO per link). *)
+          let due =
+            List.sort (fun a b -> compare a.msg.Message.uid b.msg.Message.uid) due
+          in
+          List.iter
+            (fun e ->
+              Queue.add (e.msg.Message.src, e.msg.Message.payload)
+                t.mailboxes.(di);
+              t.delivered <- t.delivered + 1)
+            due
+        end
+      end
+  in
+  List.iter deliver live
+
+let drain t p =
+  let box = t.mailboxes.(Id.to_int p) in
+  let acc = ref [] in
+  while not (Queue.is_empty box) do
+    acc := Queue.pop box :: !acc
+  done;
+  List.rev !acc
+
+let peek_count t p = Queue.length t.mailboxes.(Id.to_int p)
+let set_block_fn t f = t.block_fn <- Some f
+
+let stats t =
+  let in_flight =
+    Array.fold_left (fun acc q -> acc + List.length !q) 0 t.queues
+  in
+  { sent = t.sent; delivered = t.delivered; dropped = t.dropped; in_flight }
+
+let snapshot = stats
+
+let diff_since t (s0 : stats) =
+  let s1 = stats t in
+  {
+    sent = s1.sent - s0.sent;
+    delivered = s1.delivered - s0.delivered;
+    dropped = s1.dropped - s0.dropped;
+    in_flight = s1.in_flight;
+  }

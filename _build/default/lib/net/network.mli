@@ -1,0 +1,70 @@
+(** The fully connected message-passing network of paper §3.
+
+    Every ordered pair of distinct processes has a directed link.  All
+    links satisfy Integrity (no spurious or duplicated messages — enforced
+    by construction and double-checked by uid accounting).  The link kind
+    selects the liveness property:
+
+    - [Reliable]: No-loss — a message sent to a correct process is
+      eventually delivered.
+    - [Fair_lossy p]: each send is independently dropped with probability
+      [p]; a message sent infinitely often is delivered infinitely often.
+
+    Delivery timing is asynchronous: each accepted message gets a delay
+    drawn from the delay policy, and an optional blocking predicate can
+    hold traffic on chosen links for chosen periods (the adversary's
+    message-delaying power).  Blocking never violates No-loss: held
+    messages stay queued and are delivered once unblocked. *)
+
+type kind =
+  | Reliable
+  | Fair_lossy of float  (** drop probability in [0, 1) *)
+
+type delay =
+  | Immediate              (** deliver at the next tick *)
+  | Fixed of int           (** constant delay, >= 1 *)
+  | Uniform of int * int   (** uniform in [lo, hi], 1 <= lo <= hi *)
+
+type stats = {
+  sent : int;       (** send calls accepted from processes *)
+  delivered : int;  (** messages moved into destination mailboxes *)
+  dropped : int;    (** fair-loss drops *)
+  in_flight : int;  (** queued, not yet delivered *)
+}
+
+type t
+
+(** [create ~rng ~n ~kind ()] builds the network for [n] processes.
+    [delay] defaults to [Uniform (1, 4)]. *)
+val create : rng:Mm_rng.Rng.t -> n:int -> kind:kind -> ?delay:delay -> unit -> t
+
+val order : t -> int
+val kind : t -> kind
+
+(** [send t ~now ~src ~dst payload] puts a message on the link
+    [src -> dst].  Self-sends are delivered directly into the sender's
+    mailbox (local delivery — never dropped, no network delay). *)
+val send : t -> now:int -> src:Mm_core.Id.t -> dst:Mm_core.Id.t -> Message.payload -> unit
+
+(** [tick t ~now] delivers every queued message whose delivery time has
+    arrived and whose link is not currently blocked. *)
+val tick : t -> now:int -> unit
+
+(** [drain t p] empties and returns p's mailbox in delivery order as
+    [(src, payload)] pairs. *)
+val drain : t -> Mm_core.Id.t -> (Mm_core.Id.t * Message.payload) list
+
+(** [peek_count t p] is the current mailbox size of [p] (for tests). *)
+val peek_count : t -> Mm_core.Id.t -> int
+
+(** [set_block_fn t f] installs an adversarial link filter: while
+    [f ~now ~src ~dst] is true, messages on that link are held. *)
+val set_block_fn :
+  t -> (now:int -> src:Mm_core.Id.t -> dst:Mm_core.Id.t -> bool) -> unit
+
+val stats : t -> stats
+
+(** Stats over a window: [snapshot] then later [diff_since] gives the
+    traffic in between (used for steady-state measurements in §5). *)
+val snapshot : t -> stats
+val diff_since : t -> stats -> stats

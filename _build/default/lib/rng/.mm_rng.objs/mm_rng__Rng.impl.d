@@ -1,0 +1,1 @@
+lib/rng/rng.ml: Array Int64 List

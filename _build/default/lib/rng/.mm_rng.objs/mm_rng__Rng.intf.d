@@ -1,0 +1,1 @@
+lib/rng/rng.mli:

@@ -1,0 +1,47 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The whole simulator is driven by explicit generator values so that every
+    run is reproducible from a single integer seed.  The core is splitmix64,
+    which is fast, has a 64-bit state, and supports cheap stream splitting:
+    [split t] derives an independent generator, which we use to give the
+    scheduler, each link, and each process its own stream so that adding a
+    consumer does not perturb the draws seen by the others. *)
+
+type t
+
+(** [create seed] makes a fresh generator from an integer seed. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the subsequent output of [t]. *)
+val split : t -> t
+
+(** [bits64 t] returns the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive).
+    Raises [Invalid_argument] if [hi < lo]. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [pick t xs] is a uniformly random element of [xs].
+    Raises [Invalid_argument] on the empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle t xs] is a uniformly random permutation of [xs]. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** [shuffle_in_place t a] permutes the array uniformly at random. *)
+val shuffle_in_place : t -> 'a array -> unit

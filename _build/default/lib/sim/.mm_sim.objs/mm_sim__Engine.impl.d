@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Effect Format List Mm_core Mm_mem Mm_net Mm_rng Option Proc Sched Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Format Mm_core Mm_mem Mm_net Mm_rng Sched Trace

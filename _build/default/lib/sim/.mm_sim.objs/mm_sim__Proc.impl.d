@@ -1,0 +1,1 @@
+lib/sim/proc.ml: Effect List Mm_core Mm_mem Mm_net

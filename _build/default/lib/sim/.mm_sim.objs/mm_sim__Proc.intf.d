@@ -1,0 +1,1 @@
+lib/sim/proc.mli: Effect Mm_core Mm_mem Mm_net

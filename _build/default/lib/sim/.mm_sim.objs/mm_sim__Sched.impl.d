@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Array Hashtbl List Mm_rng

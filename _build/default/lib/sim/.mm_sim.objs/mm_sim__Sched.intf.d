@@ -1,0 +1,1 @@
+lib/sim/sched.mli: Mm_rng

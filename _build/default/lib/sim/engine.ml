@@ -1,0 +1,249 @@
+module Id = Mm_core.Id
+module Rng = Mm_rng.Rng
+module Network = Mm_net.Network
+module Mem = Mm_mem.Mem
+
+type stop_reason =
+  | Stopped
+  | Quiescent
+  | Step_limit
+
+let pp_stop_reason fmt = function
+  | Stopped -> Format.fprintf fmt "stopped"
+  | Quiescent -> Format.fprintf fmt "quiescent"
+  | Step_limit -> Format.fprintf fmt "step-limit"
+
+type status =
+  | Unspawned
+  | Ready
+  | Done
+  | Crashed
+
+(* Result type of one resumption of a process fiber: either the process
+   function returned, or it performed an effect and the engine stashed the
+   continuation for the next time the process is scheduled. *)
+type outcome =
+  | Finished_fiber
+  | Suspended
+
+type proc = {
+  pid : Id.t;
+  mutable pending : (unit -> outcome) option;
+  mutable p_status : status;
+  mutable steps : int;
+  rng : Rng.t;  (* the process's private coin stream *)
+}
+
+type t = {
+  n_procs : int;
+  net : Network.t;
+  mem : Mem.store;
+  dom : Mm_core.Domain.t;
+  sched : Sched.t;
+  sched_rng : Rng.t;
+  seed_rng : Rng.t;  (* parent stream for derive_rng *)
+  procs : proc array;
+  crash_step : int option array;
+  tr : Trace.t option;
+  mutable step : int;
+  mutable coins : int;
+}
+
+let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
+    ~domain ~link ~n () =
+  if n < 1 then invalid_arg "Engine.create: need n >= 1";
+  if Mm_core.Domain.order domain <> n then
+    invalid_arg "Engine.create: domain order does not match n";
+  let root = Rng.create seed in
+  let net_rng = Rng.split root in
+  let sched_rng = Rng.split root in
+  let proc_parent = Rng.split root in
+  let net = Network.create ~rng:net_rng ~n ~kind:link ?delay () in
+  {
+    n_procs = n;
+    net;
+    mem = Mem.create domain;
+    dom = domain;
+    sched = (match sched with Some s -> s | None -> Sched.create Sched.Random);
+    sched_rng;
+    seed_rng = Rng.split root;
+    procs =
+      Array.init n (fun i ->
+          {
+            pid = Id.of_int i;
+            pending = None;
+            p_status = Unspawned;
+            steps = 0;
+            rng = Rng.split proc_parent;
+          });
+    crash_step = Array.make n None;
+    tr = (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None);
+    step = 0;
+    coins = 0;
+  }
+
+let n t = t.n_procs
+let store t = t.mem
+let network t = t.net
+let domain t = t.dom
+let now t = t.step
+let steps_of t p = t.procs.(Id.to_int p).steps
+let coin_flips t = t.coins
+let trace t = t.tr
+let derive_rng t = Rng.split t.seed_rng
+
+let status_of t p = t.procs.(Id.to_int p).p_status
+
+let correct t =
+  List.filter
+    (fun p ->
+      match status_of t p with
+      | Crashed | Done -> false
+      | Ready | Unspawned -> true)
+    (Id.all t.n_procs)
+
+let record t pid op =
+  match t.tr with
+  | None -> ()
+  | Some tr -> Trace.record tr { Trace.step = t.step; pid; op }
+
+(* Install the fiber of a process.  Every effect suspends the fiber and
+   stashes a thunk that will (1) perform the side effect of the requested
+   operation — this is the atomic step — and (2) resume the fiber, which
+   then runs process-local code until its next request. *)
+let spawn t pid main =
+  let p = t.procs.(Id.to_int pid) in
+  (match p.p_status with
+  | Unspawned -> ()
+  | Ready | Done | Crashed -> invalid_arg "Engine.spawn: process already spawned");
+  let open Effect.Deep in
+  let handler =
+    {
+      retc =
+        (fun () ->
+          record t pid Trace.Finished;
+          Finished_fiber);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          let stash (run_op : unit -> a) (op_trace : unit -> Trace.op) =
+            Some
+              (fun (k : (a, outcome) continuation) ->
+                p.pending <-
+                  Some
+                    (fun () ->
+                      let v = run_op () in
+                      record t pid (op_trace ());
+                      continue k v);
+                Suspended)
+          in
+          match eff with
+          | Proc.Yield -> stash (fun () -> ()) (fun () -> Trace.Yielded)
+          | Proc.Self -> stash (fun () -> pid) (fun () -> Trace.Yielded)
+          | Proc.Send (dst, payload) ->
+            stash
+              (fun () -> Network.send t.net ~now:t.step ~src:pid ~dst payload)
+              (fun () -> Trace.Sent dst)
+          | Proc.Receive ->
+            let got = ref 0 in
+            stash
+              (fun () ->
+                let msgs = Network.drain t.net pid in
+                got := List.length msgs;
+                msgs)
+              (fun () -> Trace.Received !got)
+          | Proc.Read_reg r ->
+            stash (fun () -> Mem.read r ~by:pid) (fun () -> Trace.Read (Mem.name r))
+          | Proc.Write_reg (r, v) ->
+            stash
+              (fun () -> Mem.write r ~by:pid v)
+              (fun () -> Trace.Wrote (Mem.name r))
+          | Proc.Coin ->
+            let result = ref false in
+            stash
+              (fun () ->
+                t.coins <- t.coins + 1;
+                let b = Rng.bool p.rng in
+                result := b;
+                b)
+              (fun () -> Trace.Coined !result)
+          | Proc.Rand_int bound ->
+            stash
+              (fun () ->
+                t.coins <- t.coins + 1;
+                Rng.int p.rng bound)
+              (fun () -> Trace.Atomic_op)
+          | Proc.My_steps -> stash (fun () -> p.steps) (fun () -> Trace.Yielded)
+          | Proc.Atomic f -> stash f (fun () -> Trace.Atomic_op)
+          | _ -> None)
+    }
+  in
+  p.p_status <- Ready;
+  p.pending <- Some (fun () -> match_with main () handler)
+
+let crash_at t pid step =
+  if step < 0 then invalid_arg "Engine.crash_at: negative step";
+  t.crash_step.(Id.to_int pid) <- Some step
+
+let crash_now t pid = crash_at t pid t.step
+
+let apply_crashes t =
+  for i = 0 to t.n_procs - 1 do
+    match t.crash_step.(i) with
+    | Some s when s <= t.step ->
+      let p = t.procs.(i) in
+      (match p.p_status with
+      | Ready | Unspawned ->
+        p.p_status <- Crashed;
+        p.pending <- None;
+        Sched.note_crash t.sched ~pid:i;
+        record t p.pid Trace.Crashed
+      | Done | Crashed -> ());
+      t.crash_step.(i) <- None
+    | _ -> ()
+  done
+
+let runnable t =
+  let acc = ref [] in
+  for i = t.n_procs - 1 downto 0 do
+    let p = t.procs.(i) in
+    if p.p_status = Ready && p.pending <> None then acc := i :: !acc
+  done;
+  !acc
+
+let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
+  let deadline = t.step + max_steps in
+  let reason = ref None in
+  while !reason = None do
+    apply_crashes t;
+    if until () then reason := Some Stopped
+    else if t.step >= deadline then reason := Some Step_limit
+    else begin
+      match runnable t with
+      | [] -> reason := Some Quiescent
+      | ready ->
+        let view =
+          {
+            Sched.now = t.step;
+            runnable = ready;
+            steps = (fun i -> t.procs.(i).steps);
+          }
+        in
+        let chosen = Sched.pick t.sched t.sched_rng view in
+        let p = t.procs.(chosen) in
+        let thunk =
+          match p.pending with
+          | Some th -> th
+          | None -> assert false
+        in
+        p.pending <- None;
+        (match thunk () with
+        | Finished_fiber -> p.p_status <- Done
+        | Suspended -> assert (p.pending <> None));
+        p.steps <- p.steps + 1;
+        t.step <- t.step + 1;
+        Sched.note_step t.sched ~pid:chosen ~n:t.n_procs;
+        Network.tick t.net ~now:t.step
+    end
+  done;
+  Option.get !reason

@@ -1,0 +1,86 @@
+(** The m&m simulation engine.
+
+    An engine owns the network, the shared-memory store, the scheduler
+    and the process table.  Processes are spawned as plain functions
+    using the {!Proc} operations; the engine executes them one atomic
+    step at a time under the chosen scheduling policy, injecting crashes
+    and delivering messages between steps.
+
+    Determinism: everything (scheduling, link delays, drops, process
+    coins) is driven by streams split from one seed, so a run is a pure
+    function of its configuration. *)
+
+type t
+
+type stop_reason =
+  | Stopped     (** the [until] predicate became true *)
+  | Quiescent   (** every process finished or crashed *)
+  | Step_limit  (** [max_steps] reached *)
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+(** [create ~domain ~link ~n ()] builds an engine for [n] processes.
+
+    - [seed] drives all randomness (default 0xC0FFEE).
+    - [delay] is the link delay policy (default [Uniform (1, 4)]).
+    - [sched] is the scheduling policy (default seeded [Random]).
+    - [trace_capacity], when positive, enables trace recording of the
+      last that-many steps. *)
+val create :
+  ?seed:int ->
+  ?delay:Mm_net.Network.delay ->
+  ?sched:Sched.t ->
+  ?trace_capacity:int ->
+  domain:Mm_core.Domain.t ->
+  link:Mm_net.Network.kind ->
+  n:int ->
+  unit ->
+  t
+
+val n : t -> int
+val store : t -> Mm_mem.Mem.store
+val network : t -> Mm_net.Network.t
+val domain : t -> Mm_core.Domain.t
+
+(** [spawn t pid main] installs the code of process [pid].
+    Raises [Invalid_argument] if [pid] already has code. *)
+val spawn : t -> Mm_core.Id.t -> (unit -> unit) -> unit
+
+(** [crash_at t pid step] schedules a crash: [pid] executes no step at or
+    after global step [step].  [crash_at t pid 0] crashes it before it
+    takes any step. *)
+val crash_at : t -> Mm_core.Id.t -> int -> unit
+
+(** Crash immediately (at the current step). *)
+val crash_now : t -> Mm_core.Id.t -> unit
+
+type status =
+  | Unspawned
+  | Ready
+  | Done
+  | Crashed
+
+val status_of : t -> Mm_core.Id.t -> status
+
+(** Ids that have neither finished nor crashed (spawned or not). *)
+val correct : t -> Mm_core.Id.t list
+
+(** [run t ()] executes steps until [until] holds (checked between
+    steps), no process is runnable, or [max_steps] (default 1_000_000)
+    elapse.  [run] may be called repeatedly to continue a paused run. *)
+val run : t -> ?max_steps:int -> ?until:(unit -> bool) -> unit -> stop_reason
+
+(** Global step counter. *)
+val now : t -> int
+
+(** Steps executed by one process. *)
+val steps_of : t -> Mm_core.Id.t -> int
+
+(** Total coin flips performed (across [Coin] and [Rand_int]). *)
+val coin_flips : t -> int
+
+val trace : t -> Trace.t option
+
+(** A fresh generator split from the engine's seed, for auxiliary
+    experiment randomness that must not perturb the run's own streams. *)
+val derive_rng : t -> Mm_rng.Rng.t

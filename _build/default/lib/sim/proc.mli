@@ -1,0 +1,66 @@
+(** The process-side API of the simulator.
+
+    A simulated process is an ordinary OCaml function that calls the
+    operations below.  Each operation performs an effect that suspends the
+    process; the engine makes the operation happen atomically as one
+    scheduler step and resumes the process.  This gives exactly the step
+    semantics of paper §3: a step is one message send, one message
+    receive (mailbox drain), one register read, one register write, one
+    coin flip, or one no-op yield — and steps of different processes
+    interleave only at these points.
+
+    These functions must only be called from code running under
+    {!Engine.run}; calling them elsewhere raises [Effect.Unhandled]. *)
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Self : Mm_core.Id.t Effect.t
+  | Send : Mm_core.Id.t * Mm_net.Message.payload -> unit Effect.t
+  | Receive : (Mm_core.Id.t * Mm_net.Message.payload) list Effect.t
+  | Read_reg : 'a Mm_mem.Mem.reg -> 'a Effect.t
+  | Write_reg : 'a Mm_mem.Mem.reg * 'a -> unit Effect.t
+  | Coin : bool Effect.t
+  | Rand_int : int -> int Effect.t
+  | My_steps : int Effect.t
+  | Atomic : (unit -> 'b) -> 'b Effect.t
+
+(** Consume a step doing nothing (models local computation / waiting). *)
+val yield : unit -> unit
+
+(** The id of the running process. *)
+val self : unit -> Mm_core.Id.t
+
+(** [send dst payload] puts a message on the link to [dst]. One step. *)
+val send : Mm_core.Id.t -> Mm_net.Message.payload -> unit
+
+(** [send_all ~n payload] sends to every process in Π including self —
+    the "send to all" of Ben-Or.  n steps. *)
+val send_all : n:int -> Mm_net.Message.payload -> unit
+
+(** Drain the mailbox: all messages delivered since the last receive, in
+    delivery order, with their senders. One step. *)
+val receive : unit -> (Mm_core.Id.t * Mm_net.Message.payload) list
+
+(** Atomic register read. One step. *)
+val read : 'a Mm_mem.Mem.reg -> 'a
+
+(** Atomic register write. One step. *)
+val write : 'a Mm_mem.Mem.reg -> 'a -> unit
+
+(** Fair local coin from the process's deterministic stream. One step. *)
+val coin : unit -> bool
+
+(** [rand_int bound] is uniform in [\[0, bound)]. One step. *)
+val rand_int : int -> int
+
+(** Number of steps this process has executed so far. *)
+val my_steps : unit -> int
+
+(** [atomic f] runs [f] as one indivisible step.
+
+    This models a stronger hardware primitive than read/write registers
+    (e.g. RDMA fetch-and-add or compare-and-swap).  The read/write-only
+    algorithms of the paper never use it; it exists for the trusted
+    consensus-object variant and the ticket lock, and uses of it are
+    called out in the modules concerned. *)
+val atomic : (unit -> 'b) -> 'b

@@ -1,0 +1,99 @@
+type view = {
+  now : int;
+  runnable : int list;
+  steps : int -> int;
+}
+
+type base =
+  | Round_robin
+  | Random
+  | Custom of (view -> int)
+
+type t = {
+  base : base;
+  mutable timely_list : (int * int) list;
+  (* For each timely p: counts of steps each other process has taken since
+     p's last step.  Allocated lazily once the system size is known. *)
+  counters : (int, int array) Hashtbl.t;
+  mutable rr_cursor : int;
+}
+
+let create ?(timely = []) base =
+  List.iter
+    (fun (pid, i) ->
+      if pid < 0 then invalid_arg "Sched.create: negative pid";
+      if i < 2 then invalid_arg "Sched.create: timeliness bound must be >= 2")
+    timely;
+  { base; timely_list = timely; counters = Hashtbl.create 4; rr_cursor = -1 }
+
+let timely t = t.timely_list
+
+let ensure_counter t pid n =
+  match Hashtbl.find_opt t.counters pid with
+  | Some c -> c
+  | None ->
+    let c = Array.make n 0 in
+    Hashtbl.add t.counters pid c;
+    c
+
+let note_step t ~pid ~n =
+  List.iter
+    (fun (p, _i) ->
+      if p < n then begin
+        let c = ensure_counter t p n in
+        if p = pid then Array.fill c 0 n 0
+        else if pid < n then c.(pid) <- c.(pid) + 1
+      end)
+    t.timely_list
+
+let note_crash t ~pid =
+  t.timely_list <- List.filter (fun (p, _) -> p <> pid) t.timely_list;
+  Hashtbl.remove t.counters pid
+
+let most_urgent t view =
+  (* A timely p becomes urgent when some other process has taken i-1 steps
+     since p last ran: running p now keeps every window of i steps of any
+     q containing a step of p. *)
+  let urgency (p, i) =
+    if not (List.mem p view.runnable) then None
+    else
+      match Hashtbl.find_opt t.counters p with
+      | None -> None
+      | Some c ->
+        let worst = Array.fold_left max 0 c in
+        if worst >= i - 1 then Some (p, worst - i) else None
+  in
+  let candidates = List.filter_map urgency t.timely_list in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let best =
+      List.fold_left
+        (fun (bp, bu) (p, u) -> if u > bu then (p, u) else (bp, bu))
+        (List.hd candidates) (List.tl candidates)
+    in
+    Some (fst best)
+
+let base_pick t rng view =
+  match t.base with
+  | Round_robin ->
+    let after = List.filter (fun p -> p > t.rr_cursor) view.runnable in
+    let chosen =
+      match after with
+      | p :: _ -> p
+      | [] -> List.hd view.runnable
+    in
+    t.rr_cursor <- chosen;
+    chosen
+  | Random -> Mm_rng.Rng.pick rng view.runnable
+  | Custom f ->
+    let p = f view in
+    if not (List.mem p view.runnable) then
+      invalid_arg "Sched.pick: custom policy chose a non-runnable process";
+    p
+
+let pick t rng view =
+  if view.runnable = [] then invalid_arg "Sched.pick: no runnable process";
+  match most_urgent t view with
+  | Some p -> p
+  | None -> base_pick t rng view

@@ -1,0 +1,47 @@
+(** Scheduling policies.
+
+    The scheduler decides which runnable process executes the next step.
+    The base policies model different adversaries:
+
+    - [Round_robin]: the fair synchronous-ish schedule.
+    - [Random]: the oblivious random adversary (seeded, reproducible).
+    - [Custom f]: a programmable adversary; [f] sees the step number and
+      each process's step count and picks any runnable process.
+
+    Independently, a set of processes can be declared *timely* with bound
+    [i], enforcing paper §3's pairwise timeliness: p is scheduled before
+    any other process accumulates [i] steps since p's last step.  All
+    remaining processes stay asynchronous (fully at the base policy's
+    mercy). *)
+
+type view = {
+  now : int;                  (** global step number *)
+  runnable : int list;        (** ids of runnable processes, ascending *)
+  steps : int -> int;         (** per-process executed step count *)
+}
+
+type base =
+  | Round_robin
+  | Random
+  | Custom of (view -> int)
+
+type t
+
+(** [create ?timely base] builds a policy.  [timely] lists [(pid, i)]
+    pairs; bound [i >= 2]. *)
+val create : ?timely:(int * int) list -> base -> t
+
+val timely : t -> (int * int) list
+
+(** [pick t rng view] chooses the next process to run.
+    Raises [Invalid_argument] when [view.runnable] is empty or the custom
+    function picks a non-runnable process. *)
+val pick : t -> Mm_rng.Rng.t -> view -> int
+
+(** [note_step t ~pid ~n] informs the timeliness tracker that [pid] just
+    executed a step in a system of [n] processes. *)
+val note_step : t -> pid:int -> n:int -> unit
+
+(** [note_crash t ~pid] removes a crashed process from timeliness
+    tracking (a crashed timely process stops being timely). *)
+val note_crash : t -> pid:int -> unit

@@ -1,0 +1,1 @@
+lib/smr/replicated_log.ml: Array Format Hashtbl List Mm_core Mm_election Mm_mem Mm_net Mm_sim Option Printf Queue

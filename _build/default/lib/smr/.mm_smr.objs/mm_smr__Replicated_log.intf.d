@@ -1,0 +1,1 @@
+lib/smr/replicated_log.mli: Format Mm_mem Mm_net Mm_sim

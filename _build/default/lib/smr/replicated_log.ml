@@ -1,0 +1,317 @@
+module Id = Mm_core.Id
+module Domain_ = Mm_core.Domain
+module Network = Mm_net.Network
+module Mem = Mm_mem.Mem
+module Engine = Mm_sim.Engine
+module Proc = Mm_sim.Proc
+module Fd = Mm_election.Register_fd
+
+type command = {
+  issuer : int;
+  seq : int;
+}
+
+let pp_command fmt c = Format.fprintf fmt "c%d.%d" c.issuer c.seq
+
+type Mm_net.Message.payload +=
+  | Forward of command
+  | Learn of int * command
+
+(* Per-slot Paxos block in a SWMR register. *)
+type block = {
+  mbal : int;
+  bal : int;
+  value : command option;
+}
+
+let empty_block = { mbal = 0; bal = 0; value = None }
+
+type outcome = {
+  reason : Engine.stop_reason;
+  logs : (int * command) list array;
+  consistent : bool;
+  all_committed : bool;
+  slots_used : int;
+  duplicate_slots : int;
+  crashed : bool array;
+  total_steps : int;
+  net : Network.stats;
+  mem_total : Mem.counters;
+}
+
+(* Host-level lazy register tables: conceptually the infinite per-slot
+   arrays pre-exist (as in HBO's RVals/PVals); we materialize on first
+   touch.  The engine is single-threaded, so this is race-free. *)
+type slot_memory = {
+  store : Mem.store;
+  n : int;
+  blocks : (int, block Mem.reg array) Hashtbl.t;
+  decisions : (int, command option Mem.reg) Hashtbl.t;
+}
+
+let slot_blocks sm s =
+  match Hashtbl.find_opt sm.blocks s with
+  | Some a -> a
+  | None ->
+    let a =
+      Array.init sm.n (fun i ->
+          let owner = Id.of_int i in
+          let others =
+            List.filter (fun q -> not (Id.equal q owner)) (Id.all sm.n)
+          in
+          Mem.alloc sm.store
+            ~name:(Printf.sprintf "R[%d][%d]" s i)
+            ~owner ~shared_with:others empty_block)
+    in
+    Hashtbl.add sm.blocks s a;
+    a
+
+let slot_decision sm s =
+  match Hashtbl.find_opt sm.decisions s with
+  | Some r -> r
+  | None ->
+    let owner = Id.of_int (s mod sm.n) in
+    let others = List.filter (fun q -> not (Id.equal q owner)) (Id.all sm.n) in
+    let r =
+      Mem.alloc sm.store
+        ~name:(Printf.sprintf "D[%d]" s)
+        ~owner ~shared_with:others None
+    in
+    Hashtbl.add sm.decisions s r;
+    r
+
+let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
+  let mi = Id.to_int me in
+  let det = Fd.create alive ~me:mi in
+  (* Commands we are responsible for getting committed. *)
+  let pending : command Queue.t = Queue.create () in
+  List.iter (fun c -> Queue.add c pending) my_commands;
+  (* Commands forwarded to us while we (appear to) lead. *)
+  let forwarded : command Queue.t = Queue.create () in
+  let forwarded_set : (command, unit) Hashtbl.t = Hashtbl.create 32 in
+  (* The applied log. *)
+  let applied_cmds : (command, unit) Hashtbl.t = Hashtbl.create 32 in
+  let learn_cache : (int, command) Hashtbl.t = Hashtbl.create 32 in
+  let apply_next = ref 0 in
+  (* Per-slot proposer state. *)
+  let known : (int, block) Hashtbl.t = Hashtbl.create 16 in
+  let next_round : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let get tbl s d = Option.value ~default:d (Hashtbl.find_opt tbl s) in
+  let is_applied c = Hashtbl.mem applied_cmds c in
+  let apply s c =
+    let duplicate = is_applied c in
+    Hashtbl.replace applied_cmds c ();
+    on_apply ~slot:s ~cmd:c ~duplicate;
+    incr apply_next
+  in
+  (* Advance the applied prefix from the learn cache, falling back to the
+     decision register only when asked (reading registers every loop
+     would defeat the message wake-up design). *)
+  let drain_learned ~read_register =
+    let progress = ref true in
+    while !progress do
+      let s = !apply_next in
+      match Hashtbl.find_opt learn_cache s with
+      | Some c -> apply s c
+      | None ->
+        if read_register then begin
+          match Proc.read (slot_decision sm s) with
+          | Some c -> apply s c
+          | None -> progress := false
+        end
+        else progress := false
+    done
+  in
+  (* One Disk-Paxos ballot on slot [s] proposing [cmd].  Returns the
+     chosen command on success. *)
+  let attempt s cmd =
+    let blocks = slot_blocks sm s in
+    let round = get next_round s 1 in
+    Hashtbl.replace next_round s (round + 1);
+    let b = (round * n) + mi + 1 in
+    let k = { (get known s empty_block) with mbal = b } in
+    Hashtbl.replace known s k;
+    Proc.write blocks.(mi) k;
+    let best = ref (k.bal, k.value) in
+    let aborted = ref 0 in
+    for j = 0 to n - 1 do
+      if j <> mi && !aborted = 0 then begin
+        let blk = Proc.read blocks.(j) in
+        if blk.mbal > b then aborted := blk.mbal
+        else if blk.bal > fst !best then best := (blk.bal, blk.value)
+      end
+    done;
+    if !aborted > 0 then begin
+      Hashtbl.replace next_round s (max (round + 1) ((!aborted / n) + 1));
+      None
+    end
+    else begin
+      let v = match snd !best with Some v -> v | None -> cmd in
+      let k = { mbal = b; bal = b; value = Some v } in
+      Hashtbl.replace known s k;
+      Proc.write blocks.(mi) k;
+      let overtaken = ref 0 in
+      for j = 0 to n - 1 do
+        if j <> mi && !overtaken = 0 then begin
+          let blk = Proc.read blocks.(j) in
+          if blk.mbal > b then overtaken := blk.mbal
+        end
+      done;
+      if !overtaken > 0 then begin
+        Hashtbl.replace next_round s (max (round + 1) ((!overtaken / n) + 1));
+        None
+      end
+      else Some v
+    end
+  in
+  let next_proposal () =
+    (* prefer own pending work, then forwarded commands; skip anything
+       already applied (at-least-once forwarding creates repeats) *)
+    let rec pop q =
+      match Queue.take_opt q with
+      | None -> None
+      | Some c -> if is_applied c then pop q else Some c
+    in
+    match pop pending with
+    | Some c ->
+      Queue.push c pending;
+      (* keep until observed applied *)
+      Some c
+    | None -> (
+      match pop forwarded with
+      | Some c ->
+        Hashtbl.remove forwarded_set c;
+        Some c
+      | None -> None)
+  in
+  let rec main_loop iter =
+    List.iter
+      (fun (_src, payload) ->
+        match payload with
+        | Forward c ->
+          if (not (is_applied c)) && not (Hashtbl.mem forwarded_set c) then begin
+            Hashtbl.replace forwarded_set c ();
+            Queue.add c forwarded
+          end
+        | Learn (s, c) -> Hashtbl.replace learn_cache s c
+        | _ -> ())
+      (Proc.receive ());
+    Fd.step det;
+    drain_learned ~read_register:(iter mod 32 = 0);
+    let i_lead = Fd.am_leader det in
+    (if i_lead then begin
+       match next_proposal () with
+       | None -> Proc.yield ()
+       | Some cmd -> (
+         let s = !apply_next in
+         match attempt s cmd with
+         | Some chosen ->
+           Proc.write (slot_decision sm s) (Some chosen);
+           Hashtbl.replace learn_cache s chosen;
+           List.iter
+             (fun q ->
+               if not (Id.equal q me) then Proc.send q (Learn (s, chosen)))
+             (Id.all n);
+           drain_learned ~read_register:false
+         | None ->
+           (* Lost the ballot: someone else decided or is deciding this
+              slot; catch up from the register before retrying. *)
+           (match Proc.read (slot_decision sm s) with
+           | Some c -> Hashtbl.replace learn_cache s c
+           | None -> ());
+           Proc.yield ())
+     end
+     else begin
+       (* Follower: re-forward one unacknowledged command to the current
+          leader hint, with backoff so the steady state stays quiet once
+          everything is applied. *)
+       (if iter mod 24 = 0 then
+          match Queue.peek_opt pending with
+          | Some c when not (is_applied c) ->
+            Proc.send (Id.of_int (Fd.leader det)) (Forward c)
+          | Some _ | None -> ());
+       Proc.yield ()
+     end);
+    (* Drop own commands once they are applied. *)
+    (match Queue.peek_opt pending with
+    | Some c when is_applied c -> ignore (Queue.pop pending)
+    | Some _ | None -> ());
+    main_loop (iter + 1)
+  in
+  main_loop 1
+
+let run ?(seed = 1) ?(max_steps = 2_000_000) ?(crashes = []) ?sched ~n
+    ~commands_per_proc () =
+  let eng =
+    Engine.create ~seed ?sched ~domain:(Domain_.full n)
+      ~link:Network.Reliable ~n ()
+  in
+  let store = Engine.store eng in
+  let sm = { store; n; blocks = Hashtbl.create 32; decisions = Hashtbl.create 32 } in
+  let alive = Fd.registers store ~n in
+  let crashed = Array.make n false in
+  List.iter
+    (fun (pid, step) ->
+      crashed.(pid) <- true;
+      Engine.crash_at eng (Id.of_int pid) step)
+    crashes;
+  let logs = Array.make n [] in
+  (* [until] runs on every engine step, so completion tracking must be
+     O(n): count, per process, how many of the commands we are waiting
+     for it has applied. *)
+  let wanted : (command, unit) Hashtbl.t = Hashtbl.create 32 in
+  for pi = 0 to n - 1 do
+    if not crashed.(pi) then
+      for seq = 0 to commands_per_proc - 1 do
+        Hashtbl.replace wanted { issuer = pi; seq } ()
+      done
+  done;
+  let wanted_total = Hashtbl.length wanted in
+  let counts = Array.make n 0 in
+  let duplicate_slots = ref 0 in
+  List.iter
+    (fun p ->
+      let pi = Id.to_int p in
+      let my_commands =
+        List.init commands_per_proc (fun seq -> { issuer = pi; seq })
+      in
+      let on_apply ~slot ~cmd ~duplicate =
+        logs.(pi) <- (slot, cmd) :: logs.(pi);
+        if duplicate then incr duplicate_slots
+        else if Hashtbl.mem wanted cmd then counts.(pi) <- counts.(pi) + 1
+      in
+      Engine.spawn eng p (log_process ~n ~sm ~alive ~my_commands ~on_apply p))
+    (Id.all n);
+  let everyone_done () =
+    let ok = ref true in
+    for pi = 0 to n - 1 do
+      if (not crashed.(pi)) && counts.(pi) < wanted_total then ok := false
+    done;
+    !ok
+  in
+  let reason = Engine.run eng ~max_steps ~until:everyone_done () in
+  let logs = Array.map List.rev logs in
+  (* Consistency: no slot maps to two different commands anywhere. *)
+  let slot_values : (int, command) Hashtbl.t = Hashtbl.create 64 in
+  let consistent = ref true in
+  Array.iter
+    (List.iter (fun (s, c) ->
+         match Hashtbl.find_opt slot_values s with
+         | None -> Hashtbl.add slot_values s c
+         | Some c' -> if c <> c' then consistent := false))
+    logs;
+  let slots_used =
+    Hashtbl.fold (fun s _ acc -> max acc (s + 1)) slot_values 0
+  in
+  {
+    reason;
+    logs;
+    consistent = !consistent;
+    all_committed = everyone_done ();
+    slots_used;
+    duplicate_slots = !duplicate_slots;
+    crashed;
+    total_steps = Engine.now eng;
+    net = Network.stats (Engine.network eng);
+    mem_total = Mem.total_counters store;
+  }

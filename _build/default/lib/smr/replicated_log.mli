@@ -1,0 +1,61 @@
+(** A replicated log (multi-decree consensus) over the m&m model.
+
+    This is the downstream artifact the paper's program implies — the
+    RDMA state-machine-replication design of the follow-on systems
+    (DARE, APUS, Mu), reconstructed from the primitives built here:
+
+    - **slots**: each log position is decided by Disk-Paxos-style
+      ballots over per-slot, per-process SWMR registers (the memory
+      side: a new leader recovers in-flight slots by *reading* the
+      previous leader's registers, no message round-trips);
+    - **Ω**: leadership comes from the register-heartbeat failure
+      detector ({!Mm_election.Register_fd}), needing only one timely
+      process and no link synchrony;
+    - **messages**: clients/followers forward commands to the leader and
+      the leader broadcasts Learn notifications, so followers sleep on
+      their mailboxes rather than polling registers (the per-slot
+      decision register remains the crash-safe fallback, read rarely).
+
+    Every process wants to append [commands_per_proc] commands of its
+    own.  Followers keep re-forwarding unacknowledged commands to their
+    current leader hint (at-least-once; the log layer deduplicates), so
+    commands survive leader changes and message-free steady states.
+
+    Safety invariant (checked by {!consistent}): no two processes ever
+    apply different commands at the same slot, regardless of crashes,
+    dueling leaders, or schedules. *)
+
+(** A client command: the [seq]-th command issued by process [issuer]. *)
+type command = {
+  issuer : int;
+  seq : int;
+}
+
+val pp_command : Format.formatter -> command -> unit
+
+type outcome = {
+  reason : Mm_sim.Engine.stop_reason;
+  logs : (int * command) list array;
+      (** per process: the (slot, command) pairs it applied, in slot order *)
+  consistent : bool;  (** no cross-process disagreement at any slot *)
+  all_committed : bool;
+      (** every correct process applied every correct process's commands *)
+  slots_used : int;   (** highest applied slot + 1, over all processes *)
+  duplicate_slots : int;
+      (** slots that re-decided an already-applied command (consumed by
+          at-least-once forwarding; deduplicated at apply time) *)
+  crashed : bool array;
+  total_steps : int;
+  net : Mm_net.Network.stats;
+  mem_total : Mm_mem.Mem.counters;
+}
+
+val run :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?crashes:(int * int) list ->
+  ?sched:Mm_sim.Sched.t ->
+  n:int ->
+  commands_per_proc:int ->
+  unit ->
+  outcome

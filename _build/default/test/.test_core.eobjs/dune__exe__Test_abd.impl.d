@@ -1,0 +1,1 @@
+test/test_abd.ml: Alcotest Gen List Mm_abd Mm_sim Printf QCheck QCheck_alcotest

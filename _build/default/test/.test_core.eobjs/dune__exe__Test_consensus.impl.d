@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Fun Gen Int List Mm_consensus Mm_core Mm_graph Mm_mem Mm_net Mm_rng Mm_sim Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format List Mm_core Mm_graph Mm_mem Mm_rng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_election.ml: Alcotest Array List Mm_core Mm_election Mm_mem Mm_net Mm_sim Option Printf

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Mm_bench Printf String

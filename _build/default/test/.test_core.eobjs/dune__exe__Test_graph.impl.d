@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Float Fun List Mm_graph Mm_rng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array List Mm_core Mm_graph Mm_mem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mutex.ml: Alcotest Array Mm_mutex Mm_sim Printf QCheck QCheck_alcotest

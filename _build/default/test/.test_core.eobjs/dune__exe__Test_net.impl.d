@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Mm_core Mm_net Mm_rng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Array List Mm_consensus Mm_mem Mm_net Mm_sim Printf QCheck QCheck_alcotest

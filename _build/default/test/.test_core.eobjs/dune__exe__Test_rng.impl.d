@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun List Mm_rng Printf QCheck QCheck_alcotest

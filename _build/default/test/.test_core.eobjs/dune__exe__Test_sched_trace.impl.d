@@ -1,0 +1,1 @@
+test/test_sched_trace.ml: Alcotest Format List Mm_bench Mm_core Mm_mem Mm_net Mm_rng Mm_sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer List Mm_core Mm_election Mm_graph Mm_mem Mm_net Mm_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Hashtbl List Mm_net Mm_sim Mm_smr Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array List Mm_bench Mm_consensus Mm_core Mm_election Mm_graph Mm_mem Mm_net Mm_sim Mm_smr Printf

@@ -1,0 +1,124 @@
+(* Tests for the core model types: process ids and shared-memory
+   domains, including the non-uniform (arbitrary S) form the paper keeps
+   for future hardware. *)
+
+module Id = Mm_core.Id
+module Domain = Mm_core.Domain
+module B = Mm_graph.Builders
+
+let test_id_basics () =
+  let i = Id.of_int 3 in
+  Alcotest.(check int) "roundtrip" 3 (Id.to_int i);
+  Alcotest.(check bool) "equal" true (Id.equal i (Id.of_int 3));
+  Alcotest.(check bool) "ordered" true (Id.compare (Id.of_int 1) i < 0);
+  Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (List.map Id.to_int (Id.all 3));
+  Alcotest.(check string) "pp" "p3" (Format.asprintf "%a" Id.pp i);
+  Alcotest.(check bool) "negative rejected" true
+    (try ignore (Id.of_int (-1)); false with Invalid_argument _ -> true)
+
+let test_id_set_map () =
+  let s = Id.Set.of_list [ Id.of_int 2; Id.of_int 0; Id.of_int 2 ] in
+  Alcotest.(check int) "set dedup" 2 (Id.Set.cardinal s);
+  let m = Id.Map.singleton (Id.of_int 1) "x" in
+  Alcotest.(check (option string)) "map" (Some "x") (Id.Map.find_opt (Id.of_int 1) m)
+
+let test_uniform_domain () =
+  let dom = Domain.uniform_of_graph (B.ring 5) in
+  Alcotest.(check int) "order" 5 (Domain.order dom);
+  Alcotest.(check (list int)) "S_0 on the ring" [ 0; 1; 4 ]
+    (List.map Id.to_int (Domain.set_of dom (Id.of_int 0)));
+  Alcotest.(check bool) "neighbors share" true
+    (Domain.can_share dom [ Id.of_int 0; Id.of_int 1 ]);
+  Alcotest.(check bool) "0-2 share via S_1" true
+    (Domain.can_share dom [ Id.of_int 0; Id.of_int 2 ]);
+  Alcotest.(check bool) "0-2-3 never share" false
+    (Domain.can_share dom [ Id.of_int 0; Id.of_int 2; Id.of_int 3 ])
+
+let test_full_isolated () =
+  let full = Domain.full 4 in
+  Alcotest.(check bool) "full shares everyone" true
+    (Domain.can_share full (Id.all 4));
+  let iso = Domain.isolated 4 in
+  Alcotest.(check bool) "isolated shares singletons" true
+    (Domain.can_share iso [ Id.of_int 2 ]);
+  Alcotest.(check bool) "isolated forbids pairs" false
+    (Domain.can_share iso [ Id.of_int 1; Id.of_int 2 ])
+
+let test_arbitrary_domain () =
+  (* A non-uniform S: one triple and one disjoint pair — something no
+     shared-memory graph's closed neighborhoods can express. *)
+  let dom = Domain.of_sets 5 [ [ 0; 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check bool) "triple" true
+    (Domain.can_share dom [ Id.of_int 0; Id.of_int 2 ]);
+  Alcotest.(check bool) "pair" true
+    (Domain.can_share dom [ Id.of_int 3; Id.of_int 4 ]);
+  Alcotest.(check bool) "across sets" false
+    (Domain.can_share dom [ Id.of_int 2; Id.of_int 3 ]);
+  Alcotest.(check bool) "set_of undefined" true
+    (try ignore (Domain.set_of dom (Id.of_int 0)); false with Not_found -> true);
+  Alcotest.(check int) "sets listed" 2 (List.length (Domain.sets dom))
+
+let test_arbitrary_domain_validation () =
+  Alcotest.(check bool) "empty member set" true
+    (try ignore (Domain.of_sets 3 [ [] ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "id out of range" true
+    (try ignore (Domain.of_sets 3 [ [ 0; 7 ] ]); false
+     with Invalid_argument _ -> true)
+
+let test_arbitrary_domain_store () =
+  (* The memory store honors arbitrary domains too. *)
+  let dom = Domain.of_sets 4 [ [ 0; 3 ] ] in
+  let store = Mm_mem.Mem.create dom in
+  ignore
+    (Mm_mem.Mem.alloc store ~name:"ok" ~owner:(Id.of_int 0)
+       ~shared_with:[ Id.of_int 3 ] 0);
+  Alcotest.(check bool) "unlisted pair rejected" true
+    (try
+       ignore
+         (Mm_mem.Mem.alloc store ~name:"bad" ~owner:(Id.of_int 0)
+            ~shared_with:[ Id.of_int 1 ] 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_domain_pp () =
+  let s = Format.asprintf "%a" Domain.pp (Domain.of_sets 3 [ [ 0; 1 ] ]) in
+  Alcotest.(check bool) "prints members" true (String.length s > 5)
+
+let prop_uniform_matches_graph =
+  QCheck.Test.make ~name:"uniform domain = closed neighborhoods" ~count:60
+    QCheck.(pair (int_range 2 10) (int_range 0 500))
+    (fun (n, seed) ->
+      let rng = Mm_rng.Rng.create seed in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Mm_rng.Rng.bool rng then edges := (u, v) :: !edges
+        done
+      done;
+      let g = Mm_graph.Graph.create n !edges in
+      let dom = Domain.uniform_of_graph g in
+      List.for_all
+        (fun p ->
+          List.map Id.to_int (Domain.set_of dom p)
+          = Mm_graph.Graph.closed_neighborhood g (Id.to_int p))
+        (Id.all n))
+
+let () =
+  Alcotest.run "mm_core"
+    [
+      ( "id",
+        [
+          Alcotest.test_case "basics" `Quick test_id_basics;
+          Alcotest.test_case "set/map" `Quick test_id_set_map;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_domain;
+          Alcotest.test_case "full/isolated" `Quick test_full_isolated;
+          Alcotest.test_case "arbitrary" `Quick test_arbitrary_domain;
+          Alcotest.test_case "validation" `Quick test_arbitrary_domain_validation;
+          Alcotest.test_case "arbitrary + store" `Quick test_arbitrary_domain_store;
+          Alcotest.test_case "pp" `Quick test_domain_pp;
+          QCheck_alcotest.to_alcotest prop_uniform_matches_graph;
+        ] );
+    ]

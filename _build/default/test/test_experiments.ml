@@ -1,0 +1,254 @@
+(* Integration tests: every experiment table must regenerate at quick
+   scale with well-formed rows AND the theorem-shaped invariant columns
+   the paper predicts.  This pins the shapes recorded in EXPERIMENTS.md
+   so a regression fails the suite rather than silently changing a
+   table. *)
+
+module T = Mm_bench.Table
+module X = Mm_bench.Experiments
+
+let table id =
+  match X.find id with
+  | Some f -> f `Quick
+  | None -> Alcotest.failf "experiment %s not registered" id
+
+let cell row i = List.nth row i
+
+let test_all_render_and_are_well_formed () =
+  List.iter
+    (fun (id, f) ->
+      let t = f `Quick in
+      Alcotest.(check string) (id ^ " id matches") id t.T.id;
+      Alcotest.(check bool) (id ^ " has rows") true (t.T.rows <> []);
+      let cols = List.length t.T.header in
+      List.iter
+        (fun row ->
+          Alcotest.(check int) (id ^ " row width") cols (List.length row))
+        t.T.rows;
+      (* rendering must not raise and must contain the title *)
+      let s = T.render t in
+      Alcotest.(check bool) (id ^ " renders") true
+        (String.length s > 0))
+    X.all
+
+let test_e1_matches_paper () =
+  let t = table "E1" in
+  List.iter
+    (fun row -> Alcotest.(check string) "matches paper" "yes" (cell row 2))
+    t.T.rows
+
+let test_e2_all_correct () =
+  let t = table "E2" in
+  List.iter
+    (fun row -> Alcotest.(check string) "correct" "yes" (cell row 2))
+    t.T.rows
+
+let test_e3_bound_safe_and_thresholds () =
+  let t = table "E3" in
+  List.iter
+    (fun row ->
+      let f_star = int_of_string (cell row 4) in
+      let f_true = int_of_string (cell row 5) in
+      Alcotest.(check bool) "Thm 4.3 bound is safe" true (f_star <= f_true);
+      Alcotest.(check string) "decides at the bound" "yes" (cell row 6);
+      let blocked = cell row 7 in
+      Alcotest.(check bool) "blocked past the true threshold" true
+        (blocked = "yes" || blocked = "-"))
+    t.T.rows;
+  (* monotone shape: tolerance never decreases from edgeless to complete *)
+  let trues = List.map (fun row -> int_of_string (cell row 5)) t.T.rows in
+  let rec weakly_monotone = function
+    | a :: b :: rest -> a <= b && weakly_monotone (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "tolerance grows with expansion" true
+    (weakly_monotone trues)
+
+let test_e4_barbell_blocks_complete_decides () =
+  let t = table "E4" in
+  List.iter
+    (fun row ->
+      let graph = cell row 0 and cut = cell row 2 and decided = cell row 3 in
+      Alcotest.(check string) "always safe" "yes" (cell row 4);
+      if cut = "yes" then
+        Alcotest.(check string) (graph ^ " blocked") "no" decided
+      else Alcotest.(check string) (graph ^ " decides") "yes" decided)
+    t.T.rows
+
+let test_e5_silent_steady_state () =
+  let t = table "E5" in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "omega holds" "yes" (cell row 1);
+      Alcotest.(check string) "no steady-state msgs" "0" (cell row 3);
+      Alcotest.(check bool) "leader writes" true (int_of_string (cell row 4) > 0);
+      Alcotest.(check string) "leader reads nothing" "0" (cell row 5);
+      Alcotest.(check string) "followers never write" "0" (cell row 6))
+    t.T.rows
+
+let test_e6_lossy_leader_also_reads () =
+  let t = table "E6" in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "omega holds" "yes" (cell row 1);
+      Alcotest.(check string) "no steady-state msgs" "0" (cell row 3);
+      Alcotest.(check bool) "leader writes" true (int_of_string (cell row 4) > 0);
+      Alcotest.(check bool) "leader reads (Thm 5.2)" true
+        (int_of_string (cell row 5) > 0))
+    t.T.rows
+
+let test_e7_locality_split () =
+  let t = table "E7" in
+  List.iter
+    (fun row ->
+      let proc = cell row 1 in
+      let local = int_of_string (cell row 2) in
+      let remote = int_of_string (cell row 3) in
+      if String.length proc > 2 && String.sub proc 3 (String.length proc - 3) = "(leader)"
+      then Alcotest.(check int) "leader all-local" 0 remote
+      else begin
+        (* follower *)
+        Alcotest.(check int) (proc ^ " all-remote") 0 local;
+        Alcotest.(check bool) (proc ^ " reads the leader") true (remote > 0)
+      end)
+    t.T.rows
+
+let test_e8_crossover () =
+  let t = table "E8" in
+  (* small delays: both hold; large delays: MP flaps, m&m holds *)
+  let first = List.hd t.T.rows and last = List.nth t.T.rows (List.length t.T.rows - 1) in
+  Alcotest.(check string) "MP ok on short delays" "yes" (cell first 1);
+  Alcotest.(check string) "MP flaps on long delays" "no" (cell last 1);
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "m&m always holds" "yes" (cell row 4);
+      Alcotest.(check string) "m&m silent" "0" (cell row 6);
+      Alcotest.(check bool) "MP never silent" true
+        (int_of_string (cell row 3) > 100);
+      Alcotest.(check bool) "m&m leader keeps writing (Thm 5.3)" true
+        (int_of_string (cell row 7) > 0))
+    t.T.rows
+
+let test_e9_spin_gap () =
+  let t = table "E9" in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "safe" "yes" (cell row 1);
+      let bakery = float_of_string (cell row 2) in
+      let local = float_of_string (cell row 3) in
+      let mm = float_of_string (cell row 5) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bakery %.1f >> mm %.1f" bakery mm)
+        true
+        (bakery > 4.0 *. mm);
+      Alcotest.(check bool)
+        (Printf.sprintf "local-spin %.1f also spins, mm does not" local)
+        true
+        (local > 4.0 *. mm);
+      (* the local-spin lock touches the interconnect ~once per entry *)
+      Alcotest.(check bool) "local-spin barely remote" true
+        (float_of_string (cell row 4) <= 1.5))
+    t.T.rows
+
+let test_e10_majority_gap () =
+  let t = table "E10" in
+  List.iter
+    (fun row ->
+      let system = cell row 0 and crashes = cell row 1 in
+      let blocked = int_of_string (cell row 3) in
+      Alcotest.(check string) "atomic" "yes" (cell row 4);
+      if system = "ABD over messages" && crashes = "3 of 5" then
+        Alcotest.(check bool) "abd blocked at majority crash" true (blocked > 0)
+      else Alcotest.(check int) (system ^ " " ^ crashes ^ " unblocked") 0 blocked)
+    t.T.rows
+
+let test_e11_scalability () =
+  let t = table "E11" in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "constant degree" true
+        (int_of_string (cell row 1) <= 8);
+      Alcotest.(check string) "decides beyond majority" "yes" (cell row 7))
+    t.T.rows
+
+let test_e12_design_space () =
+  let t = table "E12" in
+  List.iter
+    (fun row ->
+      let algo = cell row 0 in
+      Alcotest.(check string) (algo ^ " safe") "yes" (cell row 2);
+      if algo = "Ben-Or (MP-only)" then
+        Alcotest.(check string) "ben-or cannot decide" "no" (cell row 1)
+      else Alcotest.(check string) (algo ^ " decides") "yes" (cell row 1))
+    t.T.rows
+
+let test_e13_replication () =
+  let t = table "E13" in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "committed" "yes" (cell row 3);
+      Alcotest.(check string) "consistent" "yes" (cell row 4);
+      let cmds = int_of_string (cell row 1) in
+      let slots = int_of_string (cell row 5) in
+      Alcotest.(check bool) "slots cover commands" true (slots >= cmds))
+    t.T.rows
+
+let test_e14_memory_failure_asymmetry () =
+  let t = table "E14" in
+  match t.T.rows with
+  | [ messages; registers ] ->
+    Alcotest.(check string) "message mechanism recovers" "yes" (cell messages 2);
+    Alcotest.(check string) "register mechanism stuck" "no" (cell registers 2);
+    (* the stuck host's own output is itself *)
+    Alcotest.(check string) "stuck on itself" (cell registers 1) (cell registers 4)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_a1_register_objects_cost_more () =
+  let t = table "A1" in
+  match t.T.rows with
+  | [ trusted; registers ] ->
+    Alcotest.(check string) "both correct" "yes" (cell trusted 1);
+    Alcotest.(check string) "both correct" "yes" (cell registers 1);
+    Alcotest.(check bool) "registers cost more mem ops" true
+      (float_of_string (cell registers 4) > float_of_string (cell trusted 4))
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_a3_bounds_bracket () =
+  let t = table "A3" in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) "sampled is an upper bound" "yes" (cell row 4);
+      Alcotest.(check string) "spectral is a lower bound" "yes" (cell row 5))
+    t.T.rows
+
+let () =
+  Alcotest.run "mm_experiments"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "all tables well-formed" `Quick
+            test_all_render_and_are_well_formed;
+          Alcotest.test_case "E1 domains" `Quick test_e1_matches_paper;
+          Alcotest.test_case "E2 consensus correct" `Quick test_e2_all_correct;
+          Alcotest.test_case "E3 tolerance shape" `Quick
+            test_e3_bound_safe_and_thresholds;
+          Alcotest.test_case "E4 impossibility shape" `Quick
+            test_e4_barbell_blocks_complete_decides;
+          Alcotest.test_case "E5 silent steady state" `Quick
+            test_e5_silent_steady_state;
+          Alcotest.test_case "E6 lossy leader reads" `Quick
+            test_e6_lossy_leader_also_reads;
+          Alcotest.test_case "E7 locality" `Quick test_e7_locality_split;
+          Alcotest.test_case "E8 synchrony crossover" `Quick test_e8_crossover;
+          Alcotest.test_case "E9 spin gap" `Quick test_e9_spin_gap;
+          Alcotest.test_case "E10 majority gap" `Quick test_e10_majority_gap;
+          Alcotest.test_case "E11 scalability" `Quick test_e11_scalability;
+          Alcotest.test_case "E12 design space" `Quick test_e12_design_space;
+          Alcotest.test_case "E13 replicated log" `Quick test_e13_replication;
+          Alcotest.test_case "E14 memory failure" `Quick
+            test_e14_memory_failure_asymmetry;
+          Alcotest.test_case "A1 object cost" `Quick
+            test_a1_register_objects_cost_more;
+          Alcotest.test_case "A3 bracket" `Quick test_a3_bounds_bracket;
+        ] );
+    ]

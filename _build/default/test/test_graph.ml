@@ -1,0 +1,380 @@
+(* Tests for graphs, expansion and SM-cuts: the combinatorial backbone of
+   Theorems 4.3 and 4.4. *)
+
+module G = Mm_graph.Graph
+module B = Mm_graph.Builders
+module E = Mm_graph.Expansion
+module C = Mm_graph.Sm_cut
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+(* --- basic structure --- *)
+
+let test_create_rejects () =
+  Alcotest.(check bool) "self-loop" true
+    (try ignore (G.create 3 [ (1, 1) ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "dup edge" true
+    (try ignore (G.create 3 [ (0, 1); (1, 0) ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "range" true
+    (try ignore (G.create 3 [ (0, 3) ]); false with Invalid_argument _ -> true)
+
+let test_neighbors () =
+  let g = G.create 4 [ (0, 1); (0, 2); (2, 3) ] in
+  Alcotest.(check (list int)) "n(0)" [ 1; 2 ] (G.neighbors g 0);
+  Alcotest.(check (list int)) "n(3)" [ 2 ] (G.neighbors g 3);
+  Alcotest.(check (list int)) "closed" [ 0; 1; 2 ] (G.closed_neighborhood g 0);
+  Alcotest.(check bool) "edge sym" true (G.mem_edge g 1 0 && G.mem_edge g 0 1);
+  Alcotest.(check bool) "non-edge" false (G.mem_edge g 1 3)
+
+let test_components () =
+  let g = G.create 5 [ (0, 1); (2, 3) ] in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ]
+    (G.components g);
+  Alcotest.(check bool) "not connected" false (G.is_connected g);
+  Alcotest.(check bool) "ring connected" true (G.is_connected (B.ring 6))
+
+let test_boundary () =
+  let g = B.ring 6 in
+  Alcotest.(check (list int)) "boundary of {0,1}" [ 2; 5 ]
+    (G.vertex_boundary g [ 0; 1 ]);
+  Alcotest.(check (list int)) "boundary of all" []
+    (G.vertex_boundary g [ 0; 1; 2; 3; 4; 5 ])
+
+(* --- builders --- *)
+
+let test_builders_shapes () =
+  Alcotest.(check int) "K5 edges" 10 (G.size (B.complete 5));
+  Alcotest.(check (option int)) "K5 regular" (Some 4) (G.is_regular (B.complete 5));
+  Alcotest.(check (option int)) "ring regular" (Some 2) (G.is_regular (B.ring 7));
+  Alcotest.(check (option int)) "hypercube regular" (Some 3)
+    (G.is_regular (B.hypercube 3));
+  Alcotest.(check int) "hypercube order" 8 (G.order (B.hypercube 3));
+  Alcotest.(check (option int)) "torus regular" (Some 4)
+    (G.is_regular (B.torus ~rows:3 ~cols:4));
+  Alcotest.(check int) "star size" 6 (G.size (B.star 7));
+  Alcotest.(check int) "edgeless" 0 (G.size (B.edgeless 9));
+  Alcotest.(check int) "path edges" 5 (G.size (B.path 6))
+
+let test_random_regular () =
+  let rng = Mm_rng.Rng.create 5 in
+  let g = B.random_regular rng ~n:16 ~d:4 in
+  Alcotest.(check (option int)) "4-regular" (Some 4) (G.is_regular g);
+  Alcotest.(check int) "order" 16 (G.order g);
+  Alcotest.(check bool) "odd nd rejected" true
+    (try ignore (B.random_regular rng ~n:5 ~d:3); false
+     with Invalid_argument _ -> true)
+
+let test_barbell () =
+  let g = B.barbell ~k:4 ~bridge:1 in
+  Alcotest.(check int) "order" 9 (G.order g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  (* bridge vertex 4 connects the cliques *)
+  Alcotest.(check (list int)) "bridge neighbors" [ 3; 5 ] (G.neighbors g 4)
+
+let test_margulis () =
+  let g = B.margulis ~m:4 in
+  Alcotest.(check int) "order" 16 (G.order g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check bool) "constant degree <= 8" true (G.max_degree g <= 8);
+  (* The point of the construction: expansion beats the ring at a
+     comparable (constant) degree. *)
+  let h = E.vertex_expansion_exact g in
+  let h_ring = E.vertex_expansion_exact (B.ring 16) in
+  Alcotest.(check bool)
+    (Printf.sprintf "expander h=%.3f > ring h=%.3f" h h_ring)
+    true (h > h_ring);
+  (* Degree stays bounded as n grows. *)
+  let big = B.margulis ~m:7 in
+  Alcotest.(check int) "order 49" 49 (G.order big);
+  Alcotest.(check bool) "degree still <= 8" true (G.max_degree big <= 8);
+  Alcotest.(check bool) "still connected" true (G.is_connected big);
+  Alcotest.(check bool) "m < 2 rejected" true
+    (try ignore (B.margulis ~m:1); false with Invalid_argument _ -> true)
+
+let test_ring_of_cliques () =
+  let g = B.ring_of_cliques ~cliques:4 ~k:3 in
+  Alcotest.(check int) "order" 12 (G.order g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check int) "edges" (4 * 3 + 4) (G.size g);
+  let d = B.disjoint_cliques ~cliques:3 ~k:4 in
+  Alcotest.(check int) "disjoint comps" 3 (List.length (G.components d))
+
+(* --- expansion --- *)
+
+let test_expansion_complete () =
+  (* K_n: every S with |S| <= n/2 has boundary V \ S, so
+     h = min (n - s) / s at s = floor(n/2). *)
+  let h = E.vertex_expansion_exact (B.complete 6) in
+  Alcotest.(check bool) "h(K6) = 4/3... no: (6-3)/3 = 1" true (feq h 1.0);
+  let h7 = E.vertex_expansion_exact (B.complete 7) in
+  Alcotest.(check bool) "h(K7) = 4/3" true (feq h7 (4.0 /. 3.0))
+
+let test_expansion_ring () =
+  (* C_n: a contiguous arc has boundary 2, so h = 2 / floor(n/2). *)
+  let h = E.vertex_expansion_exact (B.ring 8) in
+  Alcotest.(check bool) "h(C8) = 0.5" true (feq h 0.5)
+
+let test_expansion_disconnected () =
+  let g = B.disjoint_cliques ~cliques:2 ~k:3 in
+  Alcotest.(check bool) "h = 0" true (feq (E.vertex_expansion_exact g) 0.0)
+
+let test_expansion_edgeless () =
+  Alcotest.(check bool) "h = 0" true
+    (feq (E.vertex_expansion_exact (B.edgeless 6)) 0.0)
+
+let test_sampled_upper_bound () =
+  let rng = Mm_rng.Rng.create 9 in
+  let g = B.ring 12 in
+  let exact = E.vertex_expansion_exact g in
+  let sampled = E.vertex_expansion_sampled rng g ~samples:200 in
+  Alcotest.(check bool) "sampled >= exact" true (sampled >= exact -. 1e-9);
+  (* BFS balls on a ring are arcs: the sample should find the true h. *)
+  Alcotest.(check bool) "sampled tight on ring" true (feq sampled exact)
+
+let test_spectral_bound () =
+  let g = B.hypercube 4 in
+  match E.spectral_lower_bound g with
+  | None -> Alcotest.fail "expected a bound for a regular connected graph"
+  | Some lo ->
+    let exact = E.vertex_expansion_exact g in
+    Alcotest.(check bool)
+      (Printf.sprintf "spectral %.4f <= exact %.4f" lo exact)
+      true
+      (lo <= exact +. 1e-6 && lo >= 0.0)
+
+let test_second_eigenvalue_complete () =
+  (* K_n has adjacency eigenvalues n-1 and -1. *)
+  match E.second_eigenvalue (B.complete 8) with
+  | None -> Alcotest.fail "regular"
+  | Some l2 -> Alcotest.(check bool) "lambda2(K8) = -1" true (Float.abs (l2 +. 1.0) < 1e-3)
+
+let test_ft_bound () =
+  (* h = 0 degenerates to the Ben-Or bound floor((n-1)/2). *)
+  Alcotest.(check int) "h=0, n=8" 3 (E.ft_bound ~h:0.0 ~n:8);
+  Alcotest.(check int) "h=0, n=9" 4 (E.ft_bound ~h:0.0 ~n:9);
+  (* h = 1 gives f < 3n/4. *)
+  Alcotest.(check int) "h=1, n=8" 5 (E.ft_bound ~h:1.0 ~n:8);
+  (* Huge h approaches n - 1 but the cap applies. *)
+  Alcotest.(check int) "cap" 7 (E.ft_bound ~h:1e9 ~n:8);
+  Alcotest.(check bool) "monotone in h" true
+    (E.ft_bound ~h:0.5 ~n:20 <= E.ft_bound ~h:2.0 ~n:20)
+
+let test_represented () =
+  let g = B.ring 6 in
+  (* crash 0 and 3: correct = {1,2,4,5}; boundary = {0,3}: all represented *)
+  Alcotest.(check (list int)) "rep" [ 0; 1; 2; 3; 4; 5 ]
+    (E.represented g ~crashed:[ 0; 3 ]);
+  Alcotest.(check bool) "majority" true (E.majority_represented g ~crashed:[ 0; 3 ]);
+  (* crash 4 of 6 on an edgeless graph: no representation help *)
+  let eg = B.edgeless 6 in
+  Alcotest.(check bool) "no majority" false
+    (E.majority_represented eg ~crashed:[ 0; 1; 2; 3 ])
+
+let test_worst_crash_set () =
+  let g = B.complete 6 in
+  (* On K6, correct processes represent everyone: rep = 6 whenever f < 6. *)
+  let _, rep = E.worst_crash_set g ~f:4 in
+  Alcotest.(check int) "K6 rep" 6 rep;
+  let eg = B.edgeless 6 in
+  let _, rep0 = E.worst_crash_set eg ~f:2 in
+  Alcotest.(check int) "edgeless rep = correct" 4 rep0
+
+let test_max_guaranteed_f () =
+  (* Edgeless: exactly the Ben-Or majority bound. *)
+  Alcotest.(check int) "edgeless n=8" 3 (E.max_guaranteed_f (B.edgeless 8));
+  (* Complete: n-1. *)
+  Alcotest.(check int) "K8" 7 (E.max_guaranteed_f (B.complete 8));
+  (* Intermediate graphs sit in between. *)
+  let f_ring = E.max_guaranteed_f (B.ring 8) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ring f=%d" f_ring)
+    true
+    (f_ring >= 3 && f_ring < 7)
+
+let test_theorem43_bound_is_safe () =
+  (* For every graph family, the Thm 4.3 bound must be at most the true
+     tolerance: f <= ft_bound ==> majority represented for ALL crash
+     sets of that size. *)
+  let check g =
+    let h = E.vertex_expansion_exact g in
+    let bound = E.ft_bound ~h ~n:(G.order g) in
+    let true_f = E.max_guaranteed_f g in
+    Alcotest.(check bool)
+      (Printf.sprintf "bound %d <= true %d" bound true_f)
+      true (bound <= true_f)
+  in
+  List.iter check
+    [ B.ring 8; B.complete 7; B.hypercube 3; B.torus ~rows:3 ~cols:3;
+      B.edgeless 6; B.barbell ~k:4 ~bridge:0 ]
+
+(* --- SM-cuts --- *)
+
+let test_sm_cut_barbell () =
+  let g = B.barbell ~k:4 ~bridge:1 in
+  (* S = left clique {0..3}, B = {4} (the bridge) ... but 4 touches both
+     3 (in S) and 5 (in T): b adjacent to S goes to B1, which must not
+     touch T.  Vertex 4 touches T, so B must be wider: use B = {3,4,5}. *)
+  let cut = { C.b = [ 3; 4; 5 ]; s = [ 0; 1; 2 ]; t = [ 6; 7; 8 ] } in
+  (match C.check g cut with
+  | None -> Alcotest.fail "expected a valid SM-cut"
+  | Some (b1, b2) ->
+    (* 3 touches S so it must land in B1; 5 touches T so it must land in
+       B2; the bridge vertex 4 touches neither side and the checker is
+       free to place it anywhere (it picks B1). *)
+    Alcotest.(check (list int)) "b1" [ 3; 4 ] b1;
+    Alcotest.(check (list int)) "b2" [ 5 ] b2);
+  Alcotest.(check bool) "violates with f=6" true (C.violates_theorem g cut ~f:6)
+
+let test_sm_cut_rejects () =
+  let g = B.complete 5 in
+  (* In a complete graph every b touches both sides. *)
+  let cut = { C.b = [ 2 ]; s = [ 0; 1 ]; t = [ 3; 4 ] } in
+  Alcotest.(check bool) "complete graph has no SM-cut" false (C.is_sm_cut g cut);
+  (* Non-partition triples are rejected. *)
+  let bad = { C.b = [ 0 ]; s = [ 0; 1 ]; t = [ 2; 3; 4 ] } in
+  Alcotest.(check bool) "overlap rejected" false (C.is_sm_cut g bad)
+
+let test_sm_cut_st_edge_rejected () =
+  let g = B.ring 6 in
+  let cut = { C.b = [ 1; 2 ]; s = [ 0 ]; t = [ 3; 4; 5 ] } in
+  (* 0-5 is a ring edge, S-T edge: invalid. *)
+  Alcotest.(check bool) "S-T edge" false (C.is_sm_cut g cut)
+
+let test_find_sm_cut () =
+  let g = B.barbell ~k:5 ~bridge:2 in
+  let n = G.order g in
+  (match C.find g ~f:(n - 5) with
+  | None -> Alcotest.fail "barbell should have an SM-cut"
+  | Some cut ->
+    Alcotest.(check bool) "valid" true (C.is_sm_cut g cut);
+    Alcotest.(check bool) "sizes" true
+      (List.length cut.C.s >= 5 && List.length cut.C.t >= 5));
+  (* Complete graphs never admit one. *)
+  Alcotest.(check bool) "K7 has none" true (C.find (B.complete 7) ~f:5 = None)
+
+let test_min_f_with_cut () =
+  let g = B.barbell ~k:4 ~bridge:1 in
+  (match C.min_f_with_cut g with
+  | None -> Alcotest.fail "barbell must admit a cut"
+  | Some f ->
+    (* S and T can be at most the 4-cliques minus boundary: |S|=|T|=3
+       at best (B={3,4,5}), so n-f <= 3, f >= 6. *)
+    Alcotest.(check int) "min f" 6 f);
+  Alcotest.(check (option int)) "K6 none" None (C.min_f_with_cut (B.complete 6))
+
+let test_impossibility_consistency () =
+  (* Wherever an SM-cut exists for f, the same f must defeat HBO's
+     representation condition: worst-case crash set leaves no majority. *)
+  let g = B.barbell ~k:4 ~bridge:0 in
+  match C.min_f_with_cut g with
+  | None -> Alcotest.fail "expected a cut"
+  | Some f ->
+    let _, rep = E.worst_crash_set g ~f in
+    Alcotest.(check bool)
+      (Printf.sprintf "f=%d rep=%d no majority" f rep)
+      true
+      (2 * rep <= G.order g)
+
+let prop_boundary_disjoint =
+  QCheck.Test.make ~name:"vertex boundary is disjoint from S" ~count:100
+    QCheck.(pair (int_range 2 10) (int_range 0 30))
+    (fun (n, seed) ->
+      let rng = Mm_rng.Rng.create seed in
+      let d = if n mod 2 = 0 then 3 else 2 in
+      let d = min d (n - 1) in
+      let d = if n * d mod 2 <> 0 then d - 1 else d in
+      if d <= 0 then true
+      else begin
+        let g = B.random_regular rng ~n ~d in
+        let s = List.filteri (fun i _ -> i mod 2 = 0) (List.init n Fun.id) in
+        let b = G.vertex_boundary g s in
+        List.for_all (fun v -> not (List.mem v s)) b
+      end)
+
+let prop_expansion_positive_iff_connected =
+  QCheck.Test.make ~name:"h > 0 iff connected (small graphs)" ~count:60
+    QCheck.(pair (int_range 2 9) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Mm_rng.Rng.create seed in
+      (* random graph: each edge with probability 1/2 *)
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Mm_rng.Rng.bool rng then edges := (u, v) :: !edges
+        done
+      done;
+      let g = G.create n !edges in
+      let h = E.vertex_expansion_exact g in
+      G.is_connected g = (h > 0.0))
+
+let prop_canonical_cut_valid =
+  QCheck.Test.make ~name:"found SM-cuts always validate" ~count:50
+    QCheck.(pair (int_range 4 10) (int_range 0 500))
+    (fun (n, seed) ->
+      let rng = Mm_rng.Rng.create seed in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Mm_rng.Rng.int rng 3 = 0 then edges := (u, v) :: !edges
+        done
+      done;
+      let g = G.create n !edges in
+      let f = 1 + Mm_rng.Rng.int rng n in
+      match C.find g ~f with
+      | None -> true
+      | Some cut ->
+        C.is_sm_cut g cut
+        && List.length cut.C.s >= n - f
+        && List.length cut.C.t >= n - f)
+
+let () =
+  Alcotest.run "mm_graph"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "create rejects" `Quick test_create_rejects;
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "boundary" `Quick test_boundary;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "shapes" `Quick test_builders_shapes;
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+          Alcotest.test_case "barbell" `Quick test_barbell;
+          Alcotest.test_case "margulis expander" `Quick test_margulis;
+          Alcotest.test_case "ring of cliques" `Quick test_ring_of_cliques;
+        ] );
+      ( "expansion",
+        [
+          Alcotest.test_case "complete" `Quick test_expansion_complete;
+          Alcotest.test_case "ring" `Quick test_expansion_ring;
+          Alcotest.test_case "disconnected" `Quick test_expansion_disconnected;
+          Alcotest.test_case "edgeless" `Quick test_expansion_edgeless;
+          Alcotest.test_case "sampled upper bound" `Quick test_sampled_upper_bound;
+          Alcotest.test_case "spectral bound" `Quick test_spectral_bound;
+          Alcotest.test_case "lambda2 complete" `Quick test_second_eigenvalue_complete;
+          Alcotest.test_case "ft bound" `Quick test_ft_bound;
+          Alcotest.test_case "represented" `Quick test_represented;
+          Alcotest.test_case "worst crash set" `Quick test_worst_crash_set;
+          Alcotest.test_case "max guaranteed f" `Quick test_max_guaranteed_f;
+          Alcotest.test_case "thm 4.3 bound safe" `Quick test_theorem43_bound_is_safe;
+        ] );
+      ( "sm-cut",
+        [
+          Alcotest.test_case "barbell cut" `Quick test_sm_cut_barbell;
+          Alcotest.test_case "rejects" `Quick test_sm_cut_rejects;
+          Alcotest.test_case "S-T edge" `Quick test_sm_cut_st_edge_rejected;
+          Alcotest.test_case "find" `Quick test_find_sm_cut;
+          Alcotest.test_case "min f" `Quick test_min_f_with_cut;
+          Alcotest.test_case "impossibility consistency" `Quick
+            test_impossibility_consistency;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_boundary_disjoint;
+          QCheck_alcotest.to_alcotest prop_expansion_positive_iff_connected;
+          QCheck_alcotest.to_alcotest prop_canonical_cut_valid;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests of the shared-memory store: domain enforcement, atomic register
+   values, local/remote accounting, and window accounting. *)
+
+module Id = Mm_core.Id
+module Domain = Mm_core.Domain
+module Mem = Mm_mem.Mem
+module B = Mm_graph.Builders
+
+let id = Id.of_int
+
+let test_alloc_and_rw () =
+  let store = Mem.create (Domain.full 3) in
+  let r = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1; id 2 ] 10 in
+  Alcotest.(check int) "init" 10 (Mem.read r ~by:(id 1));
+  Mem.write r ~by:(id 2) 20;
+  Alcotest.(check int) "updated" 20 (Mem.read r ~by:(id 0));
+  Alcotest.(check int) "reg count" 1 (Mem.reg_count store);
+  Alcotest.(check string) "name" "x" (Mem.name r);
+  Alcotest.(check int) "owner" 0 (Id.to_int (Mem.owner r));
+  Alcotest.(check (list int)) "members" [ 0; 1; 2 ]
+    (List.map Id.to_int (Mem.members r))
+
+let test_domain_enforcement () =
+  let dom = Domain.uniform_of_graph (B.path 4) in
+  let store = Mem.create dom in
+  (* 0-1 adjacent: ok *)
+  ignore (Mem.alloc store ~name:"ok" ~owner:(id 0) ~shared_with:[ id 1 ] 0);
+  (* {0,3}: the path endpoints fit in no closed neighborhood
+     (note {0,2} WOULD fit inside S_1 = {0,1,2}) *)
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Mem.alloc store ~name:"bad" ~owner:(id 0) ~shared_with:[ id 3 ] 0);
+       false
+     with Invalid_argument _ -> true);
+  (* whole neighborhood of 1 = {0,1,2}: ok *)
+  ignore (Mem.alloc store ~name:"nbhd" ~owner:(id 1) ~shared_with:[ id 0; id 2 ] 0)
+
+let test_access_violation () =
+  let store = Mem.create (Domain.full 3) in
+  let r = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1 ] 0 in
+  Alcotest.check_raises "read" (Mem.Access_violation { reg = "x"; by = id 2 })
+    (fun () -> ignore (Mem.read r ~by:(id 2)));
+  Alcotest.check_raises "write" (Mem.Access_violation { reg = "x"; by = id 2 })
+    (fun () -> Mem.write r ~by:(id 2) 1)
+
+let test_local_remote_accounting () =
+  let store = Mem.create (Domain.full 2) in
+  let r = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1 ] 0 in
+  Mem.write r ~by:(id 0) 1;
+  Mem.write r ~by:(id 0) 2;
+  ignore (Mem.read r ~by:(id 0));
+  Mem.write r ~by:(id 1) 3;
+  ignore (Mem.read r ~by:(id 1));
+  ignore (Mem.read r ~by:(id 1));
+  let c0 = Mem.counters_of store (id 0) in
+  let c1 = Mem.counters_of store (id 1) in
+  Alcotest.(check int) "owner writes local" 2 c0.Mem.writes_local;
+  Alcotest.(check int) "owner reads local" 1 c0.Mem.reads_local;
+  Alcotest.(check int) "owner no remote" 0 (c0.Mem.writes_remote + c0.Mem.reads_remote);
+  Alcotest.(check int) "peer writes remote" 1 c1.Mem.writes_remote;
+  Alcotest.(check int) "peer reads remote" 2 c1.Mem.reads_remote;
+  let tot = Mem.total_counters store in
+  Alcotest.(check int) "total ops" 6 (Mem.total_ops tot)
+
+let test_window_accounting () =
+  let store = Mem.create (Domain.full 2) in
+  let r = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1 ] 0 in
+  Mem.write r ~by:(id 0) 1;
+  let snap = Mem.snapshot store in
+  Mem.write r ~by:(id 0) 2;
+  ignore (Mem.read r ~by:(id 1));
+  let d = Mem.diff_since store snap in
+  Alcotest.(check int) "p0 window writes" 1 d.(0).Mem.writes_local;
+  Alcotest.(check int) "p1 window reads" 1 d.(1).Mem.reads_remote;
+  Alcotest.(check int) "p0 no reads" 0 d.(0).Mem.reads_local
+
+let test_peek_no_accounting () =
+  let store = Mem.create (Domain.full 1) in
+  let r = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[] 5 in
+  Alcotest.(check int) "peek" 5 (Mem.peek r);
+  Alcotest.(check int) "no ops recorded" 0 (Mem.total_ops (Mem.total_counters store))
+
+let test_counters_arith () =
+  let a = { Mem.reads_local = 1; reads_remote = 2; writes_local = 3; writes_remote = 4 } in
+  let b = { Mem.reads_local = 10; reads_remote = 20; writes_local = 30; writes_remote = 40 } in
+  let s = Mem.add_counters a b in
+  Alcotest.(check int) "add" 11 s.Mem.reads_local;
+  let d = Mem.sub_counters b a in
+  Alcotest.(check int) "sub" 36 d.Mem.writes_remote;
+  Alcotest.(check int) "zero" 0 (Mem.total_ops Mem.zero_counters)
+
+let test_memory_failure () =
+  let store = Mem.create (Domain.full 2) in
+  let r0 = Mem.alloc store ~name:"at0" ~owner:(id 0) ~shared_with:[ id 1 ] 5 in
+  let r1 = Mem.alloc store ~name:"at1" ~owner:(id 1) ~shared_with:[ id 0 ] 7 in
+  Alcotest.(check bool) "initially healthy" false
+    (Mem.host_memory_failed store (id 0));
+  Mem.fail_host_memory store (id 0);
+  Alcotest.(check bool) "failed" true (Mem.host_memory_failed store (id 0));
+  (* writes to host-0 registers are lost, reads return the last value *)
+  Mem.write r0 ~by:(id 1) 99;
+  Mem.write r0 ~by:(id 0) 100;
+  Alcotest.(check int) "frozen value" 5 (Mem.read r0 ~by:(id 1));
+  Alcotest.(check int) "drops counted" 2 (Mem.dropped_writes store);
+  (* other hosts unaffected *)
+  Mem.write r1 ~by:(id 0) 42;
+  Alcotest.(check int) "healthy host writes" 42 (Mem.read r1 ~by:(id 1));
+  (* ops are still accounted (the NIC performed them) *)
+  let c1 = Mem.counters_of store (id 1) in
+  Alcotest.(check int) "write op counted" 1 c1.Mem.writes_remote
+
+let prop_last_write_wins =
+  QCheck.Test.make ~name:"register holds last written value" ~count:100
+    QCheck.(list (pair (int_range 0 1) int))
+    (fun writes ->
+      let store = Mem.create (Domain.full 2) in
+      let r = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1 ] 0 in
+      List.iter (fun (p, v) -> Mem.write r ~by:(id p) v) writes;
+      let expected =
+        match List.rev writes with [] -> 0 | (_, v) :: _ -> v
+      in
+      Mem.read r ~by:(id 0) = expected)
+
+let () =
+  Alcotest.run "mm_mem"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "alloc and rw" `Quick test_alloc_and_rw;
+          Alcotest.test_case "domain enforcement" `Quick test_domain_enforcement;
+          Alcotest.test_case "access violation" `Quick test_access_violation;
+          Alcotest.test_case "local/remote accounting" `Quick
+            test_local_remote_accounting;
+          Alcotest.test_case "window accounting" `Quick test_window_accounting;
+          Alcotest.test_case "peek" `Quick test_peek_no_accounting;
+          Alcotest.test_case "counters arithmetic" `Quick test_counters_arith;
+          Alcotest.test_case "memory failure" `Quick test_memory_failure;
+          QCheck_alcotest.to_alcotest prop_last_write_wins;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Tests of link semantics: Integrity, No-loss, Fair-loss, FIFO delivery
+   within a link, blocking, and counters. *)
+
+module Id = Mm_core.Id
+module Rng = Mm_rng.Rng
+module Net = Mm_net.Network
+
+type Mm_net.Message.payload += Num of int
+
+let mk ?(seed = 1) ?(kind = Net.Reliable) ?delay n =
+  Net.create ~rng:(Rng.create seed) ~n ~kind ?delay ()
+
+let id = Id.of_int
+
+let drain_all net p =
+  let rec pump acc now =
+    if now > 10_000 then acc
+    else begin
+      Net.tick net ~now;
+      let got = Net.drain net p in
+      if got = [] && Net.(stats net).in_flight = 0 then acc @ got
+      else pump (acc @ got) (now + 1)
+    end
+  in
+  pump [] 0
+
+let test_reliable_no_loss () =
+  let net = mk 3 in
+  for i = 1 to 50 do
+    Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num i)
+  done;
+  let got = drain_all net (id 1) in
+  Alcotest.(check int) "all delivered" 50 (List.length got);
+  let s = Net.stats net in
+  Alcotest.(check int) "no drops" 0 s.Net.dropped
+
+let test_integrity_no_duplication () =
+  let net = mk 2 in
+  Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 1);
+  let got = drain_all net (id 1) in
+  Alcotest.(check int) "exactly one" 1 (List.length got);
+  Alcotest.(check int) "none left" 0 (Net.peek_count net (id 1))
+
+let test_fifo_per_link () =
+  let net = mk ~delay:(Net.Fixed 3) 2 in
+  for i = 1 to 20 do
+    Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num i)
+  done;
+  let got = drain_all net (id 1) in
+  let nums = List.filter_map (function _, Num i -> Some i | _ -> None) got in
+  Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i + 1)) nums
+
+let test_sender_attached () =
+  let net = mk 3 in
+  Net.send net ~now:0 ~src:(id 2) ~dst:(id 1) (Num 9);
+  match drain_all net (id 1) with
+  | [ (src, Num 9) ] -> Alcotest.(check int) "src" 2 (Id.to_int src)
+  | _ -> Alcotest.fail "expected one message from p2"
+
+let test_self_send_immediate () =
+  let net = mk ~kind:(Net.Fair_lossy 0.9) 2 in
+  (* Self-sends bypass the lossy link. *)
+  for i = 1 to 20 do
+    Net.send net ~now:0 ~src:(id 0) ~dst:(id 0) (Num i)
+  done;
+  Alcotest.(check int) "all in mailbox already" 20 (Net.peek_count net (id 0))
+
+let test_fair_lossy_statistics () =
+  let net = mk ~seed:3 ~kind:(Net.Fair_lossy 0.5) 2 in
+  for i = 1 to 1000 do
+    Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num i)
+  done;
+  let s = Net.stats net in
+  Alcotest.(check bool)
+    (Printf.sprintf "dropped ~half (%d)" s.Net.dropped)
+    true
+    (s.Net.dropped > 400 && s.Net.dropped < 600)
+
+let test_fair_loss_eventual_delivery () =
+  (* Send the same message repeatedly: it must get through. *)
+  let net = mk ~seed:4 ~kind:(Net.Fair_lossy 0.8) 2 in
+  let delivered = ref false in
+  let now = ref 0 in
+  while (not !delivered) && !now < 1000 do
+    Net.send net ~now:!now ~src:(id 0) ~dst:(id 1) (Num 1);
+    Net.tick net ~now:!now;
+    if Net.drain net (id 1) <> [] then delivered := true;
+    incr now
+  done;
+  Alcotest.(check bool) "eventually received" true !delivered
+
+let test_block_fn () =
+  let net = mk 2 in
+  Net.set_block_fn net (fun ~now ~src:_ ~dst:_ -> now < 100);
+  Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 1);
+  Net.tick net ~now:50;
+  Alcotest.(check int) "held" 0 (Net.peek_count net (id 1));
+  Net.tick net ~now:100;
+  Alcotest.(check int) "released" 1 (Net.peek_count net (id 1))
+
+let test_window_diff () =
+  let net = mk 2 in
+  Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 1);
+  let snap = Net.snapshot net in
+  Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 2);
+  Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 3);
+  let d = Net.diff_since net snap in
+  Alcotest.(check int) "window sends" 2 d.Net.sent
+
+let test_delay_bounds () =
+  let net = mk ~delay:(Net.Uniform (5, 9)) 2 in
+  Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 1);
+  Net.tick net ~now:4;
+  Alcotest.(check int) "not before lo" 0 (Net.peek_count net (id 1));
+  Net.tick net ~now:9;
+  Alcotest.(check int) "by hi" 1 (Net.peek_count net (id 1))
+
+let test_create_validation () =
+  Alcotest.(check bool) "bad drop prob" true
+    (try ignore (mk ~kind:(Net.Fair_lossy 1.0) 2); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad delay" true
+    (try ignore (mk ~delay:(Net.Fixed 0) 2); false
+     with Invalid_argument _ -> true)
+
+let prop_reliable_counts =
+  QCheck.Test.make ~name:"reliable: sent = delivered + in_flight" ~count:50
+    QCheck.(pair (int_range 1 60) (int_range 0 100))
+    (fun (k, seed) ->
+      let net = mk ~seed 3 in
+      for i = 1 to k do
+        Net.send net ~now:0 ~src:(id 0) ~dst:(id (1 + (i mod 2))) (Num i)
+      done;
+      Net.tick net ~now:2;
+      let s = Net.stats net in
+      s.Net.sent = s.Net.delivered + s.Net.in_flight && s.Net.dropped = 0)
+
+let () =
+  Alcotest.run "mm_net"
+    [
+      ( "links",
+        [
+          Alcotest.test_case "reliable no-loss" `Quick test_reliable_no_loss;
+          Alcotest.test_case "integrity" `Quick test_integrity_no_duplication;
+          Alcotest.test_case "fifo per link" `Quick test_fifo_per_link;
+          Alcotest.test_case "sender attached" `Quick test_sender_attached;
+          Alcotest.test_case "self-send" `Quick test_self_send_immediate;
+          Alcotest.test_case "fair lossy stats" `Quick test_fair_lossy_statistics;
+          Alcotest.test_case "fair loss eventual" `Quick test_fair_loss_eventual_delivery;
+          Alcotest.test_case "block fn" `Quick test_block_fn;
+          Alcotest.test_case "window diff" `Quick test_window_diff;
+          Alcotest.test_case "delay bounds" `Quick test_delay_bounds;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          QCheck_alcotest.to_alcotest prop_reliable_counts;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Unit and property tests for the splittable PRNG. *)
+
+module Rng = Mm_rng.Rng
+
+let test_determinism () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_split_independence () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_int_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_float_range () =
+  let r = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_int_in_range () =
+  let r = Rng.create 17 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 2000 do
+    let x = Rng.int_in_range r ~lo:(-3) ~hi:3 in
+    if x = -3 then seen_lo := true;
+    if x = 3 then seen_hi := true;
+    Alcotest.(check bool) "in range" true (x >= -3 && x <= 3)
+  done;
+  Alcotest.(check bool) "endpoints hit" true (!seen_lo && !seen_hi)
+
+let test_bool_balance () =
+  let r = Rng.create 23 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool r then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly fair (%.3f)" ratio)
+    true
+    (ratio > 0.45 && ratio < 0.55)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 31 in
+  let xs = List.init 20 Fun.id in
+  let ys = Rng.shuffle r xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+let test_pick_members () =
+  let r = Rng.create 37 in
+  let xs = [ 2; 4; 6 ] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (List.mem (Rng.pick r xs) xs)
+  done
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"int covers all residues" ~count:50
+    QCheck.(int_range 2 20)
+    (fun bound ->
+      let r = Rng.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Rng.int r bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let () =
+  Alcotest.run "mm_rng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "pick members" `Quick test_pick_members;
+          QCheck_alcotest.to_alcotest prop_int_uniformish;
+        ] );
+    ]

@@ -1,0 +1,229 @@
+(* Direct unit tests for the scheduler policies, the trace ring buffer,
+   and the table renderer — the engine-adjacent pieces the other suites
+   only exercise indirectly. *)
+
+module Sched = Mm_sim.Sched
+module Trace = Mm_sim.Trace
+module Id = Mm_core.Id
+module T = Mm_bench.Table
+
+let view ?(now = 0) runnable =
+  { Sched.now; runnable; steps = (fun _ -> 0) }
+
+(* --- scheduler --- *)
+
+let test_round_robin_rotation () =
+  let s = Sched.create Sched.Round_robin in
+  let rng = Mm_rng.Rng.create 1 in
+  let picks = List.init 7 (fun _ -> Sched.pick s rng (view [ 0; 1; 2 ])) in
+  Alcotest.(check (list int)) "rotates" [ 0; 1; 2; 0; 1; 2; 0 ] picks
+
+let test_round_robin_skips_missing () =
+  let s = Sched.create Sched.Round_robin in
+  let rng = Mm_rng.Rng.create 1 in
+  ignore (Sched.pick s rng (view [ 0; 1; 2 ]));
+  (* 0 ran; 1 vanished (crashed): next pick must be 2, then wrap to 0 *)
+  Alcotest.(check int) "skips" 2 (Sched.pick s rng (view [ 0; 2 ]));
+  Alcotest.(check int) "wraps" 0 (Sched.pick s rng (view [ 0; 2 ]))
+
+let test_random_pick_in_runnable () =
+  let s = Sched.create Sched.Random in
+  let rng = Mm_rng.Rng.create 3 in
+  for _ = 1 to 100 do
+    let p = Sched.pick s rng (view [ 1; 4; 6 ]) in
+    Alcotest.(check bool) "member" true (List.mem p [ 1; 4; 6 ])
+  done
+
+let test_empty_runnable_rejected () =
+  let s = Sched.create Sched.Random in
+  let rng = Mm_rng.Rng.create 3 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sched.pick s rng (view []));
+       false
+     with Invalid_argument _ -> true)
+
+let test_custom_validated () =
+  let s = Sched.create (Sched.Custom (fun _ -> 9)) in
+  let rng = Mm_rng.Rng.create 3 in
+  Alcotest.(check bool) "non-runnable pick rejected" true
+    (try
+       ignore (Sched.pick s rng (view [ 0; 1 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_timeliness_bound_enforced () =
+  (* bound i = 3 for process 0: after any other process accumulates 2
+     steps since 0's last step, 0 must be chosen. *)
+  let s = Sched.create ~timely:[ (0, 3) ] (Sched.Custom (fun _ -> 1)) in
+  let rng = Mm_rng.Rng.create 1 in
+  let executed = ref [] in
+  for _ = 1 to 30 do
+    let p = Sched.pick s rng (view [ 0; 1 ]) in
+    executed := p :: !executed;
+    Sched.note_step s ~pid:p ~n:2
+  done;
+  let runs = List.rev !executed in
+  (* check: no window of 3 consecutive picks of 1 without a 0 *)
+  let rec max_gap acc best = function
+    | [] -> max acc best
+    | 0 :: rest -> max_gap 0 (max acc best) rest
+    | _ :: rest -> max_gap (acc + 1) best rest
+  in
+  Alcotest.(check bool) "0 scheduled within every 2-step window of 1" true
+    (max_gap 0 0 runs <= 2);
+  Alcotest.(check bool) "adversary still runs 1 mostly" true
+    (List.length (List.filter (fun p -> p = 1) runs) > 10)
+
+let test_timeliness_bound_validation () =
+  Alcotest.(check bool) "bound < 2 rejected" true
+    (try
+       ignore (Sched.create ~timely:[ (0, 1) ] Sched.Random);
+       false
+     with Invalid_argument _ -> true)
+
+let test_note_crash_removes_timely () =
+  let s = Sched.create ~timely:[ (0, 3) ] (Sched.Custom (fun _ -> 1)) in
+  let rng = Mm_rng.Rng.create 1 in
+  Sched.note_crash s ~pid:0;
+  Alcotest.(check (list (pair int int))) "removed" [] (Sched.timely s);
+  (* with 0 crashed, the adversary may starve it freely *)
+  for _ = 1 to 10 do
+    Alcotest.(check int) "adversary unconstrained" 1
+      (Sched.pick s rng (view [ 0; 1 ]));
+    Sched.note_step s ~pid:1 ~n:2
+  done
+
+(* --- trace --- *)
+
+let ev step pid op = { Trace.step; pid = Id.of_int pid; op }
+
+let test_trace_records_in_order () =
+  let t = Trace.create 10 in
+  Trace.record t (ev 1 0 Trace.Yielded);
+  Trace.record t (ev 2 1 (Trace.Sent (Id.of_int 0)));
+  Trace.record t (ev 3 0 Trace.Finished);
+  let steps = List.map (fun e -> e.Trace.step) (Trace.to_list t) in
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] steps;
+  Alcotest.(check int) "count" 3 (Trace.recorded t)
+
+let test_trace_ring_overflow () =
+  let t = Trace.create 3 in
+  for i = 1 to 10 do
+    Trace.record t (ev i 0 Trace.Yielded)
+  done;
+  let steps = List.map (fun e -> e.Trace.step) (Trace.to_list t) in
+  Alcotest.(check (list int)) "keeps the newest" [ 8; 9; 10 ] steps;
+  Alcotest.(check int) "total recorded" 10 (Trace.recorded t)
+
+let test_trace_capacity_validation () =
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore (Trace.create 0);
+       false
+     with Invalid_argument _ -> true)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_pp () =
+  let s =
+    Format.asprintf "%a" Trace.pp_event (ev 42 3 (Trace.Read "STATE[1]"))
+  in
+  Alcotest.(check bool) "mentions register" true (contains s "STATE[1]");
+  Alcotest.(check bool) "mentions process" true (contains s "p3")
+
+let test_engine_trace_capture () =
+  (* End-to-end: an engine with tracing on records the right op kinds. *)
+  let eng =
+    Mm_sim.Engine.create ~seed:1 ~trace_capacity:64
+      ~domain:(Mm_core.Domain.full 2) ~link:Mm_net.Network.Reliable ~n:2 ()
+  in
+  let store = Mm_sim.Engine.store eng in
+  let r =
+    Mm_mem.Mem.alloc store ~name:"x" ~owner:(Id.of_int 0)
+      ~shared_with:[ Id.of_int 1 ] 0
+  in
+  Mm_sim.Engine.spawn eng (Id.of_int 0) (fun () ->
+      Mm_sim.Proc.write r 1;
+      ignore (Mm_sim.Proc.coin ()));
+  ignore (Mm_sim.Engine.run eng ~max_steps:100 ());
+  match Mm_sim.Engine.trace eng with
+  | None -> Alcotest.fail "trace expected"
+  | Some tr ->
+    let ops = List.map (fun e -> e.Trace.op) (Trace.to_list tr) in
+    Alcotest.(check bool) "has a write" true
+      (List.exists (function Trace.Wrote "x" -> true | _ -> false) ops);
+    Alcotest.(check bool) "has a coin" true
+      (List.exists (function Trace.Coined _ -> true | _ -> false) ops);
+    Alcotest.(check bool) "has a finish" true
+      (List.exists (function Trace.Finished -> true | _ -> false) ops)
+
+(* --- table rendering --- *)
+
+let test_table_render_alignment () =
+  let t =
+    {
+      T.id = "T";
+      title = "demo";
+      header = [ "a"; "long-column" ];
+      rows = [ [ "xxxx"; "1" ]; [ "y"; "22" ] ];
+      notes = [ "a note" ];
+    }
+  in
+  let s = T.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | _title :: header :: rule :: r1 :: r2 :: note :: _ ->
+    Alcotest.(check int) "header and rule align" (String.length header)
+      (String.length rule);
+    Alcotest.(check bool) "rows padded" true
+      (String.length r1 >= String.length "xxxx  1"
+      && String.length r2 >= String.length "y  22");
+    Alcotest.(check bool) "note marked" true
+      (String.length note >= 8 && String.sub note 2 5 = "note:")
+  | _ -> Alcotest.fail "unexpected layout");
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== T: d")
+
+let test_table_formatters () =
+  Alcotest.(check string) "int-like float" "42" (T.fmt_float 42.0);
+  Alcotest.(check string) "fractional" "0.500" (T.fmt_float 0.5);
+  Alcotest.(check string) "bool" "yes" (T.fmt_bool true);
+  Alcotest.(check string) "opt none" "-" (T.fmt_opt_int None);
+  Alcotest.(check string) "opt some" "7" (T.fmt_opt_int (Some 7))
+
+let () =
+  Alcotest.run "mm_sched_trace"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "round robin" `Quick test_round_robin_rotation;
+          Alcotest.test_case "rr skips missing" `Quick test_round_robin_skips_missing;
+          Alcotest.test_case "random in runnable" `Quick test_random_pick_in_runnable;
+          Alcotest.test_case "empty rejected" `Quick test_empty_runnable_rejected;
+          Alcotest.test_case "custom validated" `Quick test_custom_validated;
+          Alcotest.test_case "timeliness enforced" `Quick
+            test_timeliness_bound_enforced;
+          Alcotest.test_case "bound validation" `Quick
+            test_timeliness_bound_validation;
+          Alcotest.test_case "crash removes timely" `Quick
+            test_note_crash_removes_timely;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "in order" `Quick test_trace_records_in_order;
+          Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
+          Alcotest.test_case "capacity validation" `Quick
+            test_trace_capacity_validation;
+          Alcotest.test_case "pretty printer" `Quick test_trace_pp;
+          Alcotest.test_case "engine capture" `Quick test_engine_trace_capture;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render alignment" `Quick test_table_render_alignment;
+          Alcotest.test_case "formatters" `Quick test_table_formatters;
+        ] );
+    ]

@@ -1,0 +1,388 @@
+(* Tests of the effect-based simulation engine: step atomicity, message
+   delivery, register semantics, crash injection, scheduling policies and
+   timeliness enforcement. *)
+
+module Id = Mm_core.Id
+module Domain = Mm_core.Domain
+module Network = Mm_net.Network
+module Mem = Mm_mem.Mem
+module Engine = Mm_sim.Engine
+module Proc = Mm_sim.Proc
+module Sched = Mm_sim.Sched
+
+type Mm_net.Message.payload += Ping of int | Pong of int
+
+let full_domain n = Domain.full n
+
+let make ?(seed = 42) ?(link = Network.Reliable) ?sched ?delay n =
+  Engine.create ?sched ?delay ~seed ~domain:(full_domain n) ~link ~n ()
+
+let test_ping_pong () =
+  let eng = make 2 in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let got_pong = ref (-1) in
+  Engine.spawn eng p0 (fun () ->
+      Proc.send p1 (Ping 7);
+      let rec wait () =
+        match Proc.receive () with
+        | [] ->
+          Proc.yield ();
+          wait ()
+        | (_, Pong x) :: _ -> got_pong := x
+        | _ :: _ -> wait ()
+      in
+      wait ());
+  Engine.spawn eng p1 (fun () ->
+      let rec wait () =
+        match Proc.receive () with
+        | [] ->
+          Proc.yield ();
+          wait ()
+        | (src, Ping x) :: _ -> Proc.send src (Pong (x * 10))
+        | _ :: _ -> wait ()
+      in
+      wait ());
+  let reason = Engine.run eng ~max_steps:10_000 () in
+  Alcotest.(check int) "pong payload" 70 !got_pong;
+  Alcotest.(check bool) "finished" true (reason = Engine.Quiescent)
+
+let test_registers () =
+  let eng = make 2 in
+  let store = Engine.store eng in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let r = Mem.alloc store ~name:"r" ~owner:p0 ~shared_with:[ p1 ] 0 in
+  let seen = ref (-1) in
+  Engine.spawn eng p0 (fun () -> Proc.write r 41);
+  Engine.spawn eng p1 (fun () ->
+      let rec wait () =
+        let v = Proc.read r in
+        if v = 0 then begin
+          Proc.yield ();
+          wait ()
+        end
+        else seen := v
+      in
+      wait ());
+  ignore (Engine.run eng ~max_steps:10_000 ());
+  Alcotest.(check int) "read sees write" 41 !seen;
+  let c = Mem.counters_of store p0 in
+  Alcotest.(check int) "owner write is local" 1 c.Mem.writes_local
+
+let test_access_violation () =
+  let eng = make ~seed:1 3 in
+  let store = Engine.store eng in
+  let p0 = Id.of_int 0 and p2 = Id.of_int 2 in
+  (* Domain is full so allocation succeeds for {0,1}; access by 2 must
+     still fail because 2 is not a member of this register. *)
+  let r = Mem.alloc store ~name:"priv" ~owner:p0 ~shared_with:[ Id.of_int 1 ] 0 in
+  Engine.spawn eng p2 (fun () -> ignore (Proc.read r));
+  Alcotest.check_raises "violation"
+    (Mem.Access_violation { reg = "priv"; by = p2 })
+    (fun () -> ignore (Engine.run eng ~max_steps:100 ()))
+
+let test_domain_forbids_alloc () =
+  let g = Mm_graph.Builders.ring 5 in
+  let dom = Domain.uniform_of_graph g in
+  let store = Mem.create dom in
+  (* {0,2,3} fits in no closed neighborhood of the 5-ring (note that
+     {0,2} alone WOULD fit, inside S_1 = {0,1,2}). *)
+  ignore
+    (Mem.alloc store ~name:"ok" ~owner:(Id.of_int 0)
+       ~shared_with:[ Id.of_int 2 ] 0);
+  Alcotest.(check bool)
+    "alloc rejected" true
+    (try
+       ignore
+         (Mem.alloc store ~name:"x" ~owner:(Id.of_int 0)
+            ~shared_with:[ Id.of_int 2; Id.of_int 3 ] 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_crash () =
+  let eng = make ~seed:3 2 in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let count0 = ref 0 and count1 = ref 0 in
+  let spin counter () =
+    let rec go () =
+      incr counter;
+      Proc.yield ();
+      go ()
+    in
+    go ()
+  in
+  Engine.spawn eng p0 (spin count0);
+  Engine.spawn eng p1 (spin count1);
+  Engine.crash_at eng p1 50;
+  let reason = Engine.run eng ~max_steps:500 () in
+  Alcotest.(check bool) "hits step limit" true (reason = Engine.Step_limit);
+  Alcotest.(check bool) "p1 crashed" true (Engine.status_of eng p1 = Engine.Crashed);
+  Alcotest.(check bool) "p1 stopped early" true (Engine.steps_of eng p1 <= 51);
+  Alcotest.(check bool) "p0 kept running" true (Engine.steps_of eng p0 > 400)
+
+let test_crash_before_start () =
+  let eng = make ~seed:4 2 in
+  let p1 = Id.of_int 1 in
+  let ran = ref false in
+  Engine.spawn eng (Id.of_int 0) (fun () -> Proc.yield ());
+  Engine.spawn eng p1 (fun () -> ran := true);
+  Engine.crash_at eng p1 0;
+  ignore (Engine.run eng ~max_steps:100 ());
+  Alcotest.(check bool) "crashed process never ran its first step" true
+    (Engine.steps_of eng p1 = 0)
+
+let test_determinism () =
+  let run_once seed =
+    let eng = make ~seed 4 in
+    let order = Buffer.create 64 in
+    List.iter
+      (fun p ->
+        Engine.spawn eng p (fun () ->
+            for _ = 1 to 10 do
+              Buffer.add_string order (string_of_int (Id.to_int p));
+              Proc.yield ()
+            done))
+      (Id.all 4);
+    ignore (Engine.run eng ~max_steps:1_000 ());
+    Buffer.contents order
+  in
+  Alcotest.(check string) "same seed, same schedule" (run_once 99) (run_once 99);
+  Alcotest.(check bool)
+    "different seed, different schedule" true
+    (run_once 99 <> run_once 100)
+
+let test_round_robin () =
+  let sched = Sched.create Sched.Round_robin in
+  let eng = make ~sched 3 in
+  let order = Buffer.create 32 in
+  List.iter
+    (fun p ->
+      Engine.spawn eng p (fun () ->
+          for _ = 1 to 3 do
+            Buffer.add_string order (string_of_int (Id.to_int p));
+            Proc.yield ()
+          done))
+    (Id.all 3);
+  ignore (Engine.run eng ~max_steps:100 ());
+  (* First steps run the fiber prologues in id order; afterwards strict
+     rotation.  The exact interleaving is fixed: 0,1,2 repeating. *)
+  Alcotest.(check string) "rotation" "012012012" (Buffer.contents order)
+
+let test_timeliness () =
+  (* An adversarial base policy that always prefers the highest id would
+     starve process 0; declaring 0 timely with bound 4 must force it in
+     regularly. *)
+  let sched =
+    Sched.create ~timely:[ (0, 4) ]
+      (Sched.Custom (fun v -> List.fold_left max 0 v.Sched.runnable))
+  in
+  let eng = make ~sched 3 in
+  let steps_when_0 = ref [] in
+  List.iter
+    (fun p ->
+      Engine.spawn eng p (fun () ->
+          let rec go () =
+            if Id.to_int p = 0 then
+              steps_when_0 := Proc.my_steps () :: !steps_when_0;
+            Proc.yield ();
+            go ()
+          in
+          go ()))
+    (Id.all 3);
+  ignore (Engine.run eng ~max_steps:300 ());
+  let count0 = Engine.steps_of eng (Id.of_int 0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "process 0 not starved (got %d steps)" count0)
+    true (count0 > 20)
+
+let test_fair_lossy_drops_and_delivers () =
+  let eng = make ~seed:7 ~link:(Network.Fair_lossy 0.5) 2 in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let received = ref 0 in
+  Engine.spawn eng p0 (fun () ->
+      for i = 1 to 200 do
+        Proc.send p1 (Ping i)
+      done);
+  Engine.spawn eng p1 (fun () ->
+      let rec go () =
+        let msgs = Proc.receive () in
+        received := !received + List.length msgs;
+        if !received < 50 then begin
+          Proc.yield ();
+          go ()
+        end
+      in
+      go ());
+  ignore (Engine.run eng ~max_steps:50_000 ());
+  let s = Network.stats (Engine.network eng) in
+  Alcotest.(check bool) "some drops" true (s.Network.dropped > 20);
+  Alcotest.(check bool) "some deliveries" true (!received >= 50)
+
+let test_blocked_link_holds_messages () =
+  let eng = make ~seed:8 2 in
+  let net = Engine.network eng in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let unblock_at = 200 in
+  Network.set_block_fn net (fun ~now ~src:_ ~dst:_ -> now < unblock_at);
+  let got_at = ref (-1) in
+  Engine.spawn eng p0 (fun () -> Proc.send p1 (Ping 1));
+  Engine.spawn eng p1 (fun () ->
+      let rec go () =
+        match Proc.receive () with
+        | [] ->
+          Proc.yield ();
+          go ()
+        | _ -> got_at := Proc.my_steps ()
+      in
+      go ());
+  let reason = Engine.run eng ~max_steps:10_000 () in
+  Alcotest.(check bool) "eventually delivered" true (reason = Engine.Quiescent);
+  Alcotest.(check bool) "held until unblock" true (!got_at >= 50)
+
+let test_coin_determinism () =
+  let flips seed =
+    let eng = make ~seed 1 in
+    let acc = ref [] in
+    Engine.spawn eng (Id.of_int 0) (fun () ->
+        for _ = 1 to 20 do
+          acc := Proc.coin () :: !acc
+        done);
+    ignore (Engine.run eng ~max_steps:1000 ());
+    !acc
+  in
+  Alcotest.(check bool) "same" true (flips 5 = flips 5);
+  Alcotest.(check bool) "coin count" true (flips 5 <> flips 6)
+
+let test_atomic_step () =
+  (* Two processes incrementing via atomic read-modify-write never lose
+     updates, unlike two separate read/write steps. *)
+  let eng = make ~seed:9 2 in
+  let store = Engine.store eng in
+  let r =
+    Mem.alloc store ~name:"ctr" ~owner:(Id.of_int 0)
+      ~shared_with:[ Id.of_int 1 ] 0
+  in
+  List.iter
+    (fun p ->
+      Engine.spawn eng p (fun () ->
+          for _ = 1 to 50 do
+            Proc.atomic (fun () -> Mem.write r ~by:p (Mem.read r ~by:p + 1))
+          done))
+    (Id.all 2);
+  ignore (Engine.run eng ~max_steps:10_000 ());
+  Alcotest.(check int) "no lost updates" 100 (Mem.peek r)
+
+let test_double_spawn_rejected () =
+  let eng = make 2 in
+  Engine.spawn eng (Id.of_int 0) (fun () -> ());
+  Alcotest.(check bool) "raises" true
+    (try
+       Engine.spawn eng (Id.of_int 0) (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_resumes () =
+  (* run can be called repeatedly; the step counter is global. *)
+  let eng = make 1 in
+  let count = ref 0 in
+  Engine.spawn eng (Id.of_int 0) (fun () ->
+      let rec go () =
+        incr count;
+        Proc.yield ();
+        go ()
+      in
+      go ());
+  Alcotest.(check bool) "first slice" true
+    (Engine.run eng ~max_steps:10 () = Engine.Step_limit);
+  let after_first = !count in
+  Alcotest.(check bool) "second slice continues" true
+    (Engine.run eng ~max_steps:10 () = Engine.Step_limit);
+  Alcotest.(check bool) "progressed" true (!count > after_first);
+  Alcotest.(check int) "global step" 20 (Engine.now eng)
+
+let test_until_already_true () =
+  let eng = make 1 in
+  Engine.spawn eng (Id.of_int 0) (fun () -> Proc.yield ());
+  let r = Engine.run eng ~until:(fun () -> true) () in
+  Alcotest.(check bool) "stops immediately" true (r = Engine.Stopped);
+  Alcotest.(check int) "no steps" 0 (Engine.now eng)
+
+let test_crash_done_process_harmless () =
+  let eng = make 2 in
+  Engine.spawn eng (Id.of_int 0) (fun () -> ());
+  Engine.spawn eng (Id.of_int 1) (fun () -> Proc.yield ());
+  ignore (Engine.run eng ~max_steps:100 ());
+  Alcotest.(check bool) "p0 done" true (Engine.status_of eng (Id.of_int 0) = Engine.Done);
+  Engine.crash_at eng (Id.of_int 0) (Engine.now eng);
+  ignore (Engine.run eng ~max_steps:10 ());
+  Alcotest.(check bool) "still done, not crashed" true
+    (Engine.status_of eng (Id.of_int 0) = Engine.Done)
+
+let test_unspawned_process_is_not_runnable () =
+  let eng = make 3 in
+  Engine.spawn eng (Id.of_int 0) (fun () -> Proc.yield ());
+  (* processes 1, 2 never spawned: the run still quiesces *)
+  let r = Engine.run eng ~max_steps:1_000 () in
+  Alcotest.(check bool) "quiescent" true (r = Engine.Quiescent);
+  Alcotest.(check bool) "unspawned status" true
+    (Engine.status_of eng (Id.of_int 1) = Engine.Unspawned)
+
+let test_correct_list () =
+  let eng = make 3 in
+  Engine.spawn eng (Id.of_int 0) (fun () -> ());
+  Engine.spawn eng (Id.of_int 1) (fun () ->
+      let rec go () =
+        Proc.yield ();
+        go ()
+      in
+      go ());
+  Engine.crash_at eng (Id.of_int 2) 0;
+  ignore (Engine.run eng ~max_steps:50 ());
+  (* 0 finished (Done = not "correct" for our bookkeeping), 2 crashed *)
+  Alcotest.(check (list int)) "correct = still-live" [ 1 ]
+    (List.map Id.to_int (Engine.correct eng))
+
+let prop_omega_elects_some_correct_leader =
+  QCheck.Test.make ~name:"omega: elects a correct leader across seeds"
+    ~count:12
+    QCheck.(int_range 100 4000)
+    (fun seed ->
+      let module Omega = Mm_election.Omega in
+      let o =
+        Omega.run ~seed ~timely:[ (0, 4); (1, 4) ]
+          ~crashes:(if seed mod 2 = 0 then [ (0, 5_000) ] else [])
+          ~warmup:120_000 ~variant:Omega.Reliable ~n:4 ()
+      in
+      Omega.holds o)
+
+let () =
+  Alcotest.run "mm_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ping-pong" `Quick test_ping_pong;
+          Alcotest.test_case "registers" `Quick test_registers;
+          Alcotest.test_case "access violation" `Quick test_access_violation;
+          Alcotest.test_case "domain forbids alloc" `Quick test_domain_forbids_alloc;
+          Alcotest.test_case "crash" `Quick test_crash;
+          Alcotest.test_case "crash before start" `Quick test_crash_before_start;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "timeliness" `Quick test_timeliness;
+          Alcotest.test_case "fair lossy" `Quick test_fair_lossy_drops_and_delivers;
+          Alcotest.test_case "blocked link" `Quick test_blocked_link_holds_messages;
+          Alcotest.test_case "coin determinism" `Quick test_coin_determinism;
+          Alcotest.test_case "atomic step" `Quick test_atomic_step;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "double spawn" `Quick test_double_spawn_rejected;
+          Alcotest.test_case "run resumes" `Quick test_run_resumes;
+          Alcotest.test_case "until already true" `Quick test_until_already_true;
+          Alcotest.test_case "crash done process" `Quick
+            test_crash_done_process_harmless;
+          Alcotest.test_case "unspawned not runnable" `Quick
+            test_unspawned_process_is_not_runnable;
+          Alcotest.test_case "correct list" `Quick test_correct_list;
+          QCheck_alcotest.to_alcotest prop_omega_elects_some_correct_leader;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the replicated log: per-slot agreement, completeness,
+   leader failover, and command survival across leadership changes. *)
+
+module Log = Mm_smr.Replicated_log
+module Engine = Mm_sim.Engine
+module Net = Mm_net.Network
+
+let test_basic_replication () =
+  let o = Log.run ~seed:1 ~n:3 ~commands_per_proc:3 () in
+  Alcotest.(check bool) "completed" true o.Log.all_committed;
+  Alcotest.(check bool) "consistent" true o.Log.consistent;
+  (* 9 distinct commands need at least 9 slots *)
+  Alcotest.(check bool) "slots >= commands" true (o.Log.slots_used >= 9)
+
+let test_many_seeds () =
+  for seed = 1 to 8 do
+    let o = Log.run ~seed ~n:4 ~commands_per_proc:2 () in
+    Alcotest.(check bool)
+      (Printf.sprintf "committed (seed %d)" seed)
+      true o.Log.all_committed;
+    Alcotest.(check bool)
+      (Printf.sprintf "consistent (seed %d)" seed)
+      true o.Log.consistent
+  done
+
+let test_logs_agree_per_slot () =
+  let o = Log.run ~seed:3 ~n:4 ~commands_per_proc:3 () in
+  (* Stronger than the built-in flag: build the slot map explicitly. *)
+  let slot_map = Hashtbl.create 32 in
+  Array.iter
+    (List.iter (fun (s, c) ->
+         match Hashtbl.find_opt slot_map s with
+         | None -> Hashtbl.add slot_map s c
+         | Some c' ->
+           Alcotest.(check bool)
+             (Printf.sprintf "slot %d agrees" s)
+             true (c = c')))
+    o.Log.logs;
+  Alcotest.(check bool) "flag matches" true o.Log.consistent
+
+let test_follower_commands_reach_the_log () =
+  (* Process 0 leads (smallest id); followers' commands must still get
+     committed — via Forward messages. *)
+  let o = Log.run ~seed:5 ~n:3 ~commands_per_proc:2 () in
+  Alcotest.(check bool) "completed" true o.Log.all_committed;
+  let committed_issuers =
+    List.sort_uniq compare
+      (List.map (fun (_, c) -> c.Log.issuer) o.Log.logs.(0))
+  in
+  Alcotest.(check (list int)) "all issuers present" [ 0; 1; 2 ] committed_issuers;
+  Alcotest.(check bool) "forwarding used messages" true (o.Log.net.Net.sent > 0)
+
+let test_leader_crash_failover () =
+  for seed = 1 to 5 do
+    let o =
+      Log.run ~seed ~n:4 ~commands_per_proc:2 ~crashes:[ (0, 2_000) ]
+        ~max_steps:3_000_000 ()
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "survives leader crash (seed %d)" seed)
+      true o.Log.all_committed;
+    Alcotest.(check bool) "consistent" true o.Log.consistent
+  done
+
+let test_crashed_commands_may_be_lost_but_safety_holds () =
+  (* p3 crashes immediately: its commands need not commit, but whatever
+     does commit must be consistent. *)
+  let o =
+    Log.run ~seed:7 ~n:4 ~commands_per_proc:2 ~crashes:[ (3, 0) ] ()
+  in
+  Alcotest.(check bool) "correct processes' commands committed" true
+    o.Log.all_committed;
+  Alcotest.(check bool) "consistent" true o.Log.consistent
+
+let test_n_minus_1_crashes () =
+  let o =
+    Log.run ~seed:9 ~n:3 ~commands_per_proc:2
+      ~crashes:[ (0, 0); (1, 0) ]
+      ()
+  in
+  (* the lone survivor commits its own commands through its own slots *)
+  Alcotest.(check bool) "survivor commits" true o.Log.all_committed;
+  Alcotest.(check bool) "consistent" true o.Log.consistent
+
+let test_duplicates_are_deduplicated () =
+  (* At-least-once forwarding can decide a command into two slots; the
+     apply layer must count it once. *)
+  let o = Log.run ~seed:11 ~n:4 ~commands_per_proc:3 () in
+  let distinct =
+    List.sort_uniq compare (List.map snd o.Log.logs.(1))
+  in
+  (* every command in any log is distinct after dedup accounting:
+     logs keep the duplicates, but applied-set counted them once, which
+     all_committed already verified; here check the duplicate counter is
+     consistent with the raw log *)
+  let raw = List.length o.Log.logs.(1) in
+  Alcotest.(check bool) "dups accounted" true (raw >= List.length distinct)
+
+let prop_smr_safety =
+  QCheck.Test.make ~name:"replicated log: consistency over random runs"
+    ~count:25
+    QCheck.(triple (int_range 0 3000) (int_range 2 5) (int_range 1 3))
+    (fun (seed, n, k) ->
+      let crashes = if seed mod 3 = 0 then [ (n - 1, seed mod 1000) ] else [] in
+      let o =
+        Log.run ~seed ~n ~commands_per_proc:k ~crashes ~max_steps:600_000 ()
+      in
+      o.Log.consistent)
+
+let () =
+  Alcotest.run "mm_smr"
+    [
+      ( "replicated-log",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_replication;
+          Alcotest.test_case "many seeds" `Quick test_many_seeds;
+          Alcotest.test_case "per-slot agreement" `Quick test_logs_agree_per_slot;
+          Alcotest.test_case "follower commands" `Quick
+            test_follower_commands_reach_the_log;
+          Alcotest.test_case "leader crash" `Quick test_leader_crash_failover;
+          Alcotest.test_case "crashed issuer" `Quick
+            test_crashed_commands_may_be_lost_but_safety_holds;
+          Alcotest.test_case "n-1 crashes" `Quick test_n_minus_1_crashes;
+          Alcotest.test_case "dedup" `Quick test_duplicates_are_deduplicated;
+          QCheck_alcotest.to_alcotest prop_smr_safety;
+        ] );
+    ]
