@@ -9,6 +9,7 @@
    Usage:  main.exe            micro-benches + all tables (full scale)
            main.exe --quick    micro-benches + all tables (quick scale)
            main.exe --no-bench tables only
+           main.exe --json     micro-benches only, as a JSON array
            main.exe e3 e8      just those tables (full scale)            *)
 
 open Bechamel
@@ -118,7 +119,9 @@ let tests =
     (fun (name, kernel) -> Test.make ~name (Staged.stage kernel))
     kernels
 
-let run_benchmarks () =
+(* Measure every kernel and return (name, ns-per-run) pairs in kernel
+   declaration order. *)
+let measure_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -126,33 +129,75 @@ let run_benchmarks () =
   let cfg =
     Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
-  print_endline "== micro-benchmarks (one kernel per experiment table) ==";
-  Printf.printf "%-28s %14s\n" "kernel" "ns/run";
-  Printf.printf "%-28s %14s\n" (String.make 28 '-') (String.make 14 '-');
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analysis = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           let ns =
             match Analyze.OLS.estimates ols_result with
             | Some [ x ] -> x
             | _ -> Float.nan
           in
-          Printf.printf "%-28s %14.0f\n" name ns)
-        analysis)
-    tests;
+          (name, ns) :: acc)
+        analysis [])
+    tests
+
+let run_benchmarks () =
+  print_endline "== micro-benchmarks (one kernel per experiment table) ==";
+  Printf.printf "%-28s %14s\n" "kernel" "ns/run";
+  Printf.printf "%-28s %14s\n" (String.make 28 '-') (String.make 14 '-');
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-28s %14.0f\n" name ns)
+    (measure_benchmarks ());
   print_newline ()
+
+(* JSON string escaping for kernel names (they only use [a-z0-9/-], but
+   stay correct regardless). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Machine-readable mode: exactly one JSON array on stdout, one object
+   per kernel; NaN (no estimate) becomes null. *)
+let run_benchmarks_json () =
+  let results = measure_benchmarks () in
+  print_string "[";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then print_string ",";
+      let ns_field =
+        if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns
+      in
+      Printf.printf "\n  {\"kernel\": \"%s\", \"ns_per_run\": %s}"
+        (json_escape name) ns_field)
+    results;
+  print_string "\n]\n"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let no_bench = List.mem "--no-bench" args in
+  let json = List.mem "--json" args in
   let wanted =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
   let scale = if quick then `Quick else `Full in
+  if json then begin
+    run_benchmarks_json ();
+    exit 0
+  end;
   if not no_bench then run_benchmarks ();
   let to_run =
     match wanted with

@@ -52,15 +52,18 @@ let make_graph family n seed =
   | "cliques" ->
     if n mod 3 <> 0 then failwith "cliques family uses k=3; n must be divisible by 3";
     B.ring_of_cliques ~cliques:(n / 3) ~k:3
+  | "disjoint" ->
+    if n < 2 || n mod 2 <> 0 then failwith "disjoint needs an even n >= 2";
+    B.disjoint_cliques ~cliques:2 ~k:(n / 2)
   | f -> failwith ("unknown graph family: " ^ f)
 
-let family_arg =
+let family_arg default =
   let doc =
     "Shared-memory graph family: edgeless | ring | path | star | complete \
      | hypercube | torus | regular3 | regular4 | regular6 | margulis | \
-     barbell | cliques."
+     barbell | cliques | disjoint."
   in
-  Arg.(value & opt string "ring" & info [ "g"; "graph" ] ~docv:"FAMILY" ~doc)
+  Arg.(value & opt string default & info [ "g"; "graph" ] ~docv:"FAMILY" ~doc)
 
 let n_arg default =
   Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
@@ -80,6 +83,14 @@ let parse_crashes specs =
       | [ pid ] -> (int_of_string pid, 0)
       | _ -> failwith ("bad crash spec: " ^ s))
     specs
+
+let impl_arg =
+  let impl =
+    Arg.enum
+      [ ("registers", Hbo.Registers); ("trusted", Hbo.Trusted); ("direct", Hbo.Direct) ]
+  in
+  Arg.(value & opt impl Hbo.Trusted & info [ "impl" ] ~docv:"IMPL"
+         ~doc:"Consensus-object implementation: registers | trusted | direct.")
 
 (* --- experiment --- *)
 
@@ -112,13 +123,6 @@ let experiment_cmd =
 (* --- consensus --- *)
 
 let consensus_cmd =
-  let impl_arg =
-    let impl =
-      Arg.enum [ ("registers", Hbo.Registers); ("trusted", Hbo.Trusted); ("direct", Hbo.Direct) ]
-    in
-    Arg.(value & opt impl Hbo.Trusted & info [ "impl" ] ~docv:"IMPL"
-           ~doc:"Consensus-object implementation: registers | trusted | direct.")
-  in
   let run family n seed impl crash_specs =
     let graph = make_graph family n seed in
     let inputs = Array.init n (fun i -> i mod 2) in
@@ -147,7 +151,7 @@ let consensus_cmd =
   in
   Cmd.v
     (Cmd.info "consensus" ~doc:"Run HBO consensus (Figure 2) on a graph.")
-    Term.(const run $ family_arg $ n_arg 8 $ seed_arg $ impl_arg $ crashes_arg)
+    Term.(const run $ family_arg "ring" $ n_arg 8 $ seed_arg $ impl_arg $ crashes_arg)
 
 (* --- paxos --- *)
 
@@ -307,6 +311,103 @@ let mutex_cmd =
     (Cmd.info "mutex" ~doc:"Compare bakery (remote-spin), local-spin and m&m (no-spin) locks.")
     Term.(const run $ algo_arg $ n_arg 4 $ seed_arg $ entries_arg)
 
+(* --- check: schedule exploration + property monitoring --- *)
+
+let check_cmd =
+  let module Runner = Mm_check.Runner in
+  let algo_arg =
+    Arg.(value & opt string "hbo" & info [ "algo" ] ~docv:"A"
+           ~doc:"What to check: hbo | omega | abd.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"TRIALS"
+           ~doc:"Randomized trials to run (default 200; 50 for omega).")
+  in
+  let max_crashes_arg =
+    Arg.(value & opt (some int) None & info [ "crashes" ] ~docv:"F"
+           ~doc:"Crash budget per trial. Default: the Thm 4.3 bound of the \
+                 graph for hbo (sweeps stay inside the tolerance envelope; \
+                 raise it to hunt for stalls), n-2 for omega.")
+  in
+  let max_steps_arg =
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"S"
+           ~doc:"Step budget per trial (hbo/abd).")
+  in
+  let variant_arg =
+    Arg.(value & opt string "reliable" & info [ "variant" ] ~docv:"V"
+           ~doc:"Omega notification mechanism: reliable | lossy.")
+  in
+  let drop_arg =
+    Arg.(value & opt float 0.3 & info [ "drop" ] ~docv:"P"
+           ~doc:"Max drop probability swept for omega's lossy variant.")
+  in
+  let expect_stall_arg =
+    Arg.(value & flag & info [ "expect-stall" ]
+           ~doc:"Check the Thm 4.4 expected-failure mode instead: crash the \
+                 graph's SM-cut boundary, delay cross-cut messages, and \
+                 report a violation if consensus terminates anyway.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"SEED"
+           ~doc:"Re-run the single trial with this trial seed (as reported \
+                 by a violation) instead of sweeping.")
+  in
+  let trace_arg =
+    Arg.(value & opt int 30 & info [ "trace" ] ~docv:"K"
+           ~doc:"Trailing engine-trace events kept per trial for \
+                 counterexample reports.")
+  in
+  let run algo family n seed budget max_crashes max_steps impl variant drop
+      expect_stall replay trace =
+    let report =
+      match String.lowercase_ascii algo with
+      | "hbo" ->
+        let graph = make_graph family n seed in
+        Format.printf "checking hbo on %s %a: Thm 4.3 crash bound f* = %d@."
+          family G.pp graph
+          (Runner.default_max_crashes graph);
+        (match replay with
+        | Some trial_seed ->
+          Runner.replay_hbo ~impl ?max_crashes ?max_steps ~trace_tail:trace
+            ~expect_stall ~graph ~trial_seed ()
+        | None ->
+          Runner.check_hbo ~master_seed:seed ?budget ~impl ?max_crashes
+            ?max_steps ~trace_tail:trace ~expect_stall ~graph ())
+      | "omega" ->
+        let variant =
+          match String.lowercase_ascii variant with
+          | "reliable" -> Omega.Reliable
+          | "lossy" -> Omega.Fair_lossy drop
+          | v -> failwith ("unknown variant: " ^ v)
+        in
+        (match replay with
+        | Some trial_seed ->
+          Runner.replay_omega ?max_crashes ~drop ~trace_tail:trace ~variant ~n
+            ~trial_seed ()
+        | None ->
+          Runner.check_omega ~master_seed:seed ?budget ?max_crashes ~drop
+            ~trace_tail:trace ~variant ~n ())
+      | "abd" -> (
+        match replay with
+        | Some trial_seed ->
+          Runner.replay_abd ?max_steps ~trace_tail:trace ~n ~trial_seed ()
+        | None ->
+          Runner.check_abd ~master_seed:seed ?budget ?max_steps
+            ~trace_tail:trace ~n ())
+      | a -> failwith ("unknown check target: " ^ a)
+    in
+    Format.printf "%a" Runner.pp_report report;
+    if report.Runner.violation <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check an algorithm: sweep randomized schedules and faults \
+             from one seed, monitor the paper's theorems, and report a \
+             replayable shrunk counterexample (exit 1) on violation.")
+    Term.(const run $ algo_arg $ family_arg "complete" $ n_arg 6 $ seed_arg
+          $ budget_arg $ max_crashes_arg $ max_steps_arg $ impl_arg
+          $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg $ trace_arg)
+
 (* --- graph analysis --- *)
 
 let graph_cmd =
@@ -341,7 +442,7 @@ let graph_cmd =
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"Analyze a shared-memory graph: expansion, fault-tolerance bounds, SM-cuts.")
-    Term.(const run $ family_arg $ n_arg 12 $ seed_arg)
+    Term.(const run $ family_arg "ring" $ n_arg 12 $ seed_arg)
 
 let () =
   let info =
@@ -349,10 +450,21 @@ let () =
       ~doc:"The m&m (message-and-memory) model: consensus and leader election \
             from PODC'18 \"Passing Messages while Sharing Memory\"."
   in
+  (* cmdliner renders the single-char "n" option as [-n] only; accept the
+     natural [--n 6] / [--n=6] spellings too. *)
+  let argv =
+    Array.map
+      (fun a ->
+        if String.equal a "--n" then "-n"
+        else if String.length a > 4 && String.equal (String.sub a 0 4) "--n="
+        then "-n" ^ String.sub a 4 (String.length a - 4)
+        else a)
+      Sys.argv
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group info
           [
             experiment_cmd; consensus_cmd; paxos_cmd; smr_cmd; election_cmd;
-            mutex_cmd; graph_cmd;
+            mutex_cmd; graph_cmd; check_cmd;
           ]))

@@ -29,6 +29,7 @@ type outcome = {
   crashed : bool array;
   messages_sent : int;
   steps : int;
+  trace : Mm_sim.Trace.event list;
 }
 
 type op =
@@ -128,11 +129,11 @@ let abd_process ~n ~record ~mark_done me script () =
   (* Keep serving the protocol for everybody else. *)
   serve_until (fun () -> false)
 
-let run ?(seed = 1) ?(max_steps = 400_000) ?(crashes = []) ?delay ~n
-    ~scripts () =
+let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0)
+    ?(crashes = []) ?delay ~n ~scripts () =
   if Array.length scripts <> n then invalid_arg "Abd.run: |scripts| <> n";
   let eng =
-    Engine.create ~seed ?delay ~domain:(Domain_.isolated n)
+    Engine.create ~seed ?delay ~trace_capacity ~domain:(Domain_.isolated n)
       ~link:Network.Reliable ~n ()
   in
   let crashed = Array.make n false in
@@ -175,6 +176,10 @@ let run ?(seed = 1) ?(max_steps = 400_000) ?(crashes = []) ?delay ~n
     crashed;
     messages_sent = (Network.stats (Engine.network eng)).Network.sent;
     steps = Engine.now eng;
+    trace =
+      (match Engine.trace eng with
+      | None -> []
+      | Some tr -> Mm_sim.Trace.to_list tr);
   }
 
 let atomicity_violations o =

@@ -39,6 +39,8 @@ type outcome = {
   crashed : bool array;
   messages_sent : int;
   steps : int;
+  trace : Mm_sim.Trace.event list;
+      (** trailing engine trace (empty unless [trace_capacity] > 0) *)
 }
 
 (** Per-process scripts: the ops each process performs, in order.
@@ -54,6 +56,7 @@ type op =
 val run :
   ?seed:int ->
   ?max_steps:int ->
+  ?trace_capacity:int ->
   ?crashes:(int * int) list ->
   ?delay:Mm_net.Network.delay ->
   n:int ->

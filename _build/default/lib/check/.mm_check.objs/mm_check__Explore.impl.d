@@ -1,0 +1,1 @@
+lib/check/explore.ml: Array Fun List Mm_rng Mm_sim

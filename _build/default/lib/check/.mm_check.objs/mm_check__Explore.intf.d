@@ -1,0 +1,1 @@
+lib/check/explore.mli: Mm_rng Mm_sim

@@ -1,0 +1,1 @@
+lib/check/lin.ml: Array Hashtbl List Mm_abd

@@ -1,0 +1,1 @@
+lib/check/lin.mli: Mm_abd

@@ -1,0 +1,1 @@
+lib/check/monitor.ml: Array Format Lin List Mm_abd Mm_consensus Mm_election Mm_graph Mm_net Mm_sim Printf String

@@ -1,0 +1,1 @@
+lib/check/monitor.mli: Mm_abd Mm_consensus Mm_election Mm_graph Mm_sim

@@ -1,0 +1,1 @@
+lib/check/runner.ml: Array Explore Format Int64 List Mm_abd Mm_consensus Mm_election Mm_graph Mm_net Mm_rng Mm_sim Monitor Option Printf Shrink String

@@ -1,0 +1,1 @@
+lib/check/runner.mli: Format Mm_consensus Mm_election Mm_graph Mm_sim

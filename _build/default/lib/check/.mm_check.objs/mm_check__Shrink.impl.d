@@ -1,0 +1,1 @@
+lib/check/shrink.ml: List

@@ -1,0 +1,78 @@
+module Rng = Mm_rng.Rng
+module Sched = Mm_sim.Sched
+
+let random_walk () = Sched.create Sched.Random
+
+let pct ~seed ~n ~k ~depth =
+  if k < 1 then invalid_arg "Explore.pct: need k >= 1";
+  if n < 1 then invalid_arg "Explore.pct: need n >= 1";
+  if depth < 1 then invalid_arg "Explore.pct: need depth >= 1";
+  let rng = Rng.create seed in
+  (* Random ranks become geometric weights: rank r gets 4^r, so the top
+     process hogs the schedule without ever starving the bottom one. *)
+  let weight = Array.make n 1.0 in
+  let order = Array.init n Fun.id in
+  Rng.shuffle_in_place rng order;
+  Array.iteri
+    (fun rank pid -> weight.(pid) <- 4.0 ** float_of_int rank)
+    order;
+  let demote_factor = 4.0 ** float_of_int (-(n + 1)) in
+  let points =
+    List.sort compare (List.init (k - 1) (fun _ -> 1 + Rng.int rng depth))
+  in
+  let remaining = ref points in
+  let heaviest_runnable view =
+    List.fold_left
+      (fun best p ->
+        match best with
+        | Some b when weight.(b) >= weight.(p) -> best
+        | _ -> Some p)
+      None view.Sched.runnable
+  in
+  let choose view =
+    (match !remaining with
+    | d :: tl when view.Sched.now >= d ->
+      remaining := tl;
+      (match heaviest_runnable view with
+      | Some p -> weight.(p) <- weight.(p) *. demote_factor
+      | None -> ())
+    | _ -> ());
+    let total =
+      List.fold_left (fun acc p -> acc +. weight.(p)) 0.0 view.Sched.runnable
+    in
+    let x = Rng.float rng *. total in
+    let rec walk acc = function
+      | [] -> invalid_arg "Explore.pct: no runnable process"
+      | [ p ] -> p
+      | p :: rest ->
+        let acc = acc +. weight.(p) in
+        if x < acc then p else walk acc rest
+    in
+    walk 0.0 view.Sched.runnable
+  in
+  Sched.create (Sched.Custom choose)
+
+let replay pids =
+  let remaining = ref pids in
+  let choose view =
+    match !remaining with
+    | p :: tl when List.mem p view.Sched.runnable ->
+      remaining := tl;
+      p
+    | _ -> List.hd view.Sched.runnable
+  in
+  Sched.create (Sched.Custom choose)
+
+let gen_crashes rng ~n ~avoid ~max_crashes ~max_step =
+  let candidates =
+    List.filter (fun p -> not (List.mem p avoid)) (List.init n Fun.id)
+  in
+  let budget = min max_crashes (List.length candidates) in
+  if budget = 0 then []
+  else begin
+    let f = if Rng.bool rng then budget else Rng.int rng (budget + 1) in
+    let victims = List.filteri (fun i _ -> i < f) (Rng.shuffle rng candidates) in
+    List.map (fun pid -> (pid, Rng.int rng (max_step + 1))) victims
+  end
+
+let gen_drop rng ~max = Rng.float rng *. max

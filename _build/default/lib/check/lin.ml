@@ -1,0 +1,69 @@
+type op =
+  | Read of int
+  | Write of int
+
+type event = {
+  proc : int;
+  op : op;
+  start_t : int;
+  finish_t : int;
+}
+
+let check ?(init = 0) events =
+  let evs = Array.of_list events in
+  let m = Array.length evs in
+  if m > 62 then invalid_arg "Lin.check: history longer than 62 events";
+  Array.iter
+    (fun e ->
+      if e.finish_t < e.start_t then
+        invalid_arg "Lin.check: event finishes before it starts")
+    evs;
+  if m = 0 then true
+  else begin
+    (* States already proven dead ends: (remaining mask, register value). *)
+    let failed : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+    let rec go mask value =
+      mask = 0
+      || (not (Hashtbl.mem failed (mask, value)))
+         &&
+         let ok =
+           (* An op is minimal when nothing else still pending finished
+              strictly before it started; min-finish over the whole mask
+              works because an op cannot finish before its own start. *)
+           let min_fin = ref max_int in
+           for i = 0 to m - 1 do
+             if mask land (1 lsl i) <> 0 && evs.(i).finish_t < !min_fin then
+               min_fin := evs.(i).finish_t
+           done;
+           let rec try_at i =
+             i < m
+             && ((mask land (1 lsl i) <> 0
+                 && evs.(i).start_t <= !min_fin
+                 &&
+                 let rest = mask lxor (1 lsl i) in
+                 match evs.(i).op with
+                 | Write v -> go rest v
+                 | Read v -> v = value && go rest value)
+                || try_at (i + 1))
+           in
+           try_at 0
+         in
+         if not ok then Hashtbl.replace failed (mask, value) ();
+         ok
+    in
+    go ((1 lsl m) - 1) init
+  end
+
+let of_abd_history history =
+  List.map
+    (fun (e : Mm_abd.Abd.event) ->
+      {
+        proc = e.Mm_abd.Abd.proc;
+        op =
+          (match e.Mm_abd.Abd.kind with
+          | `Read v -> Read v
+          | `Write v -> Write v);
+        start_t = e.Mm_abd.Abd.start_step;
+        finish_t = e.Mm_abd.Abd.end_step;
+      })
+    history

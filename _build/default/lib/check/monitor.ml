@@ -1,0 +1,140 @@
+module Hbo = Mm_consensus.Hbo
+module Omega = Mm_election.Omega
+module Abd = Mm_abd.Abd
+module Expansion = Mm_graph.Expansion
+module Trace = Mm_sim.Trace
+
+type verdict =
+  | Pass
+  | Fail of string
+
+let is_pass = function Pass -> true | Fail _ -> false
+
+let first_failure monitors o =
+  List.fold_left
+    (fun acc (name, m) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (match m o with Pass -> None | Fail d -> Some (name, d)))
+    None monitors
+
+let no_sends_after ~step events =
+  let offending =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.Trace.step >= step
+        && match e.Trace.op with Trace.Sent _ -> true | _ -> false)
+      events
+  in
+  match offending with
+  | [] -> Pass
+  | e :: _ ->
+    Fail
+      (Format.asprintf "message sent at step %d (>= %d): %a" e.Trace.step step
+         Trace.pp_event e)
+
+let undecided_correct (o : Hbo.outcome) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i d -> if (not o.Hbo.crashed.(i)) && d = None then acc := i :: !acc)
+    o.Hbo.decisions;
+  List.rev !acc
+
+let hbo_agreement o =
+  if Hbo.agreement o then Pass
+  else
+    Fail
+      (Format.asprintf "processes decided different values: %s"
+         (String.concat " "
+            (Array.to_list
+               (Array.mapi
+                  (fun i d ->
+                    match d with
+                    | Some v -> Printf.sprintf "p%d=%d" i v
+                    | None -> Printf.sprintf "p%d=?" i)
+                  o.Hbo.decisions))))
+
+let hbo_validity ~inputs o =
+  if Hbo.validity ~inputs o then Pass
+  else Fail "a decision value was nobody's input"
+
+let hbo_termination ~graph o =
+  match undecided_correct o with
+  | [] -> Pass
+  | undecided ->
+    let crashed =
+      let acc = ref [] in
+      Array.iteri (fun i c -> if c then acc := i :: !acc) o.Hbo.crashed;
+      List.rev !acc
+    in
+    let represented = Expansion.represented graph ~crashed in
+    let n = Mm_graph.Graph.order graph in
+    let analysis =
+      if Expansion.majority_represented graph ~crashed then
+        "the crash set leaves a represented majority, so HBO must \
+         terminate (Thm 4.2): checker/budget bug or genuine liveness bug"
+      else
+        Printf.sprintf
+          "the crash set breaks the represented majority (%d/%d \
+           represented), beyond what this graph tolerates (Thm 4.3)"
+          (List.length represented) n
+    in
+    Fail
+      (Printf.sprintf
+         "correct process(es) %s undecided after %d steps; crashed {%s}: %s"
+         (String.concat "," (List.map (Printf.sprintf "p%d") undecided))
+         o.Hbo.total_steps
+         (String.concat "," (List.map string_of_int crashed))
+         analysis)
+
+let hbo_stalls o =
+  match undecided_correct o with
+  | _ :: _ -> Pass
+  | [] ->
+    Fail
+      (Printf.sprintf
+         "all correct processes decided (after %d steps) on a \
+          configuration where consensus must stall (Thm 4.4)"
+         o.Hbo.total_steps)
+
+let omega_stable (o : Omega.outcome) =
+  if Omega.holds o then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "Ω not stable: agreed leader %s, last output change at step %d \
+          (window opened at %d)"
+         (match o.Omega.agreed_leader with
+         | Some l -> Printf.sprintf "p%d" l
+         | None -> "none")
+         o.Omega.last_change_step o.Omega.window_start)
+
+let omega_silent (o : Omega.outcome) =
+  let sent = o.Omega.window_net.Mm_net.Network.sent in
+  if sent = 0 then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "%d message(s) sent inside the steady-state window (Thm 5.1/5.2 \
+          promise silence)"
+         sent)
+
+let abd_complete (o : Abd.outcome) =
+  if o.Abd.pending = 0 then Pass
+  else
+    Fail
+      (Printf.sprintf "%d operation(s) still blocked after %d steps"
+         o.Abd.pending o.Abd.steps)
+
+let abd_atomic o =
+  match Abd.atomicity_violations o with
+  | [] -> Pass
+  | vs -> Fail (String.concat "; " vs)
+
+let abd_linearizable (o : Abd.outcome) =
+  if Lin.check (Lin.of_abd_history o.Abd.history) then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "completed history of %d operation(s) admits no linearization"
+         (List.length o.Abd.history))

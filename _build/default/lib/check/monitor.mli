@@ -1,0 +1,63 @@
+(** Property monitors: reusable predicates over run outcomes (and over
+    recorded per-step trace events), each returning [Pass] or a [Fail]
+    carrying a human-readable diagnosis for the counterexample report.
+
+    The consensus monitors encode Theorems 4.1–4.3 (agreement, validity,
+    termination under represented majority) and the Theorem 4.4
+    expected-failure mode; the Ω monitors encode Theorems 5.1/5.2
+    (eventual stable correct leader, steady-state message silence); the
+    ABD monitors check register atomicity both by protocol timestamps
+    and by the value-level Wing–Gong {!Lin} checker. *)
+
+type verdict =
+  | Pass
+  | Fail of string
+
+val is_pass : verdict -> bool
+
+(** [first_failure monitors o] runs the named monitors in order and
+    returns the first failing (name, diagnosis), if any. *)
+val first_failure :
+  (string * ('o -> verdict)) list -> 'o -> (string * string) option
+
+(** {2 Per-step monitors (over recorded trace events)} *)
+
+(** [no_sends_after ~step events] fails if any [Sent] event is recorded
+    at or after [step] — the steady-state-silence property of Thm 5.1
+    evaluated step by step on the trace. *)
+val no_sends_after : step:int -> Mm_sim.Trace.event list -> verdict
+
+(** {2 HBO consensus (Figure 2, Theorems 4.1–4.4)} *)
+
+val hbo_agreement : Mm_consensus.Hbo.outcome -> verdict
+val hbo_validity : inputs:int array -> Mm_consensus.Hbo.outcome -> verdict
+
+(** Termination within the step budget.  The diagnosis explains whether
+    the crash set left a represented majority (checker or budget bug) or
+    broke it (the crash budget exceeded what [graph] tolerates). *)
+val hbo_termination :
+  graph:Mm_graph.Graph.t -> Mm_consensus.Hbo.outcome -> verdict
+
+(** Expected-failure mode for SM-cut scenarios (Thm 4.4): fails when
+    every correct process decided — i.e. consensus terminated on a
+    configuration where it must stall. *)
+val hbo_stalls : Mm_consensus.Hbo.outcome -> verdict
+
+(** {2 Ω leader election (Figures 3–5, Theorems 5.1/5.2)} *)
+
+(** Eventually one correct leader, stable before the window opened. *)
+val omega_stable : Mm_election.Omega.outcome -> verdict
+
+(** No messages sent inside the steady-state window. *)
+val omega_silent : Mm_election.Omega.outcome -> verdict
+
+(** {2 ABD register (§1 baseline)} *)
+
+(** Every scripted operation completed (no crashes injected). *)
+val abd_complete : Mm_abd.Abd.outcome -> verdict
+
+(** Timestamp-level atomicity ({!Mm_abd.Abd.atomicity_violations}). *)
+val abd_atomic : Mm_abd.Abd.outcome -> verdict
+
+(** Value-level linearizability of the completed history ({!Lin}). *)
+val abd_linearizable : Mm_abd.Abd.outcome -> verdict

@@ -1,0 +1,153 @@
+(** Seeded sweep driver: runs many randomized trials of one algorithm,
+    monitors properties on each, and reports the first violation as a
+    replayable, shrunk counterexample.
+
+    Every trial is a pure function of its [trial_seed]: the seed drives
+    (in a fixed order) the input draw, the fault plan, the scheduler
+    choice and the engine seed, so [replay_*] with the reported seed
+    reruns the identical execution — including its trailing trace.
+    Trial seeds themselves come from the [master_seed], so whole sweeps
+    are reproducible too. *)
+
+(** A property violation, packaged for reporting and replay. *)
+type counterexample = {
+  trial : int;       (** 0-based index of the violating trial *)
+  trial_seed : int;  (** replay with this seed reproduces the run *)
+  property : string; (** monitor name, e.g. "termination" *)
+  detail : string;   (** the monitor's diagnosis *)
+  config : (string * string) list;  (** the trial's full configuration *)
+  shrunk : (string * string) list;
+      (** delta-debugged minimal reproducer (empty when the scenario is
+          fixed by construction, e.g. Thm 4.4 stall checks) *)
+  trace : Mm_sim.Trace.event list;  (** trailing engine events *)
+}
+
+type report = {
+  algo : string;
+  budget : int;        (** trials requested *)
+  trials_run : int;    (** trials executed (stops at first violation) *)
+  violation : counterexample option;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** The Theorem 4.3 crash budget f_max(G) = largest f with
+    f < (1 - 1/(2(1+h(G)))) · n; exact expansion for small graphs,
+    sampled upper bound beyond 16 vertices. *)
+val default_max_crashes : Mm_graph.Graph.t -> int
+
+(** {2 HBO consensus}
+
+    Each trial draws random binary inputs, a crash plan of at most
+    [max_crashes] crashes (default: {!default_max_crashes}, i.e. stay
+    inside the Theorem 4.3 envelope) landing within the first
+    [crash_window] steps, and a scheduler — a random walk or a weighted
+    PCT adversary with k in 1..4 — then monitors agreement and validity
+    (Thm 4.1) on every trial and termination (Thms 4.2/4.3) on
+    random-walk trials (PCT schedules are too skewed to give every
+    process enough steps inside the budget, so liveness is asserted only
+    under the fair walk).
+
+    With [expect_stall] the sweep instead realizes the Theorem 4.4
+    scenario: it finds a minimal SM-cut (B, S, T) of [graph] (raising
+    [Invalid_argument] if none exists), crashes B at step 0, delays all
+    S-T traffic forever, and monitors that consensus does {e not}
+    terminate — a trial fails when every correct process decides.
+
+    On a violation the crash set is shrunk by delta debugging and the
+    PCT budget k is minimized, re-running the trial seed with overridden
+    faults each time and keeping the reduction only if the {e same}
+    property still fails. *)
+val check_hbo :
+  ?master_seed:int ->          (* default 1 *)
+  ?budget:int ->               (* default 200 trials *)
+  ?impl:Mm_consensus.Hbo.impl ->  (* default Trusted *)
+  ?max_crashes:int ->
+  ?crash_window:int ->         (* default 200 steps *)
+  ?max_steps:int ->            (* default 60_000 per trial *)
+  ?trace_tail:int ->           (* default 30 trailing events *)
+  ?expect_stall:bool ->        (* default false *)
+  graph:Mm_graph.Graph.t ->
+  unit ->
+  report
+
+(** Re-run the single HBO trial identified by [trial_seed] (same
+    derivation as inside {!check_hbo}) and report it as a 1-trial
+    sweep.  Pass the same options as the original sweep. *)
+val replay_hbo :
+  ?impl:Mm_consensus.Hbo.impl ->
+  ?max_crashes:int ->
+  ?crash_window:int ->
+  ?max_steps:int ->
+  ?trace_tail:int ->
+  ?expect_stall:bool ->
+  graph:Mm_graph.Graph.t ->
+  trial_seed:int ->
+  unit ->
+  report
+
+(** {2 Ω leader election}
+
+    Each trial draws a crash plan (never crashing the designated timely
+    process 0, which §5 requires to stay alive) landing within the
+    first [crash_window] steps, a per-trial drop probability uniform in
+    [0, drop] (lossy variant only), and an engine seed; it then runs
+    warmup + window steps and monitors Theorem 5.1/5.2 stability (one
+    correct leader, stable before the window opened) plus steady-state
+    silence.  Silence is only asserted on crash-free trials: a crashed
+    process can leave a notification eternally unacknowledged, which
+    the lossy mechanism legitimately retransmits forever. *)
+val check_omega :
+  ?master_seed:int ->
+  ?budget:int ->               (* default 50 trials *)
+  ?max_crashes:int ->          (* default n - 2 *)
+  ?crash_window:int ->         (* default 20_000 *)
+  ?warmup:int ->               (* default 60_000 *)
+  ?window:int ->               (* default 10_000 *)
+  ?drop:float ->               (* default 0.3; lossy variant only *)
+  ?trace_tail:int ->
+  variant:Mm_election.Omega.variant ->
+  n:int ->
+  unit ->
+  report
+
+val replay_omega :
+  ?max_crashes:int ->
+  ?crash_window:int ->
+  ?warmup:int ->
+  ?window:int ->
+  ?drop:float ->
+  ?trace_tail:int ->
+  variant:Mm_election.Omega.variant ->
+  n:int ->
+  trial_seed:int ->
+  unit ->
+  report
+
+(** {2 ABD register}
+
+    Each trial draws per-process operation scripts (writes of globally
+    distinct values, reads, pauses; at most [max_ops] ops per process,
+    capped so the whole history fits the {!Lin} checker) and a delay
+    policy, then monitors completion, timestamp-level atomicity and
+    value-level linearizability.  No crashes are injected: a crashed
+    writer's pending write may legitimately be adopted by readers, and
+    pending operations carry no recorded response to linearize. *)
+val check_abd :
+  ?master_seed:int ->
+  ?budget:int ->               (* default 200 trials *)
+  ?max_ops:int ->              (* default 4 per process *)
+  ?max_steps:int ->            (* default 200_000 *)
+  ?trace_tail:int ->
+  n:int ->
+  unit ->
+  report
+
+val replay_abd :
+  ?max_ops:int ->
+  ?max_steps:int ->
+  ?trace_tail:int ->
+  n:int ->
+  trial_seed:int ->
+  unit ->
+  report

@@ -1,0 +1,18 @@
+let list_min ~still_fails xs =
+  let rec pass xs =
+    let rec try_drop before = function
+      | [] -> None
+      | x :: after ->
+        let candidate = List.rev_append before after in
+        if still_fails candidate then Some candidate
+        else try_drop (x :: before) after
+    in
+    match try_drop [] xs with
+    | Some smaller -> pass smaller
+    | None -> xs
+  in
+  pass xs
+
+let int_min ~still_fails ~lo x =
+  let rec go v = if v >= x then x else if still_fails v then v else go (v + 1) in
+  go lo

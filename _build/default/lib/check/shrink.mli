@@ -1,0 +1,17 @@
+(** Delta-debugging helpers for counterexample minimization.
+
+    Both shrinkers take a [still_fails] oracle that re-runs the trial
+    with a candidate configuration and reports whether the original
+    violation persists; they return a locally minimal configuration
+    (removing any single remaining element, or lowering the integer
+    further, makes the violation disappear — or the oracle was never
+    true below the returned point). *)
+
+(** [list_min ~still_fails xs] greedily removes elements (to a fixpoint)
+    while the violation persists.  O(|xs|^2) oracle calls worst case. *)
+val list_min : still_fails:('a list -> bool) -> 'a list -> 'a list
+
+(** [int_min ~still_fails ~lo x] is the smallest [v] in [\[lo, x\]] with
+    [still_fails v], scanning upward from [lo]; [x] itself is assumed
+    failing and is returned when nothing smaller fails. *)
+val int_min : still_fails:(int -> bool) -> lo:int -> int -> int

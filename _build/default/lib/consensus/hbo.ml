@@ -36,6 +36,7 @@ type outcome = {
   mem_total : Mem.counters;
   registers : int;
   coin_flips : int;
+  trace : Mm_sim.Trace.event list;
 }
 
 (* A consensus-object factory: [propose host round v] runs the object
@@ -217,15 +218,17 @@ let hbo_process ~n ~nbhd ~objects ~on_decide ~input () =
   loop 1 (propose_r 1 input)
 
 let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
-    ?(crashes = []) ?partition ?sched ?(link = Network.Reliable) ?delay
-    ~graph ~inputs () =
+    ?(trace_capacity = 0) ?(crashes = []) ?partition ?sched
+    ?(link = Network.Reliable) ?delay ~graph ~inputs () =
   let n = Graph.order graph in
   if Array.length inputs <> n then invalid_arg "Hbo.run: |inputs| <> n";
   Array.iter
     (fun v -> if v <> 0 && v <> 1 then invalid_arg "Hbo.run: binary inputs only")
     inputs;
   let domain = Domain_.uniform_of_graph graph in
-  let eng = Engine.create ~seed ?sched ?delay ~domain ~link ~n () in
+  let eng =
+    Engine.create ~seed ?sched ?delay ~trace_capacity ~domain ~link ~n ()
+  in
   (match partition with
   | None -> ()
   | Some (side_a, side_b) ->
@@ -277,6 +280,10 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
     mem_total = Mem.total_counters store;
     registers = Mem.reg_count store;
     coin_flips = Engine.coin_flips eng;
+    trace =
+      (match Engine.trace eng with
+      | None -> []
+      | Some tr -> Mm_sim.Trace.to_list tr);
   }
 
 let agreement o =

@@ -46,6 +46,8 @@ type outcome = {
   mem_total : Mm_mem.Mem.counters;
   registers : int;                  (** registers allocated *)
   coin_flips : int;
+  trace : Mm_sim.Trace.event list;
+      (** trailing engine trace (empty unless [trace_capacity] > 0) *)
 }
 
 (** [run ~graph ~inputs ()] simulates HBO on shared-memory graph [graph]
@@ -60,6 +62,8 @@ type outcome = {
     - [sched], [link], [delay], [seed] configure the engine (defaults:
       seeded random scheduler, reliable links, uniform 1–4 delay).
     - [max_steps] bounds the run (default 2_000_000).
+    - [trace_capacity], when positive, records the last that-many engine
+      events into [outcome.trace] (for {!Mm_check} counterexamples).
 
     The run stops as soon as every non-crashing process has decided, or
     at [max_steps] (undecided processes then show [None] — how the
@@ -68,6 +72,7 @@ val run :
   ?seed:int ->
   ?impl:impl ->
   ?max_steps:int ->
+  ?trace_capacity:int ->
   ?crashes:(int * int) list ->
   ?partition:int list * int list ->
   ?sched:Mm_sim.Sched.t ->

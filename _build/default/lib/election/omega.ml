@@ -32,6 +32,7 @@ type outcome = {
   crashed : bool array;
   steps : int;
   window_start : int;
+  trace : Mm_sim.Trace.event list;
 }
 
 (* Figure 3, one process.  [report] tells the harness about leadership
@@ -120,9 +121,9 @@ let omega_process ~n ~eta ~mech ~state_regs ~report me () =
   in
   loop ()
 
-let run ?(seed = 1) ?(eta = 16) ?(timely = [ (0, 4) ]) ?(crashes = [])
-    ?(memory_failures = []) ?(warmup = 60_000) ?(window = 20_000) ?delay
-    ?(sched_base = Sched.Random) ~variant ~n () =
+let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
+    ?(crashes = []) ?(memory_failures = []) ?(warmup = 60_000)
+    ?(window = 20_000) ?delay ?(sched_base = Sched.Random) ~variant ~n () =
   let link, mech_of =
     match variant with
     | Reliable ->
@@ -143,7 +144,8 @@ let run ?(seed = 1) ?(eta = 16) ?(timely = [ (0, 4) ]) ?(crashes = [])
   in
   let sched = Sched.create ~timely sched_base in
   let eng =
-    Engine.create ~seed ~sched ?delay ~domain:(Domain_.full n) ~link ~n ()
+    Engine.create ~seed ~sched ?delay ~trace_capacity ~domain:(Domain_.full n)
+      ~link ~n ()
   in
   let store = Engine.store eng in
   let state_regs =
@@ -210,6 +212,10 @@ let run ?(seed = 1) ?(eta = 16) ?(timely = [ (0, 4) ]) ?(crashes = [])
     crashed;
     steps = Engine.now eng;
     window_start = warmup;
+    trace =
+      (match Engine.trace eng with
+      | None -> []
+      | Some tr -> Mm_sim.Trace.to_list tr);
   }
 
 (* Ω as observed: a common correct leader, already stable when the

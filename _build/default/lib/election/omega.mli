@@ -36,6 +36,8 @@ type outcome = {
   crashed : bool array;
   steps : int;
   window_start : int;  (** global step at which the window opened *)
+  trace : Mm_sim.Trace.event list;
+      (** trailing engine trace (empty unless [trace_capacity] > 0) *)
 }
 
 (** [run ~variant ~n ()] simulates the algorithm.
@@ -58,6 +60,7 @@ type outcome = {
 val run :
   ?seed:int ->
   ?eta:int ->
+  ?trace_capacity:int ->
   ?timely:(int * int) list ->
   ?crashes:(int * int) list ->
   ?memory_failures:(int * int) list ->

@@ -22,6 +22,10 @@ type in_flight = {
   due : int;
 }
 
+type event =
+  | Drop of { src : Id.t; dst : Id.t }
+  | Deliver of { src : Id.t; dst : Id.t }
+
 type t = {
   n : int;
   net_kind : kind;
@@ -33,6 +37,7 @@ type t = {
   active : (int, unit) Hashtbl.t;
   mailboxes : (Id.t * Message.payload) Queue.t array;
   mutable block_fn : (now:int -> src:Id.t -> dst:Id.t -> bool) option;
+  mutable observer : (event -> unit) option;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -62,6 +67,7 @@ let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
     active = Hashtbl.create 64;
     mailboxes = Array.init n (fun _ -> Queue.create ());
     block_fn = None;
+    observer = None;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -70,6 +76,11 @@ let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
 
 let order t = t.n
 let kind t = t.net_kind
+
+let notify t ev =
+  match t.observer with
+  | None -> ()
+  | Some f -> f ev
 
 let draw_delay t =
   match t.net_delay with
@@ -87,7 +98,8 @@ let send t ~now ~src ~dst payload =
     (* Local delivery: a process handing itself a message involves no
        link, hence no loss and no delay. *)
     Queue.add (src, payload) t.mailboxes.(si);
-    t.delivered <- t.delivered + 1
+    t.delivered <- t.delivered + 1;
+    notify t (Deliver { src; dst })
   end
   else begin
     let drop =
@@ -95,7 +107,10 @@ let send t ~now ~src ~dst payload =
       | Reliable -> false
       | Fair_lossy p -> Rng.float t.rng < p
     in
-    if drop then t.dropped <- t.dropped + 1
+    if drop then begin
+      t.dropped <- t.dropped + 1;
+      notify t (Drop { src; dst })
+    end
     else begin
       let msg = { Message.src; dst; payload; sent_at = now; uid } in
       let idx = (si * t.n) + di in
@@ -131,7 +146,9 @@ let tick t ~now =
             (fun e ->
               Queue.add (e.msg.Message.src, e.msg.Message.payload)
                 t.mailboxes.(di);
-              t.delivered <- t.delivered + 1)
+              t.delivered <- t.delivered + 1;
+              notify t
+                (Deliver { src = e.msg.Message.src; dst = e.msg.Message.dst }))
             due
         end
       end
@@ -148,6 +165,7 @@ let drain t p =
 
 let peek_count t p = Queue.length t.mailboxes.(Id.to_int p)
 let set_block_fn t f = t.block_fn <- Some f
+let set_observer t f = t.observer <- Some f
 
 let stats t =
   let in_flight =

@@ -62,6 +62,17 @@ val peek_count : t -> Mm_core.Id.t -> int
 val set_block_fn :
   t -> (now:int -> src:Mm_core.Id.t -> dst:Mm_core.Id.t -> bool) -> unit
 
+(** Link-level events, observable by monitors (e.g. the engine's trace):
+    a fair-loss drop at send time, or a message moved into its
+    destination mailbox (including local self-delivery). *)
+type event =
+  | Drop of { src : Mm_core.Id.t; dst : Mm_core.Id.t }
+  | Deliver of { src : Mm_core.Id.t; dst : Mm_core.Id.t }
+
+(** [set_observer t f] installs a callback invoked on every link event.
+    At most one observer; a second call replaces the first. *)
+val set_observer : t -> (event -> unit) -> unit
+
 val stats : t -> stats
 
 (** Stats over a window: [snapshot] then later [diff_since] gives the

@@ -47,7 +47,13 @@ type t = {
   tr : Trace.t option;
   mutable step : int;
   mutable coins : int;
+  mutable sched_log : int list option;  (* reversed; None = not recording *)
 }
+
+let record t pid op =
+  match t.tr with
+  | None -> ()
+  | Some tr -> Trace.record tr { Trace.step = t.step; pid; op }
 
 let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
     ~domain ~link ~n () =
@@ -59,28 +65,38 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
   let sched_rng = Rng.split root in
   let proc_parent = Rng.split root in
   let net = Network.create ~rng:net_rng ~n ~kind:link ?delay () in
-  {
-    n_procs = n;
-    net;
-    mem = Mem.create domain;
-    dom = domain;
-    sched = (match sched with Some s -> s | None -> Sched.create Sched.Random);
-    sched_rng;
-    seed_rng = Rng.split root;
-    procs =
-      Array.init n (fun i ->
-          {
-            pid = Id.of_int i;
-            pending = None;
-            p_status = Unspawned;
-            steps = 0;
-            rng = Rng.split proc_parent;
-          });
-    crash_step = Array.make n None;
-    tr = (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None);
-    step = 0;
-    coins = 0;
-  }
+  let t =
+    {
+      n_procs = n;
+      net;
+      mem = Mem.create domain;
+      dom = domain;
+      sched = (match sched with Some s -> s | None -> Sched.create Sched.Random);
+      sched_rng;
+      seed_rng = Rng.split root;
+      procs =
+        Array.init n (fun i ->
+            {
+              pid = Id.of_int i;
+              pending = None;
+              p_status = Unspawned;
+              steps = 0;
+              rng = Rng.split proc_parent;
+            });
+      crash_step = Array.make n None;
+      tr = (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None);
+      step = 0;
+      coins = 0;
+      sched_log = None;
+    }
+  in
+  (* Link events enter the trace as they happen, so counterexample traces
+     show drops and deliveries interleaved with process steps. *)
+  if t.tr <> None then
+    Network.set_observer net (function
+      | Network.Drop { src; dst = _ } -> record t src Trace.Dropped
+      | Network.Deliver { src; dst } -> record t dst (Trace.Delivered src));
+  t
 
 let n t = t.n_procs
 let store t = t.mem
@@ -92,6 +108,13 @@ let coin_flips t = t.coins
 let trace t = t.tr
 let derive_rng t = Rng.split t.seed_rng
 
+let record_schedule t = t.sched_log <- Some []
+
+let schedule t =
+  match t.sched_log with
+  | None -> []
+  | Some l -> List.rev l
+
 let status_of t p = t.procs.(Id.to_int p).p_status
 
 let correct t =
@@ -101,11 +124,6 @@ let correct t =
       | Crashed | Done -> false
       | Ready | Unspawned -> true)
     (Id.all t.n_procs)
-
-let record t pid op =
-  match t.tr with
-  | None -> ()
-  | Some tr -> Trace.record tr { Trace.step = t.step; pid; op }
 
 (* Install the fiber of a process.  Every effect suspends the fiber and
    stashes a thunk that will (1) perform the side effect of the requested
@@ -230,6 +248,9 @@ let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
           }
         in
         let chosen = Sched.pick t.sched t.sched_rng view in
+        (match t.sched_log with
+        | Some l -> t.sched_log <- Some (chosen :: l)
+        | None -> ());
         let p = t.procs.(chosen) in
         let thunk =
           match p.pending with

@@ -81,6 +81,15 @@ val coin_flips : t -> int
 
 val trace : t -> Trace.t option
 
+(** Schedule recording, for replay-based exploration ({!Mm_check}):
+    [record_schedule t] starts logging every pid chosen by the scheduler;
+    [schedule t] returns the pids chosen since, in execution order
+    (empty if recording was never started).  Feeding that list back as a
+    [Sched.Custom] policy replays the interleaving step for step. *)
+val record_schedule : t -> unit
+
+val schedule : t -> int list
+
 (** A fresh generator split from the engine's seed, for auxiliary
     experiment randomness that must not perturb the run's own streams. *)
 val derive_rng : t -> Mm_rng.Rng.t

@@ -8,6 +8,8 @@ type op =
   | Atomic_op
   | Crashed
   | Finished
+  | Dropped
+  | Delivered of Mm_core.Id.t
 
 type event = {
   step : int;
@@ -51,6 +53,8 @@ let pp_op fmt = function
   | Atomic_op -> Format.fprintf fmt "atomic"
   | Crashed -> Format.fprintf fmt "CRASH"
   | Finished -> Format.fprintf fmt "done"
+  | Dropped -> Format.fprintf fmt "drop"
+  | Delivered src -> Format.fprintf fmt "deliver<-%a" Mm_core.Id.pp src
 
 let pp_event fmt e =
   Format.fprintf fmt "[%6d] %a %a" e.step Mm_core.Id.pp e.pid pp_op e.op

@@ -13,6 +13,8 @@ type op =
   | Atomic_op
   | Crashed
   | Finished
+  | Dropped                     (** the link dropped a message this process sent *)
+  | Delivered of Mm_core.Id.t   (** a message from that sender reached this mailbox *)
 
 type event = {
   step : int;          (** global step number *)

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Format List Mm_check Mm_core Mm_election Mm_graph Mm_net Mm_rng Mm_sim String

@@ -1,0 +1,341 @@
+(* Tests for the Mm_check model-checking harness: the Wing-Gong
+   linearizability checker, the schedule explorers (determinism, replay,
+   schedule recording), the delta-debugging shrinkers, and budgeted
+   end-to-end sweeps over HBO / Omega / ABD — including the pinned-seed
+   violation hunt on a disconnected graph and its bit-identical replay. *)
+
+module Lin = Mm_check.Lin
+module Explore = Mm_check.Explore
+module Shrink = Mm_check.Shrink
+module Runner = Mm_check.Runner
+module Sched = Mm_sim.Sched
+module Engine = Mm_sim.Engine
+module Trace = Mm_sim.Trace
+module Proc = Mm_sim.Proc
+module B = Mm_graph.Builders
+module Net = Mm_net.Network
+module Id = Mm_core.Id
+module Omega = Mm_election.Omega
+
+type Mm_net.Message.payload += Ping
+
+(* --- Lin: Wing-Gong linearizability --- *)
+
+let ev proc op start_t finish_t = { Lin.proc; op; start_t; finish_t }
+
+let test_lin_sequential () =
+  Alcotest.(check bool) "write then read" true
+    (Lin.check [ ev 0 (Lin.Write 1) 0 1; ev 1 (Lin.Read 1) 2 3 ]);
+  Alcotest.(check bool) "read of initial value" true
+    (Lin.check [ ev 0 (Lin.Read 0) 0 1; ev 1 (Lin.Write 1) 2 3 ]);
+  Alcotest.(check bool) "empty history" true (Lin.check [])
+
+let test_lin_stale_read_rejected () =
+  Alcotest.(check bool) "read past an intervening write" false
+    (Lin.check
+       [
+         ev 0 (Lin.Write 1) 0 1;
+         ev 0 (Lin.Write 2) 2 3;
+         ev 1 (Lin.Read 1) 4 5;
+       ])
+
+let test_lin_concurrency_allows_reorder () =
+  (* The read overlaps the write, so it may linearize before it. *)
+  Alcotest.(check bool) "overlapping read of old value" true
+    (Lin.check [ ev 0 (Lin.Write 7) 0 10; ev 1 (Lin.Read 0) 2 3 ]);
+  (* Two reads bracketing each other pin the order: R(2) after W2 then
+     R(1) would need W1 after W2 — but R(2) already saw W2 after W1. *)
+  Alcotest.(check bool) "contradictory read pair" false
+    (Lin.check
+       [
+         ev 0 (Lin.Write 1) 0 1;
+         ev 0 (Lin.Write 2) 2 3;
+         ev 1 (Lin.Read 2) 4 5;
+         ev 1 (Lin.Read 1) 6 7;
+       ])
+
+let test_lin_validation () =
+  Alcotest.(check bool) "inverted interval rejected" true
+    (try
+       ignore (Lin.check [ ev 0 (Lin.Read 0) 5 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Explore: PCT adversary and replay --- *)
+
+let view ?(now = 0) runnable = { Sched.now; runnable; steps = (fun _ -> 0) }
+
+let picks_of sched ~steps ~runnable =
+  let rng = Mm_rng.Rng.create 99 in
+  List.init steps (fun i -> Sched.pick sched rng (view ~now:i runnable))
+
+let test_pct_deterministic () =
+  let mk () = Explore.pct ~seed:5 ~n:4 ~k:3 ~depth:50 in
+  Alcotest.(check (list int)) "same seed, same schedule"
+    (picks_of (mk ()) ~steps:60 ~runnable:[ 0; 1; 2; 3 ])
+    (picks_of (mk ()) ~steps:60 ~runnable:[ 0; 1; 2; 3 ])
+
+let test_pct_picks_runnable () =
+  let s = Explore.pct ~seed:11 ~n:5 ~k:4 ~depth:40 in
+  let rng = Mm_rng.Rng.create 1 in
+  for i = 0 to 80 do
+    let runnable = if i mod 3 = 0 then [ 1; 4 ] else [ 0; 2; 3 ] in
+    let p = Sched.pick s rng (view ~now:i runnable) in
+    Alcotest.(check bool) "member of runnable" true (List.mem p runnable)
+  done
+
+let test_pct_validation () =
+  Alcotest.(check bool) "k = 0 rejected" true
+    (try
+       ignore (Explore.pct ~seed:1 ~n:3 ~k:0 ~depth:10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_replay_follows_list () =
+  let s = Explore.replay [ 2; 0; 2; 1 ] in
+  let rng = Mm_rng.Rng.create 1 in
+  let got =
+    List.init 5 (fun _ -> Sched.pick s rng (view [ 0; 1; 2 ]))
+  in
+  (* exhausted list falls back to the lowest runnable pid *)
+  Alcotest.(check (list int)) "replayed then fallback" [ 2; 0; 2; 1; 0 ] got
+
+let test_gen_crashes_respects_budget () =
+  let rng = Mm_rng.Rng.create 3 in
+  for _ = 1 to 50 do
+    let cs =
+      Explore.gen_crashes rng ~n:6 ~avoid:[ 0 ] ~max_crashes:3 ~max_step:100
+    in
+    Alcotest.(check bool) "size within budget" true (List.length cs <= 3);
+    let pids = List.map fst cs in
+    Alcotest.(check bool) "avoid respected" false (List.mem 0 pids);
+    Alcotest.(check bool) "distinct victims" true
+      (List.length (List.sort_uniq compare pids) = List.length pids);
+    List.iter
+      (fun (_, step) ->
+        Alcotest.(check bool) "step in window" true (step >= 0 && step <= 100))
+      cs
+  done
+
+(* --- Engine schedule recording + replay --- *)
+
+let run_pingers sched =
+  let eng =
+    Engine.create ~seed:7 ~sched ~trace_capacity:256
+      ~domain:(Mm_core.Domain.full 3) ~link:Net.Reliable ~n:3 ()
+  in
+  Engine.record_schedule eng;
+  for pid = 0 to 2 do
+    Engine.spawn eng (Id.of_int pid) (fun () ->
+        for _ = 1 to 5 do
+          Proc.send (Id.of_int ((pid + 1) mod 3)) Ping;
+          ignore (Proc.receive ());
+          Proc.yield ()
+        done)
+  done;
+  ignore (Engine.run eng ~max_steps:400 ());
+  let trace =
+    match Engine.trace eng with None -> [] | Some tr -> Trace.to_list tr
+  in
+  (Engine.schedule eng, trace)
+
+let test_schedule_record_and_replay () =
+  let sched1, trace1 = run_pingers (Explore.random_walk ()) in
+  Alcotest.(check bool) "schedule recorded" true (List.length sched1 > 10);
+  let sched2, trace2 = run_pingers (Explore.replay sched1) in
+  Alcotest.(check (list int)) "replay follows the recorded schedule" sched1
+    sched2;
+  Alcotest.(check int) "identical trace length" (List.length trace1)
+    (List.length trace2);
+  List.iter2
+    (fun (a : Trace.event) (b : Trace.event) ->
+      Alcotest.(check bool) "identical trace events" true
+        (a.Trace.step = b.Trace.step && a.Trace.pid = b.Trace.pid
+        && a.Trace.op = b.Trace.op))
+    trace1 trace2
+
+let test_network_events_traced () =
+  let eng =
+    Engine.create ~seed:21 ~trace_capacity:4096
+      ~domain:(Mm_core.Domain.full 2) ~link:(Net.Fair_lossy 0.5) ~n:2 ()
+  in
+  for pid = 0 to 1 do
+    Engine.spawn eng (Id.of_int pid) (fun () ->
+        for _ = 1 to 40 do
+          Proc.send (Id.of_int (1 - pid)) Ping;
+          ignore (Proc.receive ());
+          Proc.yield ()
+        done)
+  done;
+  ignore (Engine.run eng ~max_steps:2_000 ());
+  let ops =
+    match Engine.trace eng with
+    | None -> []
+    | Some tr -> List.map (fun e -> e.Trace.op) (Trace.to_list tr)
+  in
+  Alcotest.(check bool) "some drops traced" true
+    (List.exists (function Trace.Dropped -> true | _ -> false) ops);
+  Alcotest.(check bool) "some deliveries traced" true
+    (List.exists (function Trace.Delivered _ -> true | _ -> false) ops)
+
+(* --- Shrink --- *)
+
+let test_shrink_list () =
+  let calls = ref 0 in
+  let still_fails xs =
+    incr calls;
+    List.mem 2 xs && List.mem 5 xs
+  in
+  Alcotest.(check (list int)) "keeps exactly the failing core" [ 2; 5 ]
+    (Shrink.list_min ~still_fails [ 1; 2; 3; 5; 8 ]);
+  Alcotest.(check bool) "oracle consulted" true (!calls > 0)
+
+let test_shrink_list_already_minimal () =
+  Alcotest.(check (list int)) "singleton kept" [ 4 ]
+    (Shrink.list_min ~still_fails:(fun xs -> xs = [ 4 ]) [ 4 ])
+
+let test_shrink_int () =
+  Alcotest.(check int) "finds the threshold" 3
+    (Shrink.int_min ~still_fails:(fun v -> v >= 3) ~lo:0 7);
+  Alcotest.(check int) "nothing smaller fails" 7
+    (Shrink.int_min ~still_fails:(fun v -> v = 7) ~lo:0 7)
+
+(* --- Runner: end-to-end sweeps (kept small; see the @check alias) --- *)
+
+let test_hbo_clique_within_bound_clean () =
+  let report = Runner.check_hbo ~budget:30 ~graph:(B.complete 4) () in
+  (match report.Runner.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "unexpected %s violation: %s" cx.Runner.property
+      cx.Runner.detail);
+  Alcotest.(check int) "all trials ran" 30 report.Runner.trials_run
+
+let test_hbo_past_bound_finds_stall_and_replays () =
+  (* Two disjoint K3s: f* = 2 (Thm 4.3).  A budget of 3 crashes lets the
+     sweep draw clique-killing crash sets, which break the represented
+     majority and stall consensus — a termination violation. *)
+  let graph = B.disjoint_cliques ~cliques:2 ~k:3 in
+  let report =
+    Runner.check_hbo ~master_seed:1 ~budget:200 ~max_crashes:3 ~graph ()
+  in
+  match report.Runner.violation with
+  | None -> Alcotest.fail "expected a termination violation past the bound"
+  | Some cx ->
+    Alcotest.(check string) "property" "termination" cx.Runner.property;
+    Alcotest.(check bool) "trace captured" true (cx.Runner.trace <> []);
+    (* replaying the reported seed must reproduce the identical run *)
+    let replayed =
+      Runner.replay_hbo ~max_crashes:3 ~graph ~trial_seed:cx.Runner.trial_seed
+        ()
+    in
+    (match replayed.Runner.violation with
+    | None -> Alcotest.fail "replay lost the violation"
+    | Some cx' ->
+      Alcotest.(check string) "same property" cx.Runner.property
+        cx'.Runner.property;
+      Alcotest.(check string) "same detail" cx.Runner.detail cx'.Runner.detail;
+      Alcotest.(check bool) "identical config" true
+        (cx.Runner.config = cx'.Runner.config);
+      Alcotest.(check bool) "identical trailing trace" true
+        (cx.Runner.trace = cx'.Runner.trace))
+
+let test_hbo_expect_stall_on_sm_cut () =
+  (* Thm 4.4 scenario on the disconnected graph: crash the (empty) cut
+     boundary, partition S from T — consensus must NOT terminate. *)
+  let graph = B.disjoint_cliques ~cliques:2 ~k:2 in
+  let report = Runner.check_hbo ~budget:5 ~expect_stall:true ~graph () in
+  match report.Runner.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "consensus terminated despite the SM-cut: %s"
+      cx.Runner.detail
+
+let test_abd_sweep_clean () =
+  let report = Runner.check_abd ~budget:40 ~n:4 () in
+  match report.Runner.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "unexpected %s violation: %s" cx.Runner.property
+      cx.Runner.detail
+
+let test_omega_sweep_clean () =
+  let report =
+    Runner.check_omega ~budget:3 ~crash_window:4_000 ~warmup:30_000
+      ~window:5_000 ~variant:Omega.Reliable ~n:3 ()
+  in
+  match report.Runner.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "unexpected %s violation: %s" cx.Runner.property
+      cx.Runner.detail
+
+let test_report_pp_mentions_replay_seed () =
+  let graph = B.disjoint_cliques ~cliques:2 ~k:3 in
+  let report =
+    Runner.check_hbo ~master_seed:1 ~budget:200 ~max_crashes:3 ~graph ()
+  in
+  match report.Runner.violation with
+  | None -> Alcotest.fail "expected a violation"
+  | Some cx ->
+    let s = Format.asprintf "%a" Runner.pp_report report in
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i =
+        i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "names the property" true
+      (contains s cx.Runner.property);
+    Alcotest.(check bool) "prints the replay seed" true
+      (contains s (string_of_int cx.Runner.trial_seed))
+
+let () =
+  Alcotest.run "mm_check"
+    [
+      ( "lin",
+        [
+          Alcotest.test_case "sequential" `Quick test_lin_sequential;
+          Alcotest.test_case "stale read" `Quick test_lin_stale_read_rejected;
+          Alcotest.test_case "concurrency" `Quick
+            test_lin_concurrency_allows_reorder;
+          Alcotest.test_case "validation" `Quick test_lin_validation;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "pct deterministic" `Quick test_pct_deterministic;
+          Alcotest.test_case "pct runnable-only" `Quick test_pct_picks_runnable;
+          Alcotest.test_case "pct validation" `Quick test_pct_validation;
+          Alcotest.test_case "replay list" `Quick test_replay_follows_list;
+          Alcotest.test_case "crash generator" `Quick
+            test_gen_crashes_respects_budget;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "schedule record+replay" `Quick
+            test_schedule_record_and_replay;
+          Alcotest.test_case "drop/deliver traced" `Quick
+            test_network_events_traced;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "list core" `Quick test_shrink_list;
+          Alcotest.test_case "list minimal" `Quick
+            test_shrink_list_already_minimal;
+          Alcotest.test_case "int threshold" `Quick test_shrink_int;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "clique clean" `Quick
+            test_hbo_clique_within_bound_clean;
+          Alcotest.test_case "past-bound stall found+replayed" `Quick
+            test_hbo_past_bound_finds_stall_and_replays;
+          Alcotest.test_case "expect-stall holds" `Quick
+            test_hbo_expect_stall_on_sm_cut;
+          Alcotest.test_case "abd clean" `Quick test_abd_sweep_clean;
+          Alcotest.test_case "omega clean" `Quick test_omega_sweep_clean;
+          Alcotest.test_case "report pp" `Quick
+            test_report_pp_mentions_replay_seed;
+        ] );
+    ]

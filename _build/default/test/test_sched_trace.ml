@@ -82,6 +82,21 @@ let test_timeliness_bound_validation () =
        false
      with Invalid_argument _ -> true)
 
+let test_timeliness_minimal_bound () =
+  (* i = 2 is the smallest legal bound: the timely process must run
+     again before any other process takes 2 steps, i.e. the adversary
+     can never pick someone else twice in a row. *)
+  let s = Sched.create ~timely:[ (0, 2) ] (Sched.Custom (fun _ -> 1)) in
+  let rng = Mm_rng.Rng.create 1 in
+  let prev = ref (-1) in
+  for _ = 1 to 20 do
+    let p = Sched.pick s rng (view [ 0; 1 ]) in
+    Alcotest.(check bool) "never two non-timely picks in a row" false
+      (p = 1 && !prev = 1);
+    prev := p;
+    Sched.note_step s ~pid:p ~n:2
+  done
+
 let test_note_crash_removes_timely () =
   let s = Sched.create ~timely:[ (0, 3) ] (Sched.Custom (fun _ -> 1)) in
   let rng = Mm_rng.Rng.create 1 in
@@ -134,6 +149,15 @@ let test_trace_pp () =
   in
   Alcotest.(check bool) "mentions register" true (contains s "STATE[1]");
   Alcotest.(check bool) "mentions process" true (contains s "p3")
+
+let test_trace_pp_net_ops () =
+  let drop = Format.asprintf "%a" Trace.pp_event (ev 7 1 Trace.Dropped) in
+  Alcotest.(check bool) "drop rendered" true (contains drop "drop");
+  let del =
+    Format.asprintf "%a" Trace.pp_event (ev 8 2 (Trace.Delivered (Id.of_int 0)))
+  in
+  Alcotest.(check bool) "deliver rendered" true (contains del "deliver");
+  Alcotest.(check bool) "deliver names sender" true (contains del "p0")
 
 let test_engine_trace_capture () =
   (* End-to-end: an engine with tracing on records the right op kinds. *)
@@ -209,6 +233,8 @@ let () =
             test_timeliness_bound_enforced;
           Alcotest.test_case "bound validation" `Quick
             test_timeliness_bound_validation;
+          Alcotest.test_case "minimal bound i=2" `Quick
+            test_timeliness_minimal_bound;
           Alcotest.test_case "crash removes timely" `Quick
             test_note_crash_removes_timely;
         ] );
@@ -219,6 +245,7 @@ let () =
           Alcotest.test_case "capacity validation" `Quick
             test_trace_capacity_validation;
           Alcotest.test_case "pretty printer" `Quick test_trace_pp;
+          Alcotest.test_case "net op printers" `Quick test_trace_pp_net_ops;
           Alcotest.test_case "engine capture" `Quick test_engine_trace_capture;
         ] );
       ( "table",
