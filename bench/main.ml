@@ -10,6 +10,8 @@
            main.exe --quick    micro-benches + all tables (quick scale)
            main.exe --no-bench tables only
            main.exe --json     micro-benches only, as a JSON array
+           main.exe --json --smoke   same, with a tiny measurement quota
+                               (harness validation only; see @bench-smoke)
            main.exe e3 e8      just those tables (full scale)            *)
 
 open Bechamel
@@ -26,8 +28,63 @@ module Mp = Mm_election.Mp_omega
 module Mutex = Mm_mutex.Mutex
 module Abd = Mm_abd.Abd
 module Sched = Mm_sim.Sched
+module Engine = Mm_sim.Engine
+module Proc = Mm_sim.Proc
+module Net = Mm_net.Network
+module Id = Mm_core.Id
+module Runner = Mm_check.Runner
+
+type Mm_net.Message.payload += Bench_ping
 
 let inputs n = Array.init n (fun i -> i mod 2)
+
+(* Throughput kernels: raw simulator hot-path numbers that the perf
+   trajectory tracks across PRs (see tools/bench_diff.ml).
+
+   - engine/steps-per-sec: 8 ping-ponging processes, 20k engine steps
+     per run; ns/run / 20_000 is the per-step cost.
+   - net/tick-saturated: a saturated 8-process network, 2 sends per
+     process per tick with spread-out delays, 500 ticks per run.
+   - check/hbo-sweep-wallclock-*: one full check_hbo sweep (fixed trial
+     budget) at jobs=1 vs jobs=4 — the ratio is the sweep speedup. *)
+
+let engine_steps_kernel () =
+  let n = 8 in
+  let eng =
+    Engine.create ~seed:11 ~domain:(Domain_.full n) ~link:Net.Reliable ~n ()
+  in
+  for pid = 0 to n - 1 do
+    Engine.spawn eng (Id.of_int pid) (fun () ->
+        let next = Id.of_int ((pid + 1) mod n) in
+        let rec go () =
+          Proc.send next Bench_ping;
+          ignore (Proc.receive ());
+          Proc.yield ();
+          go ()
+        in
+        go ())
+  done;
+  ignore (Engine.run eng ~max_steps:20_000 ())
+
+let net_tick_kernel () =
+  let n = 8 in
+  let rng = Mm_rng.Rng.create 5 in
+  let net = Net.create ~rng ~n ~kind:Net.Reliable ~delay:(Net.Uniform (1, 16)) () in
+  for now = 0 to 499 do
+    for s = 0 to n - 1 do
+      Net.send net ~now ~src:(Id.of_int s) ~dst:(Id.of_int ((s + 1) mod n))
+        Bench_ping;
+      Net.send net ~now ~src:(Id.of_int s) ~dst:(Id.of_int ((s + 3) mod n))
+        Bench_ping
+    done;
+    Net.tick net ~now;
+    ignore (Net.drain net (Id.of_int (now mod n)))
+  done
+
+let hbo_sweep_kernel jobs () =
+  ignore
+    (Runner.check_hbo ~master_seed:7 ~budget:24 ~jobs ~max_steps:20_000
+       ~graph:(B.complete 4) ())
 
 (* One micro-kernel per experiment table: the time being measured is the
    dominant computational piece that the table's rows are built from. *)
@@ -112,6 +169,10 @@ let kernels =
       fun () ->
         let rng = Mm_rng.Rng.create 7 in
         ignore (E.vertex_expansion_sampled rng (B.ring 12) ~samples:100) );
+    ("engine/steps-per-sec", engine_steps_kernel);
+    ("net/tick-saturated", net_tick_kernel);
+    ("check/hbo-sweep-wallclock-j1", hbo_sweep_kernel 1);
+    ("check/hbo-sweep-wallclock-j4", hbo_sweep_kernel 4);
   ]
 
 let tests =
@@ -120,14 +181,18 @@ let tests =
     kernels
 
 (* Measure every kernel and return (name, ns-per-run) pairs in kernel
-   declaration order. *)
-let measure_benchmarks () =
+   declaration order.  [smoke] shrinks the quota to a bare minimum so CI
+   can validate the harness end-to-end without paying for stable
+   estimates (see the @bench-smoke alias). *)
+let measure_benchmarks ?(smoke = false) () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~stabilize:false ()
+    if smoke then
+      Benchmark.cfg ~limit:2 ~quota:(Time.second 0.001) ~stabilize:false ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
   List.concat_map
     (fun test ->
@@ -171,8 +236,8 @@ let json_escape s =
 
 (* Machine-readable mode: exactly one JSON array on stdout, one object
    per kernel; NaN (no estimate) becomes null. *)
-let run_benchmarks_json () =
-  let results = measure_benchmarks () in
+let run_benchmarks_json ~smoke () =
+  let results = measure_benchmarks ~smoke () in
   print_string "[";
   List.iteri
     (fun i (name, ns) ->
@@ -190,12 +255,13 @@ let () =
   let quick = List.mem "--quick" args in
   let no_bench = List.mem "--no-bench" args in
   let json = List.mem "--json" args in
+  let smoke = List.mem "--smoke" args in
   let wanted =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
   let scale = if quick then `Quick else `Full in
   if json then begin
-    run_benchmarks_json ();
+    run_benchmarks_json ~smoke ();
     exit 0
   end;
   if not no_bench then run_benchmarks ();

@@ -315,6 +315,23 @@ let mutex_cmd =
 
 let check_cmd =
   let module Runner = Mm_check.Runner in
+  let module Pool = Mm_check.Pool in
+  let default_jobs () =
+    match Sys.getenv_opt "MM_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> failwith "MM_JOBS must be a positive integer")
+    | None -> Pool.default_jobs ()
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"J"
+           ~doc:"Domains to fan trials out over. Defaults to \\$(b,MM_JOBS) \
+                 if set, else one less than the machine's recommended \
+                 domain count (min 1). Reports are identical for every \
+                 J: the lowest-index violation wins and shrinking is \
+                 single-threaded.")
+  in
   let algo_arg =
     Arg.(value & opt string "hbo" & info [ "algo" ] ~docv:"A"
            ~doc:"What to check: hbo | omega | abd.")
@@ -358,7 +375,8 @@ let check_cmd =
                  counterexample reports.")
   in
   let run algo family n seed budget max_crashes max_steps impl variant drop
-      expect_stall replay trace =
+      expect_stall replay trace jobs =
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let report =
       match String.lowercase_ascii algo with
       | "hbo" ->
@@ -371,7 +389,7 @@ let check_cmd =
           Runner.replay_hbo ~impl ?max_crashes ?max_steps ~trace_tail:trace
             ~expect_stall ~graph ~trial_seed ()
         | None ->
-          Runner.check_hbo ~master_seed:seed ?budget ~impl ?max_crashes
+          Runner.check_hbo ~master_seed:seed ?budget ~jobs ~impl ?max_crashes
             ?max_steps ~trace_tail:trace ~expect_stall ~graph ())
       | "omega" ->
         let variant =
@@ -385,14 +403,14 @@ let check_cmd =
           Runner.replay_omega ?max_crashes ~drop ~trace_tail:trace ~variant ~n
             ~trial_seed ()
         | None ->
-          Runner.check_omega ~master_seed:seed ?budget ?max_crashes ~drop
-            ~trace_tail:trace ~variant ~n ())
+          Runner.check_omega ~master_seed:seed ?budget ~jobs ?max_crashes
+            ~drop ~trace_tail:trace ~variant ~n ())
       | "abd" -> (
         match replay with
         | Some trial_seed ->
           Runner.replay_abd ?max_steps ~trace_tail:trace ~n ~trial_seed ()
         | None ->
-          Runner.check_abd ~master_seed:seed ?budget ?max_steps
+          Runner.check_abd ~master_seed:seed ?budget ~jobs ?max_steps
             ~trace_tail:trace ~n ())
       | a -> failwith ("unknown check target: " ^ a)
     in
@@ -406,7 +424,8 @@ let check_cmd =
              replayable shrunk counterexample (exit 1) on violation.")
     Term.(const run $ algo_arg $ family_arg "complete" $ n_arg 6 $ seed_arg
           $ budget_arg $ max_crashes_arg $ max_steps_arg $ impl_arg
-          $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg $ trace_arg)
+          $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg $ trace_arg
+          $ jobs_arg)
 
 (* --- graph analysis --- *)
 

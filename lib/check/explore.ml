@@ -22,33 +22,35 @@ let pct ~seed ~n ~k ~depth =
   in
   let remaining = ref points in
   let heaviest_runnable view =
-    List.fold_left
-      (fun best p ->
-        match best with
-        | Some b when weight.(b) >= weight.(p) -> best
-        | _ -> Some p)
-      None view.Sched.runnable
+    let best = ref (-1) in
+    for i = 0 to view.Sched.count - 1 do
+      let p = view.Sched.runnable.(i) in
+      if !best < 0 || weight.(p) > weight.(!best) then best := p
+    done;
+    !best
   in
   let choose view =
     (match !remaining with
     | d :: tl when view.Sched.now >= d ->
       remaining := tl;
-      (match heaviest_runnable view with
-      | Some p -> weight.(p) <- weight.(p) *. demote_factor
-      | None -> ())
+      let p = heaviest_runnable view in
+      if p >= 0 then weight.(p) <- weight.(p) *. demote_factor
     | _ -> ());
-    let total =
-      List.fold_left (fun acc p -> acc +. weight.(p)) 0.0 view.Sched.runnable
-    in
-    let x = Rng.float rng *. total in
-    let rec walk acc = function
-      | [] -> invalid_arg "Explore.pct: no runnable process"
-      | [ p ] -> p
-      | p :: rest ->
+    let count = view.Sched.count in
+    if count = 0 then invalid_arg "Explore.pct: no runnable process";
+    let total = ref 0.0 in
+    for i = 0 to count - 1 do
+      total := !total +. weight.(view.Sched.runnable.(i))
+    done;
+    let x = Rng.float rng *. !total in
+    let rec walk acc i =
+      if i = count - 1 then view.Sched.runnable.(i)
+      else
+        let p = view.Sched.runnable.(i) in
         let acc = acc +. weight.(p) in
-        if x < acc then p else walk acc rest
+        if x < acc then p else walk acc (i + 1)
     in
-    walk 0.0 view.Sched.runnable
+    walk 0.0 0
   in
   Sched.create (Sched.Custom choose)
 
@@ -56,10 +58,10 @@ let replay pids =
   let remaining = ref pids in
   let choose view =
     match !remaining with
-    | p :: tl when List.mem p view.Sched.runnable ->
+    | p :: tl when Sched.view_mem view p ->
       remaining := tl;
       p
-    | _ -> List.hd view.Sched.runnable
+    | _ -> view.Sched.runnable.(0)
   in
   Sched.create (Sched.Custom choose)
 

@@ -1,0 +1,53 @@
+(* A hand-rolled Stdlib.Domain work-queue pool (no domainslib): trials
+   are claimed off a shared atomic counter, and the lowest-index hit is
+   tracked as a frontier so the search result is deterministic no matter
+   how trials interleave across domains. *)
+
+let default_jobs () = max 1 (Stdlib.Domain.recommended_domain_count () - 1)
+
+(* Lock-free minimum: CAS until [v] is no improvement. *)
+let rec update_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then update_min a v
+
+let find_first ?(jobs = 1) ~budget f =
+  let jobs = max 1 (min jobs budget) in
+  if budget <= 0 then None
+  else if jobs = 1 then begin
+    let rec go i =
+      if i >= budget then None else if f i then Some i else go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let frontier = Atomic.make max_int in
+    let failure = Atomic.make None in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        (* Indices above the frontier cannot beat the current best hit;
+           stop claiming.  Every index below it is still claimed exactly
+           once, so the final frontier is the true minimum. *)
+        if i >= budget || i > Atomic.get frontier || Atomic.get failure <> None
+        then running := false
+        else
+          match f i with
+          | true -> update_min frontier i
+          | false -> ()
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      done
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Stdlib.Domain.spawn worker) in
+    worker ();
+    Array.iter Stdlib.Domain.join helpers;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    match Atomic.get frontier with
+    | i when i = max_int -> None
+    | i -> Some i
+  end

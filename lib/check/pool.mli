@@ -1,0 +1,25 @@
+(** A minimal OCaml 5 domain pool for embarrassingly parallel sweeps.
+
+    Built directly on [Stdlib.Domain] + [Atomic] (no external
+    dependencies): worker domains claim trial indices from a shared
+    counter and race to lower a "frontier" — the lowest index whose
+    predicate held.  Workers stop claiming indices above the frontier,
+    so a sweep that hits early stops early, yet every index below the
+    final frontier is evaluated exactly once.  The result is therefore
+    a pure function of [f] and [budget], independent of [jobs] and of
+    scheduling: the determinism rule is {e lowest index wins}, not
+    first-to-complete. *)
+
+(** [Domain.recommended_domain_count () - 1] (leaving one core for the
+    coordinating domain), at least 1. *)
+val default_jobs : unit -> int
+
+(** [find_first ~jobs ~budget f] is the smallest [i] in [0, budget)
+    with [f i = true], or [None].  [f] must be safe to call from
+    multiple domains concurrently (in this codebase: any function of a
+    trial seed that builds its own engine).  [jobs] (default 1) is the
+    total number of domains used, including the calling one; it is
+    capped at [budget].  If some call to [f] raises, the first
+    exception observed is re-raised on the calling domain after all
+    workers have drained. *)
+val find_first : ?jobs:int -> budget:int -> (int -> bool) -> int option

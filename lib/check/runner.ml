@@ -66,19 +66,45 @@ let pp_report fmt r =
 
 let trial_seed_of rng = Int64.to_int (Rng.bits64 rng) land 0x3FFF_FFFF
 
-let sweep ~algo ~budget ~master_seed ~run_trial =
+(* Sweeps come in two phases so that fan-out stays deterministic:
+   [detect] is the cheap violation predicate run (possibly in parallel)
+   on every trial seed, and [run_trial] re-runs one trial in full —
+   including delta-debug shrinking — to package the counterexample.
+   With [jobs > 1] the trials fan out across a domain pool; the
+   reported violation is the one with the lowest trial index among all
+   hits (not the first to complete), and shrinking runs single-threaded
+   on that trial's seed, so reports are bit-for-bit identical to a
+   [jobs = 1] sweep. *)
+let sweep ~algo ~budget ~master_seed ~jobs ~detect ~run_trial =
   let rng = Rng.create master_seed in
-  let rec go i =
-    if i >= budget then
-      { algo; budget; trials_run = budget; violation = None }
-    else
-      let trial_seed = trial_seed_of rng in
-      match run_trial ~trial:i ~trial_seed with
-      | None -> go (i + 1)
-      | Some cx ->
-        { algo; budget; trials_run = i + 1; violation = Some cx }
-  in
-  go 0
+  if jobs <= 1 then
+    let rec go i =
+      if i >= budget then
+        { algo; budget; trials_run = budget; violation = None }
+      else
+        let trial_seed = trial_seed_of rng in
+        match run_trial ~trial:i ~trial_seed with
+        | None -> go (i + 1)
+        | Some cx ->
+          { algo; budget; trials_run = i + 1; violation = Some cx }
+    in
+    go 0
+  else begin
+    (* Same master stream, pre-drawn: seed i here = seed of trial i in
+       the sequential loop above. *)
+    let seeds = Array.init budget (fun _ -> trial_seed_of rng) in
+    match
+      Pool.find_first ~jobs ~budget (fun i -> detect ~trial_seed:seeds.(i))
+    with
+    | None -> { algo; budget; trials_run = budget; violation = None }
+    | Some i -> (
+      match run_trial ~trial:i ~trial_seed:seeds.(i) with
+      | Some cx -> { algo; budget; trials_run = i + 1; violation = Some cx }
+      | None ->
+        (* A trial is a pure function of its seed, so the detect hit
+           must reproduce. *)
+        assert false)
+  end
 
 let replay_report ~algo run_trial ~trial_seed =
   match run_trial ~trial:0 ~trial_seed with
@@ -186,6 +212,10 @@ let hbo_config_lines cfg inputs crashes k =
   | Some (s, t, _) ->
     [ ("partition", Printf.sprintf "S={%s} T={%s}" (fmt_pids s) (fmt_pids t)) ]
 
+let hbo_detect graph cfg ~trial_seed =
+  let _, _, _, _, failure = hbo_trial graph cfg ~trial_seed () in
+  failure <> None
+
 let hbo_run_trial graph cfg ~trial ~trial_seed =
   let o, inputs, crashes, k, failure = hbo_trial graph cfg ~trial_seed () in
   match failure with
@@ -250,13 +280,15 @@ let hbo_cfg ?(impl = Hbo.Trusted) ?max_crashes ?(crash_window = 200)
   let stall = if expect_stall then Some (stall_scenario graph) else None in
   { impl; max_crashes; crash_window; max_steps; trace_tail; stall }
 
-let check_hbo ?(master_seed = 1) ?(budget = 200) ?impl ?max_crashes
-    ?crash_window ?max_steps ?trace_tail ?expect_stall ~graph () =
+let check_hbo ?(master_seed = 1) ?(budget = 200) ?(jobs = 1) ?impl
+    ?max_crashes ?crash_window ?max_steps ?trace_tail ?expect_stall ~graph ()
+    =
   let cfg =
     hbo_cfg ?impl ?max_crashes ?crash_window ?max_steps ?trace_tail
       ?expect_stall ~graph ()
   in
-  sweep ~algo:"hbo" ~budget ~master_seed ~run_trial:(hbo_run_trial graph cfg)
+  sweep ~algo:"hbo" ~budget ~master_seed ~jobs ~detect:(hbo_detect graph cfg)
+    ~run_trial:(hbo_run_trial graph cfg)
 
 let replay_hbo ?impl ?max_crashes ?crash_window ?max_steps ?trace_tail
     ?expect_stall ~graph ~trial_seed () =
@@ -310,6 +342,10 @@ let omega_trial ~n cfg ~trial_seed ?crashes_override () =
   in
   (o, crashes, variant, Monitor.first_failure monitors o)
 
+let omega_detect ~n cfg ~trial_seed =
+  let _, _, _, failure = omega_trial ~n cfg ~trial_seed () in
+  failure <> None
+
 let omega_run_trial ~n cfg ~trial ~trial_seed =
   let o, crashes, variant, failure = omega_trial ~n cfg ~trial_seed () in
   match failure with
@@ -353,13 +389,14 @@ let omega_cfg ~n ?max_crashes ?(crash_window = 20_000) ?(warmup = 60_000)
     o_trace_tail = trace_tail;
   }
 
-let check_omega ?(master_seed = 1) ?(budget = 50) ?max_crashes ?crash_window
-    ?warmup ?window ?drop ?trace_tail ~variant ~n () =
+let check_omega ?(master_seed = 1) ?(budget = 50) ?(jobs = 1) ?max_crashes
+    ?crash_window ?warmup ?window ?drop ?trace_tail ~variant ~n () =
   let cfg =
     omega_cfg ~n ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
       ~variant ()
   in
-  sweep ~algo:"omega" ~budget ~master_seed ~run_trial:(omega_run_trial ~n cfg)
+  sweep ~algo:"omega" ~budget ~master_seed ~jobs
+    ~detect:(omega_detect ~n cfg) ~run_trial:(omega_run_trial ~n cfg)
 
 let replay_omega ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
     ~variant ~n ~trial_seed () =
@@ -422,6 +459,10 @@ let abd_trial ~n cfg ~trial_seed =
   in
   (o, scripts, delay, Monitor.first_failure monitors o)
 
+let abd_detect ~n cfg ~trial_seed =
+  let _, _, _, failure = abd_trial ~n cfg ~trial_seed in
+  failure <> None
+
 let abd_run_trial ~n cfg ~trial ~trial_seed =
   let o, scripts, delay, failure = abd_trial ~n cfg ~trial_seed in
   match failure with
@@ -450,10 +491,11 @@ let abd_cfg ~n ?(max_ops = 4) ?(max_steps = 200_000) ?(trace_tail = 30) () =
   let max_ops = max 1 (min max_ops (62 / max 1 n)) in
   { max_ops; a_max_steps = max_steps; a_trace_tail = trace_tail }
 
-let check_abd ?(master_seed = 1) ?(budget = 200) ?max_ops ?max_steps
-    ?trace_tail ~n () =
+let check_abd ?(master_seed = 1) ?(budget = 200) ?(jobs = 1) ?max_ops
+    ?max_steps ?trace_tail ~n () =
   let cfg = abd_cfg ~n ?max_ops ?max_steps ?trace_tail () in
-  sweep ~algo:"abd" ~budget ~master_seed ~run_trial:(abd_run_trial ~n cfg)
+  sweep ~algo:"abd" ~budget ~master_seed ~jobs ~detect:(abd_detect ~n cfg)
+    ~run_trial:(abd_run_trial ~n cfg)
 
 let replay_abd ?max_ops ?max_steps ?trace_tail ~n ~trial_seed () =
   let cfg = abd_cfg ~n ?max_ops ?max_steps ?trace_tail () in

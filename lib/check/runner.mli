@@ -7,7 +7,14 @@
     choice and the engine seed, so [replay_*] with the reported seed
     reruns the identical execution — including its trailing trace.
     Trial seeds themselves come from the [master_seed], so whole sweeps
-    are reproducible too. *)
+    are reproducible too.
+
+    Sweeps are embarrassingly parallel: with [jobs > 1] the trials fan
+    out across a {!Pool} of OCaml 5 domains.  Reports stay bit-for-bit
+    identical to a sequential sweep regardless of [jobs]: the reported
+    counterexample is the one with the {e lowest trial index} among all
+    violations found (not the first to complete across domains), and
+    shrinking re-runs single-threaded on that trial's seed. *)
 
 (** A property violation, packaged for reporting and replay. *)
 type counterexample = {
@@ -61,6 +68,7 @@ val default_max_crashes : Mm_graph.Graph.t -> int
 val check_hbo :
   ?master_seed:int ->          (* default 1 *)
   ?budget:int ->               (* default 200 trials *)
+  ?jobs:int ->                 (* default 1; domains to sweep with *)
   ?impl:Mm_consensus.Hbo.impl ->  (* default Trusted *)
   ?max_crashes:int ->
   ?crash_window:int ->         (* default 200 steps *)
@@ -100,6 +108,7 @@ val replay_hbo :
 val check_omega :
   ?master_seed:int ->
   ?budget:int ->               (* default 50 trials *)
+  ?jobs:int ->                 (* default 1; domains to sweep with *)
   ?max_crashes:int ->          (* default n - 2 *)
   ?crash_window:int ->         (* default 20_000 *)
   ?warmup:int ->               (* default 60_000 *)
@@ -136,6 +145,7 @@ val replay_omega :
 val check_abd :
   ?master_seed:int ->
   ?budget:int ->               (* default 200 trials *)
+  ?jobs:int ->                 (* default 1; domains to sweep with *)
   ?max_ops:int ->              (* default 4 per process *)
   ?max_steps:int ->            (* default 200_000 *)
   ?trace_tail:int ->

@@ -26,23 +26,36 @@ type event =
   | Drop of { src : Id.t; dst : Id.t }
   | Deliver of { src : Id.t; dst : Id.t }
 
+(* Delivery is driven by a global min-heap of (due, link) wake-ups, so a
+   tick costs O(messages actually due) instead of O(active links +
+   in-flight).  Each entry is packed into one int, [due * n² + link], which
+   orders entries by due then by link index — a fixed, deterministic
+   tie-break for simultaneous deliveries on different links.  Per link,
+   [wake_due] holds the key of its earliest live heap entry (or [no_wake]);
+   entries whose due no longer matches are stale and skipped on pop, which
+   keeps the heap lazily deduplicated without a decrease-key operation. *)
 type t = {
   n : int;
   net_kind : kind;
   net_delay : delay;
   rng : Rng.t;
-  (* One queue per directed link, indexed src * n + dst; [active] tracks
-     the non-empty links so that a tick touches only live traffic. *)
+  (* One queue per directed link, indexed src * n + dst, kept ascending in
+     (due, uid) at insert time so delivery pops a sorted prefix. *)
   queues : in_flight list ref array;
-  active : (int, unit) Hashtbl.t;
+  wake_due : int array;
+  mutable heap : int array;
+  mutable heap_len : int;
   mailboxes : (Id.t * Message.payload) Queue.t array;
   mutable block_fn : (now:int -> src:Id.t -> dst:Id.t -> bool) option;
   mutable observer : (event -> unit) option;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable in_flight_count : int;
   mutable next_uid : int;
 }
+
+let no_wake = max_int
 
 let validate_delay = function
   | Immediate -> ()
@@ -64,13 +77,16 @@ let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
     net_delay = delay;
     rng;
     queues = Array.init (n * n) (fun _ -> ref []);
-    active = Hashtbl.create 64;
+    wake_due = Array.make (n * n) no_wake;
+    heap = Array.make 64 0;
+    heap_len = 0;
     mailboxes = Array.init n (fun _ -> Queue.create ());
     block_fn = None;
     observer = None;
     sent = 0;
     delivered = 0;
     dropped = 0;
+    in_flight_count = 0;
     next_uid = 0;
   }
 
@@ -82,11 +98,78 @@ let notify t ev =
   | None -> ()
   | Some f -> f ev
 
+(* --- packed-int binary min-heap of wake-ups --- *)
+
+let heap_push t key =
+  let len = t.heap_len in
+  if len = Array.length t.heap then begin
+    let bigger = Array.make (2 * len) 0 in
+    Array.blit t.heap 0 bigger 0 len;
+    t.heap <- bigger
+  end;
+  t.heap.(len) <- key;
+  t.heap_len <- len + 1;
+  let h = t.heap in
+  let i = ref len in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    h.(parent) > h.(!i)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.(parent) in
+    h.(parent) <- h.(!i);
+    h.(!i) <- tmp;
+    i := parent
+  done
+
+let heap_pop t =
+  let h = t.heap in
+  let top = h.(0) in
+  t.heap_len <- t.heap_len - 1;
+  h.(0) <- h.(t.heap_len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.heap_len && h.(l) < h.(!smallest) then smallest := l;
+    if r < t.heap_len && h.(r) < h.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = h.(!smallest) in
+      h.(!smallest) <- h.(!i);
+      h.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  top
+
+(* Arm the wake-up for link [idx] at [due] unless an earlier one is
+   already pending. *)
+let arm t ~idx ~due =
+  let slots = t.n * t.n in
+  if due < t.wake_due.(idx) then begin
+    heap_push t ((due * slots) + idx);
+    t.wake_due.(idx) <- due
+  end
+
 let draw_delay t =
   match t.net_delay with
   | Immediate -> 1
   | Fixed d -> d
   | Uniform (lo, hi) -> Rng.int_in_range t.rng ~lo ~hi
+
+(* Ordered insert keeping the queue ascending in (due, uid); uids grow
+   with send order, so equal-due entries stay FIFO.  Queues are short
+   (messages leave at their due step), so this replaces the old per-tick
+   partition + sort with near-O(1) work per send. *)
+let rec insert_by_due e = function
+  | [] -> [ e ]
+  | x :: tl when x.due < e.due || (x.due = e.due && x.msg.Message.uid < e.msg.Message.uid)
+    -> x :: insert_by_due e tl
+  | rest -> e :: rest
 
 let send t ~now ~src ~dst payload =
   let si = Id.to_int src and di = Id.to_int dst in
@@ -113,47 +196,55 @@ let send t ~now ~src ~dst payload =
     end
     else begin
       let msg = { Message.src; dst; payload; sent_at = now; uid } in
+      let due = now + draw_delay t in
       let idx = (si * t.n) + di in
       let q = t.queues.(idx) in
-      if !q = [] then Hashtbl.replace t.active idx ();
-      q := { msg; due = now + draw_delay t } :: !q
+      q := insert_by_due { msg; due } !q;
+      t.in_flight_count <- t.in_flight_count + 1;
+      arm t ~idx ~due
     end
   end
 
+(* Deliver the due prefix of link [idx]'s queue into the destination
+   mailbox, in (due, uid) order. *)
+let deliver_due t ~now ~idx ~di =
+  let q = t.queues.(idx) in
+  let rec go = function
+    | e :: tl when e.due <= now ->
+      Queue.add (e.msg.Message.src, e.msg.Message.payload) t.mailboxes.(di);
+      t.delivered <- t.delivered + 1;
+      t.in_flight_count <- t.in_flight_count - 1;
+      notify t (Deliver { src = e.msg.Message.src; dst = e.msg.Message.dst });
+      go tl
+    | rest -> rest
+  in
+  q := go !q;
+  (* Re-arm for the link's next pending message, if any. *)
+  match !q with
+  | [] -> ()
+  | e :: _ -> arm t ~idx ~due:e.due
+
 let tick t ~now =
-  let live = Hashtbl.fold (fun idx () acc -> idx :: acc) t.active [] in
-  let deliver idx =
-    let si = idx / t.n and di = idx mod t.n in
-    let q = t.queues.(idx) in
-    match !q with
-    | [] -> Hashtbl.remove t.active idx
-    | entries ->
+  let slots = t.n * t.n in
+  while t.heap_len > 0 && t.heap.(0) / slots <= now do
+    let key = heap_pop t in
+    let due = key / slots and idx = key mod slots in
+    (* Live entry?  Stale duplicates (superseded by an earlier wake-up
+       that already serviced the link) are skipped. *)
+    if t.wake_due.(idx) = due then begin
+      t.wake_due.(idx) <- no_wake;
+      let si = idx / t.n and di = idx mod t.n in
       let blocked =
         match t.block_fn with
         | None -> false
         | Some f -> f ~now ~src:(Id.of_int si) ~dst:(Id.of_int di)
       in
-      if not blocked then begin
-        let due, still = List.partition (fun e -> e.due <= now) entries in
-        if due <> [] then begin
-          q := still;
-          if still = [] then Hashtbl.remove t.active idx;
-          (* Deliver in send order within the link (FIFO per link). *)
-          let due =
-            List.sort (fun a b -> compare a.msg.Message.uid b.msg.Message.uid) due
-          in
-          List.iter
-            (fun e ->
-              Queue.add (e.msg.Message.src, e.msg.Message.payload)
-                t.mailboxes.(di);
-              t.delivered <- t.delivered + 1;
-              notify t
-                (Deliver { src = e.msg.Message.src; dst = e.msg.Message.dst }))
-            due
-        end
-      end
-  in
-  List.iter deliver live
+      if blocked then
+        (* Held messages stay queued (No-loss); poll again next tick. *)
+        arm t ~idx ~due:(now + 1)
+      else deliver_due t ~now ~idx ~di
+    end
+  done
 
 let drain t p =
   let box = t.mailboxes.(Id.to_int p) in
@@ -168,10 +259,12 @@ let set_block_fn t f = t.block_fn <- Some f
 let set_observer t f = t.observer <- Some f
 
 let stats t =
-  let in_flight =
-    Array.fold_left (fun acc q -> acc + List.length !q) 0 t.queues
-  in
-  { sent = t.sent; delivered = t.delivered; dropped = t.dropped; in_flight }
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    in_flight = t.in_flight_count;
+  }
 
 let snapshot = stats
 

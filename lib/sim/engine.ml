@@ -45,6 +45,7 @@ type t = {
   procs : proc array;
   crash_step : int option array;
   tr : Trace.t option;
+  view : Sched.view;  (* reused every step; see Sched.view *)
   mutable step : int;
   mutable coins : int;
   mutable sched_log : int list option;  (* reversed; None = not recording *)
@@ -65,6 +66,16 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
   let sched_rng = Rng.split root in
   let proc_parent = Rng.split root in
   let net = Network.create ~rng:net_rng ~n ~kind:link ?delay () in
+  let procs =
+    Array.init n (fun i ->
+        {
+          pid = Id.of_int i;
+          pending = None;
+          p_status = Unspawned;
+          steps = 0;
+          rng = Rng.split proc_parent;
+        })
+  in
   let t =
     {
       n_procs = n;
@@ -74,17 +85,16 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
       sched = (match sched with Some s -> s | None -> Sched.create Sched.Random);
       sched_rng;
       seed_rng = Rng.split root;
-      procs =
-        Array.init n (fun i ->
-            {
-              pid = Id.of_int i;
-              pending = None;
-              p_status = Unspawned;
-              steps = 0;
-              rng = Rng.split proc_parent;
-            });
+      procs;
       crash_step = Array.make n None;
       tr = (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None);
+      view =
+        {
+          Sched.now = 0;
+          count = 0;
+          runnable = Array.make n 0;
+          steps = (fun i -> procs.(i).steps);
+        };
       step = 0;
       coins = 0;
       sched_log = None;
@@ -221,13 +231,21 @@ let apply_crashes t =
     | _ -> ()
   done
 
-let runnable t =
-  let acc = ref [] in
-  for i = t.n_procs - 1 downto 0 do
+(* Refresh the reusable view's runnable prefix in place (ascending pid
+   order) and return the count.  No allocation: this runs on every step. *)
+let refill_runnable t =
+  let v = t.view in
+  let c = ref 0 in
+  for i = 0 to t.n_procs - 1 do
     let p = t.procs.(i) in
-    if p.p_status = Ready && p.pending <> None then acc := i :: !acc
+    match p.p_status, p.pending with
+    | Ready, Some _ ->
+      v.Sched.runnable.(!c) <- i;
+      incr c
+    | _ -> ()
   done;
-  !acc
+  v.Sched.count <- !c;
+  !c
 
 let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
   let deadline = t.step + max_steps in
@@ -236,35 +254,27 @@ let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
     apply_crashes t;
     if until () then reason := Some Stopped
     else if t.step >= deadline then reason := Some Step_limit
+    else if refill_runnable t = 0 then reason := Some Quiescent
     else begin
-      match runnable t with
-      | [] -> reason := Some Quiescent
-      | ready ->
-        let view =
-          {
-            Sched.now = t.step;
-            runnable = ready;
-            steps = (fun i -> t.procs.(i).steps);
-          }
-        in
-        let chosen = Sched.pick t.sched t.sched_rng view in
-        (match t.sched_log with
-        | Some l -> t.sched_log <- Some (chosen :: l)
-        | None -> ());
-        let p = t.procs.(chosen) in
-        let thunk =
-          match p.pending with
-          | Some th -> th
-          | None -> assert false
-        in
-        p.pending <- None;
-        (match thunk () with
-        | Finished_fiber -> p.p_status <- Done
-        | Suspended -> assert (p.pending <> None));
-        p.steps <- p.steps + 1;
-        t.step <- t.step + 1;
-        Sched.note_step t.sched ~pid:chosen ~n:t.n_procs;
-        Network.tick t.net ~now:t.step
+      t.view.Sched.now <- t.step;
+      let chosen = Sched.pick t.sched t.sched_rng t.view in
+      (match t.sched_log with
+      | Some l -> t.sched_log <- Some (chosen :: l)
+      | None -> ());
+      let p = t.procs.(chosen) in
+      let thunk =
+        match p.pending with
+        | Some th -> th
+        | None -> assert false
+      in
+      p.pending <- None;
+      (match thunk () with
+      | Finished_fiber -> p.p_status <- Done
+      | Suspended -> assert (p.pending <> None));
+      p.steps <- p.steps + 1;
+      t.step <- t.step + 1;
+      Sched.note_step t.sched ~pid:chosen ~n:t.n_procs;
+      Network.tick t.net ~now:t.step
     end
   done;
   Option.get !reason

@@ -1,8 +1,17 @@
 type view = {
-  now : int;
-  runnable : int list;
+  mutable now : int;
+  mutable count : int;
+  runnable : int array;
   steps : int -> int;
 }
+
+let make_view ?(now = 0) ?(steps = fun _ -> 0) pids =
+  let runnable = Array.of_list pids in
+  { now; count = Array.length runnable; runnable; steps }
+
+let view_mem view p =
+  let rec go i = i < view.count && (view.runnable.(i) = p || go (i + 1)) in
+  go 0
 
 type base =
   | Round_robin
@@ -55,7 +64,7 @@ let most_urgent t view =
      since p last ran: running p now keeps every window of i steps of any
      q containing a step of p. *)
   let urgency (p, i) =
-    if not (List.mem p view.runnable) then None
+    if not (view_mem view p) then None
     else
       match Hashtbl.find_opt t.counters p with
       | None -> None
@@ -77,23 +86,25 @@ let most_urgent t view =
 let base_pick t rng view =
   match t.base with
   | Round_robin ->
-    let after = List.filter (fun p -> p > t.rr_cursor) view.runnable in
-    let chosen =
-      match after with
-      | p :: _ -> p
-      | [] -> List.hd view.runnable
+    (* First runnable pid strictly above the cursor, else wrap to the
+       lowest; entries [0, count) are ascending. *)
+    let rec after i =
+      if i >= view.count then view.runnable.(0)
+      else if view.runnable.(i) > t.rr_cursor then view.runnable.(i)
+      else after (i + 1)
     in
+    let chosen = after 0 in
     t.rr_cursor <- chosen;
     chosen
-  | Random -> Mm_rng.Rng.pick rng view.runnable
+  | Random -> view.runnable.(Mm_rng.Rng.int rng view.count)
   | Custom f ->
     let p = f view in
-    if not (List.mem p view.runnable) then
+    if not (view_mem view p) then
       invalid_arg "Sched.pick: custom policy chose a non-runnable process";
     p
 
 let pick t rng view =
-  if view.runnable = [] then invalid_arg "Sched.pick: no runnable process";
+  if view.count = 0 then invalid_arg "Sched.pick: no runnable process";
   match most_urgent t view with
   | Some p -> p
   | None -> base_pick t rng view

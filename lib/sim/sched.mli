@@ -14,11 +14,25 @@
     remaining processes stay asynchronous (fully at the base policy's
     mercy). *)
 
+(** The scheduler's (reusable) window onto the engine state.  To keep the
+    engine's hot loop allocation-free, a single [view] is allocated per
+    engine and mutated in place before every pick: [runnable] is a scratch
+    array whose first [count] entries are the runnable pids in ascending
+    order; entries at and beyond [count] are stale garbage. *)
 type view = {
-  now : int;                  (** global step number *)
-  runnable : int list;        (** ids of runnable processes, ascending *)
-  steps : int -> int;         (** per-process executed step count *)
+  mutable now : int;     (** global step number *)
+  mutable count : int;   (** number of valid entries in [runnable] *)
+  runnable : int array;  (** runnable pids, ascending, valid in [0, count) *)
+  steps : int -> int;    (** per-process executed step count *)
 }
+
+(** [make_view pids] builds a fresh view whose runnable set is [pids]
+    (ascending); for tests and custom policies. [now] defaults to 0 and
+    [steps] to [fun _ -> 0]. *)
+val make_view : ?now:int -> ?steps:(int -> int) -> int list -> view
+
+(** [view_mem view p] tests membership of [p] in the valid prefix. *)
+val view_mem : view -> int -> bool
 
 type base =
   | Round_robin

@@ -63,7 +63,7 @@ let test_lin_validation () =
 
 (* --- Explore: PCT adversary and replay --- *)
 
-let view ?(now = 0) runnable = { Sched.now; runnable; steps = (fun _ -> 0) }
+let view ?now runnable = Sched.make_view ?now runnable
 
 let picks_of sched ~steps ~runnable =
   let rng = Mm_rng.Rng.create 99 in
@@ -200,6 +200,37 @@ let test_shrink_int () =
   Alcotest.(check int) "nothing smaller fails" 7
     (Shrink.int_min ~still_fails:(fun v -> v = 7) ~lo:0 7)
 
+(* --- Pool: deterministic parallel search --- *)
+
+let test_pool_lowest_index_wins () =
+  (* Many indices match; the pool must report the lowest, not the first
+     to complete, at every jobs setting. *)
+  let f i = i mod 7 = 3 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (Some 3)
+        (Mm_check.Pool.find_first ~jobs ~budget:100 f))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_no_hit_and_edges () =
+  Alcotest.(check (option int)) "no hit" None
+    (Mm_check.Pool.find_first ~jobs:4 ~budget:50 (fun _ -> false));
+  Alcotest.(check (option int)) "empty budget" None
+    (Mm_check.Pool.find_first ~jobs:4 ~budget:0 (fun _ -> true));
+  Alcotest.(check (option int)) "jobs > budget" (Some 0)
+    (Mm_check.Pool.find_first ~jobs:16 ~budget:2 (fun i -> i = 0))
+
+let test_pool_propagates_exception () =
+  Alcotest.(check bool) "worker exception reraised" true
+    (try
+       ignore
+         (Mm_check.Pool.find_first ~jobs:4 ~budget:40 (fun i ->
+              if i = 17 then failwith "boom" else false));
+       false
+     with Failure m -> m = "boom")
+
 (* --- Runner: end-to-end sweeps (kept small; see the @check alias) --- *)
 
 let test_hbo_clique_within_bound_clean () =
@@ -291,6 +322,50 @@ let test_report_pp_mentions_replay_seed () =
     Alcotest.(check bool) "prints the replay seed" true
       (contains s (string_of_int cx.Runner.trial_seed))
 
+(* --- Parallel sweeps: jobs must not change the report --- *)
+
+let check_same_report name (r1 : Runner.report) (r4 : Runner.report) =
+  Alcotest.(check string) (name ^ ": algo") r1.Runner.algo r4.Runner.algo;
+  Alcotest.(check int) (name ^ ": trials_run") r1.Runner.trials_run
+    r4.Runner.trials_run;
+  (match (r1.Runner.violation, r4.Runner.violation) with
+  | None, None -> ()
+  | Some a, Some b ->
+    Alcotest.(check int) (name ^ ": trial") a.Runner.trial b.Runner.trial;
+    Alcotest.(check int) (name ^ ": seed") a.Runner.trial_seed
+      b.Runner.trial_seed;
+    Alcotest.(check string) (name ^ ": property") a.Runner.property
+      b.Runner.property;
+    Alcotest.(check string) (name ^ ": detail") a.Runner.detail
+      b.Runner.detail;
+    Alcotest.(check bool) (name ^ ": shrunk") true
+      (a.Runner.shrunk = b.Runner.shrunk)
+  | _ -> Alcotest.failf "%s: one sweep found a violation, the other not" name);
+  (* Belt and braces: the whole report, traces included. *)
+  Alcotest.(check bool) (name ^ ": bit-identical") true (r1 = r4)
+
+let test_hbo_jobs_deterministic () =
+  (* The past-the-bound hunt from above: a violation exists, and jobs=4
+     must report the identical trial/seed/shrunk config as jobs=1. *)
+  let graph = B.disjoint_cliques ~cliques:2 ~k:3 in
+  let sweep jobs =
+    Runner.check_hbo ~master_seed:1 ~budget:200 ~jobs ~max_crashes:3 ~graph ()
+  in
+  let r1 = sweep 1 and r4 = sweep 4 in
+  Alcotest.(check bool) "violation found" true (r1.Runner.violation <> None);
+  check_same_report "hbo" r1 r4
+
+let test_omega_jobs_deterministic () =
+  let sweep jobs =
+    Runner.check_omega ~budget:4 ~jobs ~crash_window:4_000 ~warmup:30_000
+      ~window:5_000 ~variant:Omega.Reliable ~n:3 ()
+  in
+  check_same_report "omega" (sweep 1) (sweep 4)
+
+let test_abd_jobs_deterministic () =
+  let sweep jobs = Runner.check_abd ~budget:40 ~jobs ~n:4 () in
+  check_same_report "abd" (sweep 1) (sweep 4)
+
 let () =
   Alcotest.run "mm_check"
     [
@@ -318,6 +393,14 @@ let () =
           Alcotest.test_case "drop/deliver traced" `Quick
             test_network_events_traced;
         ] );
+      ( "pool",
+        [
+          Alcotest.test_case "lowest index wins" `Quick
+            test_pool_lowest_index_wins;
+          Alcotest.test_case "no hit + edges" `Quick test_pool_no_hit_and_edges;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_propagates_exception;
+        ] );
       ( "shrink",
         [
           Alcotest.test_case "list core" `Quick test_shrink_list;
@@ -337,5 +420,14 @@ let () =
           Alcotest.test_case "omega clean" `Quick test_omega_sweep_clean;
           Alcotest.test_case "report pp" `Quick
             test_report_pp_mentions_replay_seed;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "hbo jobs=1 = jobs=4" `Quick
+            test_hbo_jobs_deterministic;
+          Alcotest.test_case "omega jobs=1 = jobs=4" `Quick
+            test_omega_jobs_deterministic;
+          Alcotest.test_case "abd jobs=1 = jobs=4" `Quick
+            test_abd_jobs_deterministic;
         ] );
     ]

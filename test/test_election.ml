@@ -32,7 +32,10 @@ let test_untimely_process_loses_leadership () =
   let starving_base =
     Mm_sim.Sched.Custom
       (fun v ->
-        let runnable = v.Mm_sim.Sched.runnable in
+        let runnable =
+          Array.to_list
+            (Array.sub v.Mm_sim.Sched.runnable 0 v.Mm_sim.Sched.count)
+        in
         if List.mem 0 runnable && v.Mm_sim.Sched.now >= !next0 then begin
           if !gap < 1 lsl 40 then gap := !gap * 2;
           next0 := v.Mm_sim.Sched.now + !gap;

@@ -7,8 +7,7 @@ module Trace = Mm_sim.Trace
 module Id = Mm_core.Id
 module T = Mm_bench.Table
 
-let view ?(now = 0) runnable =
-  { Sched.now; runnable; steps = (fun _ -> 0) }
+let view ?now runnable = Sched.make_view ?now runnable
 
 (* --- scheduler --- *)
 

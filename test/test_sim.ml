@@ -173,7 +173,7 @@ let test_timeliness () =
      regularly. *)
   let sched =
     Sched.create ~timely:[ (0, 4) ]
-      (Sched.Custom (fun v -> List.fold_left max 0 v.Sched.runnable))
+      (Sched.Custom (fun v -> v.Sched.runnable.(v.Sched.count - 1)))
   in
   let eng = make ~sched 3 in
   let steps_when_0 = ref [] in

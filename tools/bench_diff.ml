@@ -1,0 +1,275 @@
+(* bench_diff — compare two `bench/main.exe --json` outputs and flag
+   regressions, the gate of the perf trajectory.
+
+   Usage:
+     bench_diff --check FILE            validate that FILE parses as a
+                                        bench JSON array (exit 1 if not)
+     bench_diff OLD NEW [--threshold P] compare; a kernel whose ns/run
+                                        grew by more than P% (default 20)
+                                        is a regression (exit 1 if any)
+
+   No external JSON dependency: the parser below handles the full JSON
+   grammar the bench emits (arrays, objects, strings, numbers, null). *)
+
+exception Bad of string
+
+(* --- minimal JSON reader --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+          (* decode to '?' — kernel names are ASCII; keep the parser total *)
+          advance ();
+          advance ();
+          advance ();
+          advance ();
+          Buffer.add_char buf '?'
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (string_lit ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        Arr (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (kv :: acc)
+          | _ -> fail "expected , or }"
+        in
+        Obj (fields [])
+      end
+    | Some ('0' .. '9' | '-') -> Num (number ())
+    | Some _ -> fail "unexpected character"
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- bench-specific shape --- *)
+
+(* (kernel, ns_per_run option) in file order; None = bechamel produced
+   no estimate (emitted as null). *)
+let load_bench path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  match parse_json raw with
+  | Arr items ->
+    List.map
+      (function
+        | Obj fields -> (
+          match (List.assoc_opt "kernel" fields, List.assoc_opt "ns_per_run" fields) with
+          | Some (Str k), Some (Num ns) -> (k, Some ns)
+          | Some (Str k), Some Null -> (k, None)
+          | _ -> raise (Bad "entry must have kernel:string, ns_per_run:number|null"))
+        | _ -> raise (Bad "array entries must be objects"))
+      items
+  | _ -> raise (Bad "top level must be an array")
+
+let check path =
+  match load_bench path with
+  | [] ->
+    Printf.eprintf "%s: parsed, but contains no kernels\n" path;
+    exit 1
+  | entries ->
+    Printf.printf "%s: ok, %d kernel(s)\n" path (List.length entries);
+    0
+
+let diff ~threshold old_path new_path =
+  let old_b = load_bench old_path and new_b = load_bench new_path in
+  let regressions = ref 0 in
+  Printf.printf "%-32s %14s %14s %9s\n" "kernel" "old ns/run" "new ns/run" "delta";
+  Printf.printf "%-32s %14s %14s %9s\n" (String.make 32 '-')
+    (String.make 14 '-') (String.make 14 '-') (String.make 9 '-');
+  List.iter
+    (fun (kernel, new_ns) ->
+      match (List.assoc_opt kernel old_b, new_ns) with
+      | None, _ ->
+        Printf.printf "%-32s %14s %14s %9s\n" kernel "-"
+          (match new_ns with Some ns -> Printf.sprintf "%.0f" ns | None -> "?")
+          "new"
+      | Some (Some old_ns), Some new_ns when old_ns > 0.0 ->
+        let pct = (new_ns -. old_ns) /. old_ns *. 100.0 in
+        let flag =
+          if pct > threshold then begin
+            incr regressions;
+            "  << REGRESSION"
+          end
+          else ""
+        in
+        Printf.printf "%-32s %14.0f %14.0f %+8.1f%%%s\n" kernel old_ns new_ns
+          pct flag
+      | Some _, _ ->
+        Printf.printf "%-32s %14s %14s %9s\n" kernel "?" "?" "n/a")
+    new_b;
+  List.iter
+    (fun (kernel, _) ->
+      if not (List.mem_assoc kernel new_b) then
+        Printf.printf "%-32s (dropped from new run)\n" kernel)
+    old_b;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d kernel(s) regressed by more than %.0f%%\n" !regressions
+      threshold;
+    1
+  end
+  else begin
+    Printf.printf "\nno regression above %.0f%%\n" threshold;
+    0
+  end
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let threshold = ref 20.0 in
+  let rec strip_threshold = function
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t ->
+        threshold := t;
+        strip_threshold rest
+      | None ->
+        prerr_endline "bench_diff: --threshold needs a number";
+        exit 2)
+    | a :: rest -> a :: strip_threshold rest
+    | [] -> []
+  in
+  let args = strip_threshold args in
+  let status =
+    try
+      match args with
+      | [ "--check"; path ] -> check path
+      | [ old_path; new_path ] -> diff ~threshold:!threshold old_path new_path
+      | _ ->
+        prerr_endline
+          "usage: bench_diff --check FILE | bench_diff OLD NEW [--threshold PCT]";
+        2
+    with
+    | Bad msg ->
+      Printf.eprintf "bench_diff: invalid bench JSON: %s\n" msg;
+      1
+    | Sys_error msg ->
+      Printf.eprintf "bench_diff: %s\n" msg;
+      1
+  in
+  exit status
