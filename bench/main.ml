@@ -86,6 +86,39 @@ let hbo_sweep_kernel jobs () =
     (Runner.check_hbo ~master_seed:7 ~budget:24 ~jobs ~max_steps:20_000
        ~graph:(B.complete 4) ())
 
+(* check/<scenario>-sweep: a fixed-budget sweep of every registered
+   scenario through the generic engine, on one shared small
+   configuration.  These kernels' JSON rows also carry the trial budget
+   (see [kernel_budgets]) so downstream tooling can normalize ns/run to
+   ns/trial. *)
+let sweep_budget = 4
+
+let sweep_params =
+  {
+    Mm_check.Scenario.default_params with
+    graph = Some (B.complete 4);
+    n = 4;
+    max_steps = Some 20_000;
+    crash_window = Some 2_000;
+    warmup = Some 8_000;
+    window = Some 2_000;
+  }
+
+let sweep_kernels =
+  List.map
+    (fun ((module S : Mm_check.Scenario.S) as sc) ->
+      ( Printf.sprintf "check/%s-sweep" S.name,
+        fun () ->
+          ignore
+            (Runner.sweep sc ~master_seed:7 ~budget:sweep_budget ~jobs:1
+               ~params:sweep_params ()) ))
+    Mm_check.Registry.all
+
+let kernel_budgets =
+  List.map
+    (fun (name, _) -> (name, sweep_budget))
+    sweep_kernels
+
 (* One micro-kernel per experiment table: the time being measured is the
    dominant computational piece that the table's rows are built from. *)
 let kernels =
@@ -174,6 +207,7 @@ let kernels =
     ("check/hbo-sweep-wallclock-j1", hbo_sweep_kernel 1);
     ("check/hbo-sweep-wallclock-j4", hbo_sweep_kernel 4);
   ]
+  @ sweep_kernels
 
 let tests =
   List.map
@@ -245,8 +279,13 @@ let run_benchmarks_json ~smoke () =
       let ns_field =
         if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns
       in
-      Printf.printf "\n  {\"kernel\": \"%s\", \"ns_per_run\": %s}"
-        (json_escape name) ns_field)
+      let budget_field =
+        match List.assoc_opt name kernel_budgets with
+        | Some b -> Printf.sprintf ", \"budget\": %d" b
+        | None -> ""
+      in
+      Printf.printf "\n  {\"kernel\": \"%s\", \"ns_per_run\": %s%s}"
+        (json_escape name) ns_field budget_field)
     results;
   print_string "\n]\n"
 

@@ -315,6 +315,8 @@ let mutex_cmd =
 
 let check_cmd =
   let module Runner = Mm_check.Runner in
+  let module Scenario = Mm_check.Scenario in
+  let module Registry = Mm_check.Registry in
   let module Pool = Mm_check.Pool in
   let default_jobs () =
     match Sys.getenv_opt "MM_JOBS" with
@@ -332,23 +334,37 @@ let check_cmd =
                  J: the lowest-index violation wins and shrinking is \
                  single-threaded.")
   in
-  let algo_arg =
-    Arg.(value & opt string "hbo" & info [ "algo" ] ~docv:"A"
-           ~doc:"What to check: hbo | omega | abd.")
+  (* The scenario enum is derived from the registry: registering a new
+     Scenario.S is all it takes to appear here and in --help. *)
+  let scenario_choices =
+    List.map
+      (fun ((module S : Scenario.S) as sc) -> (S.name, sc))
+      Registry.all
+  in
+  let scenario_arg =
+    let scenario_conv = Arg.enum scenario_choices in
+    let doc =
+      Printf.sprintf "Scenario to check: %s (see SCENARIOS below)."
+        (Arg.doc_alts_enum ~quoted:true scenario_choices)
+    in
+    Arg.(value & pos 0 scenario_conv (List.assoc "hbo" scenario_choices)
+         & info [] ~docv:"SCENARIO" ~doc)
   in
   let budget_arg =
     Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"TRIALS"
-           ~doc:"Randomized trials to run (default 200; 50 for omega).")
+           ~doc:"Randomized trials to run (default: the scenario's own, \
+                 e.g. 200 for hbo, 50 for omega).")
   in
   let max_crashes_arg =
     Arg.(value & opt (some int) None & info [ "crashes" ] ~docv:"F"
            ~doc:"Crash budget per trial. Default: the Thm 4.3 bound of the \
                  graph for hbo (sweeps stay inside the tolerance envelope; \
-                 raise it to hunt for stalls), n-2 for omega.")
+                 raise it to hunt for stalls), n-2 for omega, n-1 for \
+                 paxos/smr.")
   in
   let max_steps_arg =
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"S"
-           ~doc:"Step budget per trial (hbo/abd).")
+           ~doc:"Step budget per trial.")
   in
   let variant_arg =
     Arg.(value & opt string "reliable" & info [ "variant" ] ~docv:"V"
@@ -374,58 +390,69 @@ let check_cmd =
            ~doc:"Trailing engine-trace events kept per trial for \
                  counterexample reports.")
   in
-  let run algo family n seed budget max_crashes max_steps impl variant drop
-      expect_stall replay trace jobs =
+  let entries_arg =
+    Arg.(value & opt (some int) None & info [ "entries" ] ~docv:"K"
+           ~doc:"Mutex: critical-section entries per process (default: \
+                 drawn per trial).")
+  in
+  let commands_arg =
+    Arg.(value & opt (some int) None & info [ "commands" ] ~docv:"K"
+           ~doc:"Smr: commands per process (default: drawn per trial).")
+  in
+  let run (module S : Scenario.S) family n seed budget max_crashes max_steps
+      impl variant drop expect_stall replay trace jobs entries commands =
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let variant =
+      match String.lowercase_ascii variant with
+      | "reliable" -> Omega.Reliable
+      | "lossy" -> Omega.Fair_lossy drop
+      | v -> failwith ("unknown variant: " ^ v)
+    in
+    let params =
+      {
+        Scenario.default_params with
+        graph = Some (make_graph family n seed);
+        family;
+        n;
+        impl;
+        variant;
+        drop;
+        expect_stall;
+        max_crashes;
+        max_steps;
+        entries;
+        commands;
+        trace_tail = trace;
+      }
+    in
+    (match Runner.preamble (module S) ~params with
+    | Some line -> Format.printf "%s@." line
+    | None -> ());
     let report =
-      match String.lowercase_ascii algo with
-      | "hbo" ->
-        let graph = make_graph family n seed in
-        Format.printf "checking hbo on %s %a: Thm 4.3 crash bound f* = %d@."
-          family G.pp graph
-          (Runner.default_max_crashes graph);
-        (match replay with
-        | Some trial_seed ->
-          Runner.replay_hbo ~impl ?max_crashes ?max_steps ~trace_tail:trace
-            ~expect_stall ~graph ~trial_seed ()
-        | None ->
-          Runner.check_hbo ~master_seed:seed ?budget ~jobs ~impl ?max_crashes
-            ?max_steps ~trace_tail:trace ~expect_stall ~graph ())
-      | "omega" ->
-        let variant =
-          match String.lowercase_ascii variant with
-          | "reliable" -> Omega.Reliable
-          | "lossy" -> Omega.Fair_lossy drop
-          | v -> failwith ("unknown variant: " ^ v)
-        in
-        (match replay with
-        | Some trial_seed ->
-          Runner.replay_omega ?max_crashes ~drop ~trace_tail:trace ~variant ~n
-            ~trial_seed ()
-        | None ->
-          Runner.check_omega ~master_seed:seed ?budget ~jobs ?max_crashes
-            ~drop ~trace_tail:trace ~variant ~n ())
-      | "abd" -> (
-        match replay with
-        | Some trial_seed ->
-          Runner.replay_abd ?max_steps ~trace_tail:trace ~n ~trial_seed ()
-        | None ->
-          Runner.check_abd ~master_seed:seed ?budget ~jobs ?max_steps
-            ~trace_tail:trace ~n ())
-      | a -> failwith ("unknown check target: " ^ a)
+      match replay with
+      | Some trial_seed -> Runner.replay (module S) ~params ~trial_seed ()
+      | None ->
+        Runner.sweep (module S) ~master_seed:seed ?budget ~jobs ~params ()
     in
     Format.printf "%a" Runner.pp_report report;
     if report.Runner.violation <> None then exit 1
   in
+  let man =
+    `S "SCENARIOS"
+    :: `P "Registered check targets (one Scenario module each):"
+    :: List.map
+         (fun ((module S : Scenario.S)) -> `I (S.name, S.doc))
+         Registry.all
+  in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~man
        ~doc:"Model-check an algorithm: sweep randomized schedules and faults \
              from one seed, monitor the paper's theorems, and report a \
              replayable shrunk counterexample (exit 1) on violation.")
-    Term.(const run $ algo_arg $ family_arg "complete" $ n_arg 6 $ seed_arg
-          $ budget_arg $ max_crashes_arg $ max_steps_arg $ impl_arg
-          $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg $ trace_arg
-          $ jobs_arg)
+    Term.(const run $ scenario_arg $ family_arg "complete" $ n_arg 6
+          $ seed_arg $ budget_arg $ max_crashes_arg $ max_steps_arg
+          $ impl_arg $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg
+          $ trace_arg $ jobs_arg $ entries_arg $ commands_arg)
 
 (* --- graph analysis --- *)
 

@@ -1,6 +1,9 @@
 module Hbo = Mm_consensus.Hbo
+module Paxos = Mm_consensus.Paxos
 module Omega = Mm_election.Omega
 module Abd = Mm_abd.Abd
+module Mutex = Mm_mutex.Mutex
+module Log = Mm_smr.Replicated_log
 module Expansion = Mm_graph.Expansion
 module Trace = Mm_sim.Trace
 
@@ -138,3 +141,130 @@ let abd_linearizable (o : Abd.outcome) =
       (Printf.sprintf
          "completed history of %d operation(s) admits no linearization"
          (List.length o.Abd.history))
+
+let paxos_agreement (o : Paxos.outcome) =
+  if Paxos.agreement o then Pass
+  else
+    Fail
+      (Format.asprintf "processes decided different values: %s"
+         (String.concat " "
+            (Array.to_list
+               (Array.mapi
+                  (fun i d ->
+                    match d with
+                    | Some v -> Printf.sprintf "p%d=%d" i v
+                    | None -> Printf.sprintf "p%d=?" i)
+                  o.Paxos.decisions))))
+
+let paxos_validity ~inputs (o : Paxos.outcome) =
+  if Paxos.validity ~inputs o then Pass
+  else Fail "a decision value was nobody's input"
+
+let paxos_termination (o : Paxos.outcome) =
+  if Paxos.all_correct_decided o then Pass
+  else begin
+    let undecided = ref [] in
+    Array.iteri
+      (fun i d ->
+        if (not o.Paxos.crashed.(i)) && d = None then undecided := i :: !undecided)
+      o.Paxos.decisions;
+    Fail
+      (Printf.sprintf
+         "correct process(es) %s undecided after %d steps (max ballot %d)"
+         (String.concat "," (List.map (Printf.sprintf "p%d") (List.rev !undecided)))
+         o.Paxos.total_steps o.Paxos.max_ballot)
+  end
+
+let mutex_exclusion (o : Mutex.outcome) =
+  if o.Mutex.safety_violations = 0 then Pass
+  else
+    Fail
+      (Printf.sprintf "%d critical-section overlap(s) observed"
+         o.Mutex.safety_violations)
+
+let mutex_no_spin (o : Mutex.outcome) =
+  let spins = Array.fold_left ( + ) 0 o.Mutex.spin_reads in
+  if spins = 0 then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "%d unprompted register re-read(s) while blocked (waiters must \
+          sleep on their mailbox, §1): %s"
+         spins
+         (String.concat " "
+            (Array.to_list
+               (Array.mapi (fun i s -> Printf.sprintf "p%d=%d" i s)
+                  o.Mutex.spin_reads))))
+
+let mutex_progress ~entries (o : Mutex.outcome) =
+  let laggards = ref [] in
+  Array.iteri
+    (fun i e -> if e < entries then laggards := (i, e) :: !laggards)
+    o.Mutex.entries;
+  match List.rev !laggards with
+  | [] -> Pass
+  | ls ->
+    Fail
+      (Printf.sprintf "process(es) %s completed fewer than %d entries in %d steps"
+         (String.concat " "
+            (List.map (fun (i, e) -> Printf.sprintf "p%d=%d" i e) ls))
+         entries o.Mutex.steps)
+
+let smr_consistent (o : Log.outcome) =
+  if o.Log.consistent then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "two processes applied different commands at the same slot (%d \
+          slot(s) used)"
+         o.Log.slots_used)
+
+let smr_prefix (o : Log.outcome) =
+  (* Each log must be contiguous from slot 0 (the apply loop advances a
+     prefix pointer), and any two logs must agree on their common
+     prefix. *)
+  let gap = ref None in
+  Array.iteri
+    (fun pi log ->
+      List.iteri
+        (fun j (s, _) -> if !gap = None && s <> j then gap := Some (pi, j, s))
+        log)
+    o.Log.logs;
+  match !gap with
+  | Some (pi, expected, got) ->
+    Fail
+      (Printf.sprintf "p%d's log has a gap: slot %d where %d was expected" pi
+         got expected)
+  | None ->
+    let diverged = ref None in
+    let n = Array.length o.Log.logs in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if !diverged = None then
+          List.iteri
+            (fun j ((_, ca), (_, cb)) ->
+              if !diverged = None && ca <> cb then diverged := Some (a, b, j))
+            (List.combine
+               (List.filteri
+                  (fun j _ -> j < List.length o.Log.logs.(b))
+                  o.Log.logs.(a))
+               (List.filteri
+                  (fun j _ -> j < List.length o.Log.logs.(a))
+                  o.Log.logs.(b)))
+      done
+    done;
+    (match !diverged with
+    | None -> Pass
+    | Some (a, b, slot) ->
+      Fail
+        (Printf.sprintf "p%d and p%d diverge at slot %d of their common prefix"
+           a b slot))
+
+let smr_committed (o : Log.outcome) =
+  if o.Log.all_committed then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "not every correct process applied every correct command after %d \
+          steps (%d slot(s) used)"
+         o.Log.total_steps o.Log.slots_used)

@@ -61,3 +61,39 @@ val abd_atomic : Mm_abd.Abd.outcome -> verdict
 
 (** Value-level linearizability of the completed history ({!Lin}). *)
 val abd_linearizable : Mm_abd.Abd.outcome -> verdict
+
+(** {2 Ω-driven shared-memory Paxos (§5 composition)} *)
+
+val paxos_agreement : Mm_consensus.Paxos.outcome -> verdict
+val paxos_validity : inputs:int array -> Mm_consensus.Paxos.outcome -> verdict
+
+(** Every correct process decided within the step budget.  Only sound
+    on fair schedules with a non-adversarial oracle and no crashes. *)
+val paxos_termination : Mm_consensus.Paxos.outcome -> verdict
+
+(** {2 Mutual exclusion (§1 motivating example)} *)
+
+(** No two processes ever overlapped in the critical section. *)
+val mutex_exclusion : Mm_mutex.Mutex.outcome -> verdict
+
+(** The §1 invariant of the m&m lock: waiters sleep on their mailbox,
+    so no register is ever re-read while blocked except in direct
+    response to a wake-up message ([spin_reads] all zero). *)
+val mutex_no_spin : Mm_mutex.Mutex.outcome -> verdict
+
+(** Every process completed all [entries] critical-section entries.
+    Only sound on fair (random-walk) schedules. *)
+val mutex_progress : entries:int -> Mm_mutex.Mutex.outcome -> verdict
+
+(** {2 Replicated log (multi-decree consensus)} *)
+
+(** No slot maps to two different commands anywhere. *)
+val smr_consistent : Mm_smr.Replicated_log.outcome -> verdict
+
+(** Every applied log is contiguous from slot 0 and any two logs agree
+    on their common prefix — no divergent commits. *)
+val smr_prefix : Mm_smr.Replicated_log.outcome -> verdict
+
+(** Every correct process applied every correct process's commands.
+    Only sound on fair, crash-free trials. *)
+val smr_committed : Mm_smr.Replicated_log.outcome -> verdict

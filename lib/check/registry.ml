@@ -1,0 +1,14 @@
+let all : Scenario.t list =
+  [
+    (module Scenario_hbo : Scenario.S);
+    (module Scenario_omega : Scenario.S);
+    (module Scenario_abd : Scenario.S);
+    (module Scenario_paxos : Scenario.S);
+    (module Scenario_mutex : Scenario.S);
+    (module Scenario_smr : Scenario.S);
+  ]
+
+let names = List.map (fun ((module S : Scenario.S)) -> S.name) all
+
+let find name =
+  List.find_opt (fun ((module S : Scenario.S)) -> String.equal S.name name) all

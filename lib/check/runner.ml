@@ -1,20 +1,15 @@
 module Rng = Mm_rng.Rng
-module Graph = Mm_graph.Graph
-module Expansion = Mm_graph.Expansion
-module Cut = Mm_graph.Sm_cut
-module Network = Mm_net.Network
 module Trace = Mm_sim.Trace
 module Hbo = Mm_consensus.Hbo
 module Omega = Mm_election.Omega
-module Abd = Mm_abd.Abd
 
 type counterexample = {
   trial : int;
   trial_seed : int;
   property : string;
   detail : string;
-  config : (string * string) list;
-  shrunk : (string * string) list;
+  config : Config.t;
+  shrunk : Config.t;
   trace : Mm_sim.Trace.event list;
 }
 
@@ -28,21 +23,18 @@ type report = {
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
 
-let pp_config fmt lines =
-  List.iter (fun (k, v) -> Format.fprintf fmt "    %-10s %s@." k v) lines
-
 let pp_counterexample fmt cx =
   Format.fprintf fmt "VIOLATION at trial %d (seed %d)@." cx.trial
     cx.trial_seed;
   Format.fprintf fmt "  property: %s@." cx.property;
   Format.fprintf fmt "  detail:   %s@." cx.detail;
   Format.fprintf fmt "  config:@.";
-  pp_config fmt cx.config;
+  Config.pp fmt cx.config;
   (match cx.shrunk with
   | [] -> ()
   | lines ->
     Format.fprintf fmt "  shrunk (minimal reproducer):@.";
-    pp_config fmt lines);
+    Config.pp fmt lines);
   (match cx.trace with
   | [] -> ()
   | trace ->
@@ -62,9 +54,47 @@ let pp_report fmt r =
       r.trials_run pp_counterexample cx
 
 (* ------------------------------------------------------------------ *)
-(* Shared sweep machinery                                             *)
+(* The generic sweep engine                                           *)
 
 let trial_seed_of rng = Int64.to_int (Rng.bits64 rng) land 0x3FFF_FFFF
+
+(* Driving one scenario: a trial is gen + execute + monitors, and a
+   violating trial additionally delta-debugs itself through the
+   scenario's [shrink], re-running candidate trials and keeping a
+   reduction only if the same property still fails. *)
+module Drive (Sc : Scenario.S) = struct
+  let run_one cfg ~trial_seed =
+    let rng = Rng.create trial_seed in
+    let t = Sc.gen cfg rng in
+    let o = Sc.execute cfg t in
+    (t, o, Monitor.first_failure (Sc.monitors cfg t) o)
+
+  let detect cfg ~trial_seed =
+    let _, _, failure = run_one cfg ~trial_seed in
+    failure <> None
+
+  let run_trial cfg ~trial ~trial_seed =
+    let t, o, failure = run_one cfg ~trial_seed in
+    match failure with
+    | None -> None
+    | Some (property, detail) ->
+      let still_fails cand =
+        let o' = Sc.execute cfg cand in
+        match Monitor.first_failure (Sc.monitors cfg cand) o' with
+        | Some (p, _) -> String.equal p property
+        | None -> false
+      in
+      Some
+        {
+          trial;
+          trial_seed;
+          property;
+          detail;
+          config = Sc.config cfg t;
+          shrunk = Sc.shrink cfg ~still_fails t;
+          trace = Sc.trace o;
+        }
+end
 
 (* Sweeps come in two phases so that fan-out stays deterministic:
    [detect] is the cheap violation predicate run (possibly in parallel)
@@ -75,7 +105,7 @@ let trial_seed_of rng = Int64.to_int (Rng.bits64 rng) land 0x3FFF_FFFF
    hits (not the first to complete), and shrinking runs single-threaded
    on that trial's seed, so reports are bit-for-bit identical to a
    [jobs = 1] sweep. *)
-let sweep ~algo ~budget ~master_seed ~jobs ~detect ~run_trial =
+let sweep_seeds ~algo ~budget ~master_seed ~jobs ~detect ~run_trial =
   let rng = Rng.create master_seed in
   if jobs <= 1 then
     let rec go i =
@@ -106,397 +136,106 @@ let sweep ~algo ~budget ~master_seed ~jobs ~detect ~run_trial =
         assert false)
   end
 
-let replay_report ~algo run_trial ~trial_seed =
-  match run_trial ~trial:0 ~trial_seed with
-  | None -> { algo; budget = 1; trials_run = 1; violation = None }
-  | Some cx -> { algo; budget = 1; trials_run = 1; violation = Some cx }
+let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
+    ~params () =
+  let module D = Drive (Sc) in
+  let budget = Option.value budget ~default:Sc.default_budget in
+  let cfg = Sc.cfg_of_params params in
+  sweep_seeds ~algo:Sc.name ~budget ~master_seed ~jobs ~detect:(D.detect cfg)
+    ~run_trial:(D.run_trial cfg)
 
-let fmt_crashes = function
-  | [] -> "none"
-  | cs ->
-    String.concat " " (List.map (fun (p, s) -> Printf.sprintf "p%d@%d" p s) cs)
+let replay (module Sc : Scenario.S) ~params ~trial_seed () =
+  let module D = Drive (Sc) in
+  let cfg = Sc.cfg_of_params params in
+  match D.run_trial cfg ~trial:0 ~trial_seed with
+  | None -> { algo = Sc.name; budget = 1; trials_run = 1; violation = None }
+  | Some cx ->
+    { algo = Sc.name; budget = 1; trials_run = 1; violation = Some cx }
 
-let fmt_pids ps = String.concat "," (List.map (Printf.sprintf "p%d") ps)
+let preamble (module Sc : Scenario.S) ~params =
+  Sc.preamble (Sc.cfg_of_params params)
 
 (* ------------------------------------------------------------------ *)
-(* HBO                                                                *)
+(* Named entry points (the pre-registry API, kept source-compatible)  *)
 
-let default_max_crashes graph =
-  let n = Graph.order graph in
-  let h =
-    if n <= 16 then Expansion.vertex_expansion_exact graph
-    else Expansion.vertex_expansion_sampled (Rng.create 42) graph ~samples:2000
+let default_max_crashes = Scenario_hbo.default_max_crashes
+
+let check_hbo ?master_seed ?budget ?jobs ?impl ?max_crashes ?crash_window
+    ?max_steps ?trace_tail ?expect_stall ~graph () =
+  let params =
+    {
+      Scenario.default_params with
+      graph = Some graph;
+      impl = Option.value impl ~default:Hbo.Trusted;
+      max_crashes;
+      crash_window;
+      max_steps;
+      trace_tail = Option.value trace_tail ~default:30;
+      expect_stall = Option.value expect_stall ~default:false;
+    }
   in
-  Expansion.ft_bound ~h ~n
-
-type hbo_cfg = {
-  impl : Hbo.impl;
-  max_crashes : int;
-  crash_window : int;
-  max_steps : int;
-  trace_tail : int;
-  (* Theorem 4.4 scenario: (S side, T side, crash plan for B). *)
-  stall : (int list * int list * (int * int) list) option;
-}
-
-let sched_desc k =
-  if k = 0 then "random-walk" else Printf.sprintf "pct(k=%d)" k
-
-let impl_desc = function
-  | Hbo.Registers -> "registers"
-  | Hbo.Trusted -> "trusted"
-  | Hbo.Direct -> "direct"
-
-(* PCT schedules are heavily skewed, so the slowest process may need the
-   whole budget just to take a handful of steps; liveness is not
-   monitored there, so cap the wasted wall-clock per PCT trial. *)
-let hbo_steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 10_000
-
-let hbo_trial graph cfg ~trial_seed ?crashes_override ?k_override () =
-  let n = Graph.order graph in
-  let rng = Rng.create trial_seed in
-  (* Draw order is fixed; overrides apply only after every draw so a
-     shrunk re-run sees the same randomness everywhere else. *)
-  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
-  let crashes0 =
-    match cfg.stall with
-    | Some (_, _, b) -> b
-    | None ->
-      Explore.gen_crashes rng ~n ~avoid:[] ~max_crashes:cfg.max_crashes
-        ~max_step:cfg.crash_window
-  in
-  let k0 = if Rng.bool rng then 0 else 1 + Rng.int rng 4 in
-  let pct_seed = Rng.int rng 0x3FFF_FFFF in
-  let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  let crashes = Option.value crashes_override ~default:crashes0 in
-  let k = Option.value k_override ~default:k0 in
-  let max_steps = hbo_steps cfg ~k in
-  let sched =
-    if k = 0 then Explore.random_walk ()
-    else Explore.pct ~seed:pct_seed ~n ~k ~depth:max_steps
-  in
-  let partition = Option.map (fun (s, t, _) -> (s, t)) cfg.stall in
-  let o =
-    Hbo.run ~seed:engine_seed ~impl:cfg.impl ~max_steps
-      ~trace_capacity:cfg.trace_tail ~crashes ?partition ~sched ~graph ~inputs
-      ()
-  in
-  let monitors =
-    match cfg.stall with
-    | Some _ ->
-      [
-        ("agreement", Monitor.hbo_agreement);
-        ("validity", Monitor.hbo_validity ~inputs);
-        ("sm-cut-stall", Monitor.hbo_stalls);
-      ]
-    | None ->
-      ("agreement", Monitor.hbo_agreement)
-      :: ("validity", Monitor.hbo_validity ~inputs)
-      ::
-      (if k = 0 then [ ("termination", Monitor.hbo_termination ~graph) ]
-       else [])
-  in
-  (o, inputs, crashes, k, Monitor.first_failure monitors o)
-
-let hbo_config_lines cfg inputs crashes k =
-  [
-    ( "inputs",
-      String.concat " " (Array.to_list (Array.map string_of_int inputs)) );
-    ("crashes", fmt_crashes crashes);
-    ("scheduler", sched_desc k);
-    ("impl", impl_desc cfg.impl);
-  ]
-  @
-  match cfg.stall with
-  | None -> []
-  | Some (s, t, _) ->
-    [ ("partition", Printf.sprintf "S={%s} T={%s}" (fmt_pids s) (fmt_pids t)) ]
-
-let hbo_detect graph cfg ~trial_seed =
-  let _, _, _, _, failure = hbo_trial graph cfg ~trial_seed () in
-  failure <> None
-
-let hbo_run_trial graph cfg ~trial ~trial_seed =
-  let o, inputs, crashes, k, failure = hbo_trial graph cfg ~trial_seed () in
-  match failure with
-  | None -> None
-  | Some (property, detail) ->
-    let same_failure ?crashes_override ?k_override () =
-      let _, _, _, _, f =
-        hbo_trial graph cfg ~trial_seed ?crashes_override ?k_override ()
-      in
-      match f with Some (p, _) -> String.equal p property | None -> false
-    in
-    let shrunk =
-      match cfg.stall with
-      | Some _ -> [] (* the Thm 4.4 scenario is fixed by construction *)
-      | None ->
-        let crashes' =
-          Shrink.list_min
-            ~still_fails:(fun cs ->
-              same_failure ~crashes_override:cs ~k_override:k ())
-            crashes
-        in
-        let k' =
-          if k <= 1 then k
-          else
-            Shrink.int_min
-              ~still_fails:(fun v ->
-                same_failure ~crashes_override:crashes' ~k_override:v ())
-              ~lo:1 k
-        in
-        [ ("crashes", fmt_crashes crashes'); ("scheduler", sched_desc k') ]
-    in
-    Some
-      {
-        trial;
-        trial_seed;
-        property;
-        detail;
-        config = hbo_config_lines cfg inputs crashes k;
-        shrunk;
-        trace = o.Hbo.trace;
-      }
-
-let stall_scenario graph =
-  match Cut.min_f_with_cut graph with
-  | None ->
-    invalid_arg
-      "Runner.check_hbo: --expect-stall needs a graph with an SM-cut (Thm \
-       4.4), but none was found"
-  | Some f -> (
-    match Cut.find graph ~f with
-    | None -> assert false
-    | Some cut -> (cut.Cut.s, cut.Cut.t, List.map (fun b -> (b, 0)) cut.Cut.b))
-
-let hbo_cfg ?(impl = Hbo.Trusted) ?max_crashes ?(crash_window = 200)
-    ?(max_steps = 60_000) ?(trace_tail = 30) ?(expect_stall = false) ~graph ()
-    =
-  let max_crashes =
-    match max_crashes with
-    | Some m -> m
-    | None -> default_max_crashes graph
-  in
-  let stall = if expect_stall then Some (stall_scenario graph) else None in
-  { impl; max_crashes; crash_window; max_steps; trace_tail; stall }
-
-let check_hbo ?(master_seed = 1) ?(budget = 200) ?(jobs = 1) ?impl
-    ?max_crashes ?crash_window ?max_steps ?trace_tail ?expect_stall ~graph ()
-    =
-  let cfg =
-    hbo_cfg ?impl ?max_crashes ?crash_window ?max_steps ?trace_tail
-      ?expect_stall ~graph ()
-  in
-  sweep ~algo:"hbo" ~budget ~master_seed ~jobs ~detect:(hbo_detect graph cfg)
-    ~run_trial:(hbo_run_trial graph cfg)
+  sweep (module Scenario_hbo) ?master_seed ?budget ?jobs ~params ()
 
 let replay_hbo ?impl ?max_crashes ?crash_window ?max_steps ?trace_tail
     ?expect_stall ~graph ~trial_seed () =
-  let cfg =
-    hbo_cfg ?impl ?max_crashes ?crash_window ?max_steps ?trace_tail
-      ?expect_stall ~graph ()
+  let params =
+    {
+      Scenario.default_params with
+      graph = Some graph;
+      impl = Option.value impl ~default:Hbo.Trusted;
+      max_crashes;
+      crash_window;
+      max_steps;
+      trace_tail = Option.value trace_tail ~default:30;
+      expect_stall = Option.value expect_stall ~default:false;
+    }
   in
-  replay_report ~algo:"hbo" (hbo_run_trial graph cfg) ~trial_seed
+  replay (module Scenario_hbo) ~params ~trial_seed ()
 
-(* ------------------------------------------------------------------ *)
-(* Omega                                                              *)
-
-type omega_cfg = {
-  variant : Omega.variant; (* lossy carries the MAX drop probability *)
-  o_max_crashes : int;
-  o_crash_window : int;
-  warmup : int;
-  window : int;
-  o_trace_tail : int;
-}
-
-let variant_desc = function
-  | Omega.Reliable -> "reliable"
-  | Omega.Fair_lossy p -> Printf.sprintf "fair-lossy(drop=%.3f)" p
-
-let omega_trial ~n cfg ~trial_seed ?crashes_override () =
-  let rng = Rng.create trial_seed in
-  (* Process 0 is the designated timely process; §5 needs it alive. *)
-  let crashes0 =
-    Explore.gen_crashes rng ~n ~avoid:[ 0 ] ~max_crashes:cfg.o_max_crashes
-      ~max_step:cfg.o_crash_window
-  in
-  let variant =
-    match cfg.variant with
-    | Omega.Reliable -> Omega.Reliable
-    | Omega.Fair_lossy max -> Omega.Fair_lossy (Explore.gen_drop rng ~max)
-  in
-  let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  let crashes = Option.value crashes_override ~default:crashes0 in
-  let o =
-    Omega.run ~seed:engine_seed ~trace_capacity:cfg.o_trace_tail ~crashes
-      ~warmup:cfg.warmup ~window:cfg.window ~variant ~n ()
-  in
-  (* A crashed process can leave a notification unacknowledged forever,
-     which the mechanisms may legitimately keep retransmitting — assert
-     steady-state silence only on crash-free trials. *)
-  let monitors =
-    ("omega-stable", Monitor.omega_stable)
-    :: (if crashes = [] then [ ("omega-silent", Monitor.omega_silent) ]
-        else [])
-  in
-  (o, crashes, variant, Monitor.first_failure monitors o)
-
-let omega_detect ~n cfg ~trial_seed =
-  let _, _, _, failure = omega_trial ~n cfg ~trial_seed () in
-  failure <> None
-
-let omega_run_trial ~n cfg ~trial ~trial_seed =
-  let o, crashes, variant, failure = omega_trial ~n cfg ~trial_seed () in
-  match failure with
-  | None -> None
-  | Some (property, detail) ->
-    let same_failure cs =
-      let _, _, _, f = omega_trial ~n cfg ~trial_seed ~crashes_override:cs () in
-      match f with Some (p, _) -> String.equal p property | None -> false
-    in
-    let crashes' = Shrink.list_min ~still_fails:same_failure crashes in
-    Some
-      {
-        trial;
-        trial_seed;
-        property;
-        detail;
-        config =
-          [
-            ("crashes", fmt_crashes crashes);
-            ("variant", variant_desc variant);
-            ("warmup", string_of_int cfg.warmup);
-            ("window", string_of_int cfg.window);
-          ];
-        shrunk = [ ("crashes", fmt_crashes crashes') ];
-        trace = o.Omega.trace;
-      }
-
-let omega_cfg ~n ?max_crashes ?(crash_window = 20_000) ?(warmup = 60_000)
-    ?(window = 10_000) ?(drop = 0.3) ?(trace_tail = 30) ~variant () =
-  let variant =
-    match variant with
-    | Omega.Reliable -> Omega.Reliable
-    | Omega.Fair_lossy _ -> Omega.Fair_lossy drop
-  in
+let omega_params ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
+    ~variant ~n () =
   {
+    Scenario.default_params with
+    n;
     variant;
-    o_max_crashes = Option.value max_crashes ~default:(max 0 (n - 2));
-    o_crash_window = crash_window;
+    drop = Option.value drop ~default:0.3;
+    max_crashes;
+    crash_window;
     warmup;
     window;
-    o_trace_tail = trace_tail;
+    trace_tail = Option.value trace_tail ~default:30;
   }
 
-let check_omega ?(master_seed = 1) ?(budget = 50) ?(jobs = 1) ?max_crashes
-    ?crash_window ?warmup ?window ?drop ?trace_tail ~variant ~n () =
-  let cfg =
-    omega_cfg ~n ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
-      ~variant ()
+let check_omega ?master_seed ?budget ?jobs ?max_crashes ?crash_window ?warmup
+    ?window ?drop ?trace_tail ~variant ~n () =
+  let params =
+    omega_params ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
+      ~variant ~n ()
   in
-  sweep ~algo:"omega" ~budget ~master_seed ~jobs
-    ~detect:(omega_detect ~n cfg) ~run_trial:(omega_run_trial ~n cfg)
+  sweep (module Scenario_omega) ?master_seed ?budget ?jobs ~params ()
 
 let replay_omega ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
     ~variant ~n ~trial_seed () =
-  let cfg =
-    omega_cfg ~n ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
-      ~variant ()
+  let params =
+    omega_params ?max_crashes ?crash_window ?warmup ?window ?drop ?trace_tail
+      ~variant ~n ()
   in
-  replay_report ~algo:"omega" (omega_run_trial ~n cfg) ~trial_seed
+  replay (module Scenario_omega) ~params ~trial_seed ()
 
-(* ------------------------------------------------------------------ *)
-(* ABD                                                                *)
+let abd_params ?max_ops ?max_steps ?trace_tail ~n () =
+  {
+    Scenario.default_params with
+    n;
+    max_ops;
+    max_steps;
+    trace_tail = Option.value trace_tail ~default:30;
+  }
 
-type abd_cfg = { max_ops : int; a_max_steps : int; a_trace_tail : int }
-
-let fmt_op = function
-  | `Write v -> Printf.sprintf "W%d" v
-  | `Read -> "R"
-  | `Pause k -> Printf.sprintf "P%d" k
-
-let fmt_script = function
-  | [] -> "(idle)"
-  | ops -> String.concat " " (List.map fmt_op ops)
-
-let delay_desc = function
-  | Network.Immediate -> "immediate"
-  | Network.Fixed d -> Printf.sprintf "fixed %d" d
-  | Network.Uniform (lo, hi) -> Printf.sprintf "uniform %d-%d" lo hi
-
-let abd_trial ~n cfg ~trial_seed =
-  let rng = Rng.create trial_seed in
-  let next_val = ref 0 in
-  let scripts =
-    Array.init n (fun _ ->
-        let len = Rng.int rng (cfg.max_ops + 1) in
-        List.init len (fun _ ->
-            match Rng.int rng 5 with
-            | 0 | 1 ->
-              incr next_val;
-              `Write !next_val
-            | 2 | 3 -> `Read
-            | _ -> `Pause (1 + Rng.int rng 20)))
-  in
-  let delay =
-    match Rng.int rng 3 with
-    | 0 -> Network.Immediate
-    | 1 -> Network.Fixed (1 + Rng.int rng 3)
-    | _ -> Network.Uniform (1, 2 + Rng.int rng 5)
-  in
-  let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  let o =
-    Abd.run ~seed:engine_seed ~max_steps:cfg.a_max_steps
-      ~trace_capacity:cfg.a_trace_tail ~delay ~n ~scripts ()
-  in
-  let monitors =
-    [
-      ("abd-complete", Monitor.abd_complete);
-      ("abd-atomic", Monitor.abd_atomic);
-      ("abd-linearizable", Monitor.abd_linearizable);
-    ]
-  in
-  (o, scripts, delay, Monitor.first_failure monitors o)
-
-let abd_detect ~n cfg ~trial_seed =
-  let _, _, _, failure = abd_trial ~n cfg ~trial_seed in
-  failure <> None
-
-let abd_run_trial ~n cfg ~trial ~trial_seed =
-  let o, scripts, delay, failure = abd_trial ~n cfg ~trial_seed in
-  match failure with
-  | None -> None
-  | Some (property, detail) ->
-    let config =
-      ("delay", delay_desc delay)
-      :: List.mapi
-           (fun i ops -> (Printf.sprintf "p%d" i, fmt_script ops))
-           (Array.to_list scripts)
-    in
-    Some
-      {
-        trial;
-        trial_seed;
-        property;
-        detail;
-        config;
-        shrunk = [];
-        trace = o.Abd.trace;
-      }
-
-let abd_cfg ~n ?(max_ops = 4) ?(max_steps = 200_000) ?(trace_tail = 30) () =
-  (* The Wing-Gong checker is bitmask-indexed (<= 62 events); cap the
-     per-process script length so the whole history always fits. *)
-  let max_ops = max 1 (min max_ops (62 / max 1 n)) in
-  { max_ops; a_max_steps = max_steps; a_trace_tail = trace_tail }
-
-let check_abd ?(master_seed = 1) ?(budget = 200) ?(jobs = 1) ?max_ops
-    ?max_steps ?trace_tail ~n () =
-  let cfg = abd_cfg ~n ?max_ops ?max_steps ?trace_tail () in
-  sweep ~algo:"abd" ~budget ~master_seed ~jobs ~detect:(abd_detect ~n cfg)
-    ~run_trial:(abd_run_trial ~n cfg)
+let check_abd ?master_seed ?budget ?jobs ?max_ops ?max_steps ?trace_tail ~n ()
+    =
+  let params = abd_params ?max_ops ?max_steps ?trace_tail ~n () in
+  sweep (module Scenario_abd) ?master_seed ?budget ?jobs ~params ()
 
 let replay_abd ?max_ops ?max_steps ?trace_tail ~n ~trial_seed () =
-  let cfg = abd_cfg ~n ?max_ops ?max_steps ?trace_tail () in
-  replay_report ~algo:"abd" (abd_run_trial ~n cfg) ~trial_seed
+  let params = abd_params ?max_ops ?max_steps ?trace_tail ~n () in
+  replay (module Scenario_abd) ~params ~trial_seed ()

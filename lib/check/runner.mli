@@ -1,20 +1,25 @@
-(** Seeded sweep driver: runs many randomized trials of one algorithm,
-    monitors properties on each, and reports the first violation as a
-    replayable, shrunk counterexample.
+(** The generic sweep engine: runs many randomized trials of one
+    {!Scenario}, monitors its properties on each, and reports the first
+    violation as a replayable, shrunk counterexample.
 
     Every trial is a pure function of its [trial_seed]: the seed drives
-    (in a fixed order) the input draw, the fault plan, the scheduler
-    choice and the engine seed, so [replay_*] with the reported seed
-    reruns the identical execution — including its trailing trace.
-    Trial seeds themselves come from the [master_seed], so whole sweeps
-    are reproducible too.
+    the scenario's {!Scenario.S.gen} draw (in a fixed order) — inputs,
+    fault plan, scheduler choice, engine seed — so {!replay} with the
+    reported seed reruns the identical execution, including its trailing
+    trace.  Trial seeds themselves come from the [master_seed], so whole
+    sweeps are reproducible too.
 
     Sweeps are embarrassingly parallel: with [jobs > 1] the trials fan
     out across a {!Pool} of OCaml 5 domains.  Reports stay bit-for-bit
     identical to a sequential sweep regardless of [jobs]: the reported
     counterexample is the one with the {e lowest trial index} among all
     violations found (not the first to complete across domains), and
-    shrinking re-runs single-threaded on that trial's seed. *)
+    shrinking re-runs single-threaded on that trial's seed.
+
+    This engine exists exactly once; every checker is a {!Scenario.S}
+    module (see {!Registry.all}), and the [check_*] / [replay_*] entry
+    points below are thin parameter adapters kept for source
+    compatibility. *)
 
 (** A property violation, packaged for reporting and replay. *)
 type counterexample = {
@@ -22,8 +27,8 @@ type counterexample = {
   trial_seed : int;  (** replay with this seed reproduces the run *)
   property : string; (** monitor name, e.g. "termination" *)
   detail : string;   (** the monitor's diagnosis *)
-  config : (string * string) list;  (** the trial's full configuration *)
-  shrunk : (string * string) list;
+  config : Config.t;  (** the trial's full configuration *)
+  shrunk : Config.t;
       (** delta-debugged minimal reproducer (empty when the scenario is
           fixed by construction, e.g. Thm 4.4 stall checks) *)
   trace : Mm_sim.Trace.event list;  (** trailing engine events *)
@@ -37,6 +42,30 @@ type report = {
 }
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 The generic engine} *)
+
+(** [sweep (module Sc) ~params ()] runs a [budget]-trial sweep of
+    scenario [Sc] (default budget: [Sc.default_budget]) configured from
+    [params] via [Sc.cfg_of_params]. *)
+val sweep :
+  Scenario.t ->
+  ?master_seed:int ->          (* default 1 *)
+  ?budget:int ->               (* default: the scenario's *)
+  ?jobs:int ->                 (* default 1; domains to sweep with *)
+  params:Scenario.params ->
+  unit ->
+  report
+
+(** [replay (module Sc) ~params ~trial_seed ()] re-runs the single trial
+    identified by [trial_seed] (same derivation as inside {!sweep}) and
+    reports it as a 1-trial sweep.  Pass the same [params] as the
+    original sweep. *)
+val replay :
+  Scenario.t -> params:Scenario.params -> trial_seed:int -> unit -> report
+
+(** The scenario's pre-sweep banner line, if it has one. *)
+val preamble : Scenario.t -> params:Scenario.params -> string option
 
 (** The Theorem 4.3 crash budget f_max(G) = largest f with
     f < (1 - 1/(2(1+h(G)))) · n; exact expansion for small graphs,

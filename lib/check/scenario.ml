@@ -1,0 +1,72 @@
+type params = {
+  graph : Mm_graph.Graph.t option;
+  family : string;
+  n : int;
+  impl : Mm_consensus.Hbo.impl;
+  variant : Mm_election.Omega.variant;
+  drop : float;
+  expect_stall : bool;
+  max_crashes : int option;
+  crash_window : int option;
+  max_steps : int option;
+  max_ops : int option;
+  warmup : int option;
+  window : int option;
+  entries : int option;
+  commands : int option;
+  trace_tail : int;
+}
+
+let default_params =
+  {
+    graph = None;
+    family = "complete";
+    n = 6;
+    impl = Mm_consensus.Hbo.Trusted;
+    variant = Mm_election.Omega.Reliable;
+    drop = 0.3;
+    expect_stall = false;
+    max_crashes = None;
+    crash_window = None;
+    max_steps = None;
+    max_ops = None;
+    warmup = None;
+    window = None;
+    entries = None;
+    commands = None;
+    trace_tail = 30;
+  }
+
+let fmt_crashes = function
+  | [] -> "none"
+  | cs ->
+    String.concat " " (List.map (fun (p, s) -> Printf.sprintf "p%d@%d" p s) cs)
+
+let fmt_pids ps = String.concat "," (List.map (Printf.sprintf "p%d") ps)
+
+let sched_desc k =
+  if k = 0 then "random-walk" else Printf.sprintf "pct(k=%d)" k
+
+module type S = sig
+  val name : string
+  val doc : string
+  val default_budget : int
+
+  type cfg
+  type trial
+  type outcome
+
+  val cfg_of_params : params -> cfg
+  val preamble : cfg -> string option
+  val gen : cfg -> Mm_rng.Rng.t -> trial
+  val execute : cfg -> trial -> outcome
+
+  val monitors :
+    cfg -> trial -> (string * (outcome -> Monitor.verdict)) list
+
+  val config : cfg -> trial -> Config.t
+  val shrink : cfg -> still_fails:(trial -> bool) -> trial -> Config.t
+  val trace : outcome -> Mm_sim.Trace.event list
+end
+
+type t = (module S)

@@ -1,0 +1,97 @@
+module Rng = Mm_rng.Rng
+module Network = Mm_net.Network
+module Abd = Mm_abd.Abd
+
+let name = "abd"
+let doc = "ABD atomic register: completion, atomicity, linearizability"
+let default_budget = 200
+
+type cfg = {
+  n : int;
+  max_ops : int;
+  max_steps : int;
+  trace_tail : int;
+}
+
+type trial = {
+  scripts : [ `Write of int | `Read | `Pause of int ] list array;
+  delay : Network.delay;
+  engine_seed : int;
+}
+
+type outcome = Abd.outcome
+
+let fmt_op = function
+  | `Write v -> Printf.sprintf "W%d" v
+  | `Read -> "R"
+  | `Pause k -> Printf.sprintf "P%d" k
+
+let fmt_script = function
+  | [] -> "(idle)"
+  | ops -> String.concat " " (List.map fmt_op ops)
+
+let delay_desc = function
+  | Network.Immediate -> "immediate"
+  | Network.Fixed d -> Printf.sprintf "fixed %d" d
+  | Network.Uniform (lo, hi) -> Printf.sprintf "uniform %d-%d" lo hi
+
+let cfg_of_params (p : Scenario.params) =
+  (* The Wing-Gong checker is bitmask-indexed (<= 62 events); cap the
+     per-process script length so the whole history always fits. *)
+  let max_ops = Option.value p.Scenario.max_ops ~default:4 in
+  let max_ops = max 1 (min max_ops (62 / max 1 p.Scenario.n)) in
+  {
+    n = p.Scenario.n;
+    max_ops;
+    max_steps = Option.value p.Scenario.max_steps ~default:200_000;
+    trace_tail = p.Scenario.trace_tail;
+  }
+
+let preamble _ = None
+
+let gen cfg rng =
+  let next_val = ref 0 in
+  let scripts =
+    Array.init cfg.n (fun _ ->
+        let len = Rng.int rng (cfg.max_ops + 1) in
+        List.init len (fun _ ->
+            match Rng.int rng 5 with
+            | 0 | 1 ->
+              incr next_val;
+              `Write !next_val
+            | 2 | 3 -> `Read
+            | _ -> `Pause (1 + Rng.int rng 20)))
+  in
+  let delay =
+    match Rng.int rng 3 with
+    | 0 -> Network.Immediate
+    | 1 -> Network.Fixed (1 + Rng.int rng 3)
+    | _ -> Network.Uniform (1, 2 + Rng.int rng 5)
+  in
+  let engine_seed = Rng.int rng 0x3FFF_FFFF in
+  { scripts; delay; engine_seed }
+
+let execute cfg t =
+  Abd.run ~seed:t.engine_seed ~max_steps:cfg.max_steps
+    ~trace_capacity:cfg.trace_tail ~delay:t.delay ~n:cfg.n ~scripts:t.scripts
+    ()
+
+let monitors _cfg _t =
+  [
+    ("abd-complete", Monitor.abd_complete);
+    ("abd-atomic", Monitor.abd_atomic);
+    ("abd-linearizable", Monitor.abd_linearizable);
+  ]
+
+let config _cfg t =
+  Config.str "delay" (delay_desc t.delay)
+  :: List.mapi
+       (fun i ops -> Config.str (Printf.sprintf "p%d" i) (fmt_script ops))
+       (Array.to_list t.scripts)
+
+(* Scripts interlock through globally unique write values, so removing
+   operations rewrites the history wholesale; the trial is already
+   small (max_ops per process), so no shrinking. *)
+let shrink _cfg ~still_fails:_ _t = []
+
+let trace (o : outcome) = o.Abd.trace

@@ -1,0 +1,8 @@
+(** The ABD register as a {!Scenario.S}: each trial draws per-process
+    operation scripts (writes of globally distinct values, reads,
+    pauses; capped so the whole history fits the {!Lin} checker) and a
+    delay policy, then monitors completion, timestamp-level atomicity
+    and value-level linearizability.  No crashes are injected and
+    nothing is shrunk. *)
+
+include Scenario.S

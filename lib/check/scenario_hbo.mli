@@ -1,0 +1,15 @@
+(** HBO consensus as a {!Scenario.S}: each trial draws random binary
+    inputs, a crash plan within the Theorem 4.3 envelope (by default), a
+    scheduler (fair random walk or a weighted PCT adversary with k in
+    1..4) and an engine seed, then monitors agreement and validity on
+    every trial and termination on random-walk trials.  With
+    [expect_stall] it instead realizes the Theorem 4.4 SM-cut scenario
+    and asserts that consensus does {e not} terminate.  Shrinking
+    minimizes the crash set, then the PCT budget k. *)
+
+include Scenario.S
+
+(** The Theorem 4.3 crash budget f_max(G) = largest f with
+    f < (1 - 1/(2(1+h(G)))) · n; exact expansion for small graphs,
+    sampled upper bound beyond 16 vertices. *)
+val default_max_crashes : Mm_graph.Graph.t -> int

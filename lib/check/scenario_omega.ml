@@ -1,0 +1,92 @@
+module Rng = Mm_rng.Rng
+module Omega = Mm_election.Omega
+
+let name = "omega"
+let doc = "eventual leader election: stability + silence (Thms 5.1/5.2)"
+let default_budget = 50
+
+type cfg = {
+  n : int;
+  variant : Omega.variant; (* lossy carries the MAX drop probability *)
+  max_crashes : int;
+  crash_window : int;
+  warmup : int;
+  window : int;
+  trace_tail : int;
+}
+
+type trial = {
+  crashes : (int * int) list;
+  variant : Omega.variant; (* per-trial drop drawn below the max *)
+  engine_seed : int;
+}
+
+type outcome = Omega.outcome
+
+let variant_desc = function
+  | Omega.Reliable -> "reliable"
+  | Omega.Fair_lossy p -> Printf.sprintf "fair-lossy(drop=%.3f)" p
+
+let cfg_of_params (p : Scenario.params) =
+  let variant =
+    match p.Scenario.variant with
+    | Omega.Reliable -> Omega.Reliable
+    | Omega.Fair_lossy _ -> Omega.Fair_lossy p.Scenario.drop
+  in
+  {
+    n = p.Scenario.n;
+    variant;
+    max_crashes =
+      Option.value p.Scenario.max_crashes ~default:(max 0 (p.Scenario.n - 2));
+    crash_window = Option.value p.Scenario.crash_window ~default:20_000;
+    warmup = Option.value p.Scenario.warmup ~default:60_000;
+    window = Option.value p.Scenario.window ~default:10_000;
+    trace_tail = p.Scenario.trace_tail;
+  }
+
+let preamble _ = None
+
+let gen cfg rng =
+  (* Process 0 is the designated timely process; §5 needs it alive. *)
+  let crashes =
+    Explore.gen_crashes rng ~n:cfg.n ~avoid:[ 0 ] ~max_crashes:cfg.max_crashes
+      ~max_step:cfg.crash_window
+  in
+  let variant =
+    match cfg.variant with
+    | Omega.Reliable -> Omega.Reliable
+    | Omega.Fair_lossy max -> Omega.Fair_lossy (Explore.gen_drop rng ~max)
+  in
+  let engine_seed = Rng.int rng 0x3FFF_FFFF in
+  { crashes; variant; engine_seed }
+
+let execute cfg t =
+  Omega.run ~seed:t.engine_seed ~trace_capacity:cfg.trace_tail
+    ~crashes:t.crashes ~warmup:cfg.warmup ~window:cfg.window
+    ~variant:t.variant ~n:cfg.n ()
+
+(* A crashed process can leave a notification unacknowledged forever,
+   which the mechanisms may legitimately keep retransmitting — assert
+   steady-state silence only on crash-free trials. *)
+let monitors _cfg t =
+  ("omega-stable", Monitor.omega_stable)
+  :: (if t.crashes = [] then [ ("omega-silent", Monitor.omega_silent) ]
+      else [])
+
+let config cfg t =
+  [
+    Config.str "crashes" (Scenario.fmt_crashes t.crashes);
+    Config.str "variant" (variant_desc t.variant);
+    Config.int "warmup" cfg.warmup;
+    Config.int "window" cfg.window;
+  ]
+
+let shrink _cfg ~still_fails t =
+  let crashes' =
+    Shrink.list_min
+      ~still_fails:(fun cs -> still_fails { t with crashes = cs })
+      t.crashes
+  in
+  [ Config.str "crashes" (Scenario.fmt_crashes crashes') ]
+
+let trace (o : outcome) = o.Omega.trace

@@ -1,0 +1,8 @@
+(** Ω leader election as a {!Scenario.S}: each trial draws a crash plan
+    (never crashing the designated timely process 0), a per-trial drop
+    probability below the configured max (lossy variant only) and an
+    engine seed, runs warmup + window steps and monitors Theorem 5.1/5.2
+    stability plus steady-state silence (silence only on crash-free
+    trials).  Shrinking minimizes the crash set. *)
+
+include Scenario.S

@@ -1,0 +1,114 @@
+module Rng = Mm_rng.Rng
+module Paxos = Mm_consensus.Paxos
+
+let name = "paxos"
+let doc = "shared-memory Paxos: agreement/validity under crashes + unstable oracles"
+let default_budget = 100
+
+type cfg = {
+  n : int;
+  max_crashes : int;
+  crash_window : int;
+  max_steps : int;
+  trace_tail : int;
+}
+
+type trial = {
+  inputs : int array;
+  oracle : Paxos.oracle;
+  crashes : (int * int) list;
+  k : int;
+  pct_seed : int;
+  engine_seed : int;
+}
+
+type outcome = Paxos.outcome
+
+let oracle_desc = function
+  | Paxos.Heartbeat -> "heartbeat"
+  | Paxos.Anarchy -> "anarchy"
+  | Paxos.Static l -> Printf.sprintf "static(p%d)" l
+
+let cfg_of_params (p : Scenario.params) =
+  {
+    n = p.Scenario.n;
+    max_crashes =
+      Option.value p.Scenario.max_crashes ~default:(max 0 (p.Scenario.n - 1));
+    crash_window = Option.value p.Scenario.crash_window ~default:2_000;
+    max_steps = Option.value p.Scenario.max_steps ~default:200_000;
+    trace_tail = p.Scenario.trace_tail;
+  }
+
+let preamble _ = None
+
+(* Draw order is the replay contract; never reorder. *)
+let gen cfg rng =
+  let inputs = Array.init cfg.n (fun _ -> Rng.int rng 1_000) in
+  let oracle =
+    match Rng.int rng 4 with
+    | 0 | 1 -> Paxos.Heartbeat
+    | 2 -> Paxos.Anarchy
+    | _ -> Paxos.Static (Rng.int rng cfg.n)
+  in
+  let crashes =
+    Explore.gen_crashes rng ~n:cfg.n ~avoid:[] ~max_crashes:cfg.max_crashes
+      ~max_step:cfg.crash_window
+  in
+  let k = if Rng.bool rng then 0 else 1 + Rng.int rng 4 in
+  let pct_seed = Rng.int rng 0x3FFF_FFFF in
+  let engine_seed = Rng.int rng 0x3FFF_FFFF in
+  { inputs; oracle; crashes; k; pct_seed; engine_seed }
+
+(* Liveness is only monitored on fair trials, so cap the wall-clock a
+   skewed PCT schedule can burn. *)
+let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
+
+let execute cfg t =
+  let max_steps = steps cfg ~k:t.k in
+  let sched =
+    if t.k = 0 then Explore.random_walk ()
+    else Explore.pct ~seed:t.pct_seed ~n:cfg.n ~k:t.k ~depth:max_steps
+  in
+  Paxos.run ~seed:t.engine_seed ~oracle:t.oracle ~max_steps
+    ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ~sched ~n:cfg.n
+    ~inputs:t.inputs ()
+
+(* Safety holds on every trial — dueling Anarchy leaders included.
+   Termination needs a fair schedule, no crashes (a dead Static leader
+   never proposes) and a stabilizing oracle. *)
+let monitors _cfg t =
+  ("paxos-agreement", Monitor.paxos_agreement)
+  :: ("paxos-validity", Monitor.paxos_validity ~inputs:t.inputs)
+  ::
+  (if t.k = 0 && t.crashes = [] && t.oracle <> Paxos.Anarchy then
+     [ ("paxos-termination", Monitor.paxos_termination) ]
+   else [])
+
+let config _cfg t =
+  [
+    Config.str "inputs"
+      (String.concat " " (Array.to_list (Array.map string_of_int t.inputs)));
+    Config.str "oracle" (oracle_desc t.oracle);
+    Config.str "crashes" (Scenario.fmt_crashes t.crashes);
+    Config.str "scheduler" (Scenario.sched_desc t.k);
+  ]
+
+let shrink _cfg ~still_fails t =
+  let crashes' =
+    Shrink.list_min
+      ~still_fails:(fun cs -> still_fails { t with crashes = cs })
+      t.crashes
+  in
+  let k' =
+    if t.k <= 1 then t.k
+    else
+      Shrink.int_min
+        ~still_fails:(fun v -> still_fails { t with crashes = crashes'; k = v })
+        ~lo:1 t.k
+  in
+  [
+    Config.str "crashes" (Scenario.fmt_crashes crashes');
+    Config.str "scheduler" (Scenario.sched_desc k');
+  ]
+
+let trace (o : outcome) = o.Paxos.trace

@@ -1,0 +1,10 @@
+(** Ω-driven shared-memory Paxos as a {!Scenario.S}: each trial draws
+    distinct-ish integer inputs, a leader oracle (heartbeat Ω, a static
+    leader, or the adversarial everyone-leads Anarchy), a crash plan of
+    up to n-1 crashes and a scheduler.  Agreement and validity are
+    asserted on every trial — ballots must interlock no matter how many
+    processes believe they lead; termination only on fair, crash-free
+    trials with a stabilizing oracle.  Shrinking minimizes the crash
+    set, then the PCT budget k. *)
+
+include Scenario.S

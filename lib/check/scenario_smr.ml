@@ -1,0 +1,101 @@
+module Rng = Mm_rng.Rng
+module Log = Mm_smr.Replicated_log
+
+let name = "smr"
+let doc = "replicated log: slot consistency, prefix agreement, commitment"
+let default_budget = 40
+
+type cfg = {
+  n : int;
+  commands : int option; (* None: drawn per trial *)
+  max_crashes : int;
+  crash_window : int;
+  max_steps : int;
+  trace_tail : int;
+}
+
+type trial = {
+  commands : int;
+  crashes : (int * int) list;
+  k : int;
+  pct_seed : int;
+  engine_seed : int;
+}
+
+type outcome = Log.outcome
+
+let cfg_of_params (p : Scenario.params) =
+  {
+    n = p.Scenario.n;
+    commands = p.Scenario.commands;
+    max_crashes =
+      Option.value p.Scenario.max_crashes ~default:(max 0 (p.Scenario.n - 1));
+    crash_window = Option.value p.Scenario.crash_window ~default:2_000;
+    max_steps = Option.value p.Scenario.max_steps ~default:400_000;
+    trace_tail = p.Scenario.trace_tail;
+  }
+
+let preamble _ = None
+
+(* Draw order is the replay contract; never reorder. *)
+let gen (cfg : cfg) rng =
+  let commands =
+    match cfg.commands with Some c -> c | None -> 1 + Rng.int rng 3
+  in
+  let crashes =
+    Explore.gen_crashes rng ~n:cfg.n ~avoid:[] ~max_crashes:cfg.max_crashes
+      ~max_step:cfg.crash_window
+  in
+  let k = if Rng.bool rng then 0 else 1 + Rng.int rng 4 in
+  let pct_seed = Rng.int rng 0x3FFF_FFFF in
+  let engine_seed = Rng.int rng 0x3FFF_FFFF in
+  { commands; crashes; k; pct_seed; engine_seed }
+
+let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
+
+let execute cfg t =
+  let max_steps = steps cfg ~k:t.k in
+  let sched =
+    if t.k = 0 then Explore.random_walk ()
+    else Explore.pct ~seed:t.pct_seed ~n:cfg.n ~k:t.k ~depth:max_steps
+  in
+  Log.run ~seed:t.engine_seed ~max_steps ~trace_capacity:cfg.trace_tail
+    ~crashes:t.crashes ~sched ~n:cfg.n ~commands_per_proc:t.commands ()
+
+(* Safety (slot consistency + prefix agreement) holds on every trial;
+   full commitment needs a fair schedule and no crashes (recovery after
+   a leader crash can outlast any fixed sweep budget). *)
+let monitors _cfg t =
+  ("smr-consistent", Monitor.smr_consistent)
+  :: ("smr-prefix", Monitor.smr_prefix)
+  ::
+  (if t.k = 0 && t.crashes = [] then
+     [ ("smr-committed", Monitor.smr_committed) ]
+   else [])
+
+let config _cfg t =
+  [
+    Config.int "commands" t.commands;
+    Config.str "crashes" (Scenario.fmt_crashes t.crashes);
+    Config.str "scheduler" (Scenario.sched_desc t.k);
+  ]
+
+let shrink _cfg ~still_fails t =
+  let crashes' =
+    Shrink.list_min
+      ~still_fails:(fun cs -> still_fails { t with crashes = cs })
+      t.crashes
+  in
+  let k' =
+    if t.k <= 1 then t.k
+    else
+      Shrink.int_min
+        ~still_fails:(fun v -> still_fails { t with crashes = crashes'; k = v })
+        ~lo:1 t.k
+  in
+  [
+    Config.str "crashes" (Scenario.fmt_crashes crashes');
+    Config.str "scheduler" (Scenario.sched_desc k');
+  ]
+
+let trace (o : outcome) = o.Log.trace

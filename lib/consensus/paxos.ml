@@ -30,13 +30,14 @@ type outcome = {
   total_steps : int;
   net : Network.stats;
   mem_total : Mem.counters;
+  trace : Mm_sim.Trace.event list;
 }
 
 let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
-    ?(crashes = []) ?sched ~n ~inputs () =
+    ?(trace_capacity = 0) ?(crashes = []) ?sched ~n ~inputs () =
   if Array.length inputs <> n then invalid_arg "Paxos.run: |inputs| <> n";
   let eng =
-    Engine.create ~seed ?sched ~domain:(Domain_.full n)
+    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
       ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
@@ -175,6 +176,10 @@ let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
     total_steps = Engine.now eng;
     net = Network.stats (Engine.network eng);
     mem_total = Mem.total_counters store;
+    trace =
+      (match Engine.trace eng with
+      | None -> []
+      | Some tr -> Mm_sim.Trace.to_list tr);
   }
 
 let agreement o =

@@ -13,9 +13,11 @@ type outcome = {
   safety_violations : int;
   wait_reads : int array;
   wait_reads_local : int array;
+  spin_reads : int array;
   messages_sent : int;
   steps : int;
   mem_total : Mem.counters;
+  trace : Mm_sim.Trace.event list;
 }
 
 let wait_reads_per_entry o =
@@ -47,7 +49,7 @@ let critical_section mon pi ~cs_work =
   done;
   exit_cs mon
 
-let finish_outcome ?wait_reads_local eng mon wait_reads reason =
+let finish_outcome ?wait_reads_local eng mon wait_reads spin_reads reason =
   let n = Array.length wait_reads in
   {
     reason;
@@ -56,17 +58,23 @@ let finish_outcome ?wait_reads_local eng mon wait_reads reason =
     wait_reads;
     wait_reads_local =
       (match wait_reads_local with Some a -> a | None -> Array.make n 0);
+    spin_reads;
     messages_sent = (Network.stats (Engine.network eng)).Network.sent;
     steps = Engine.now eng;
     mem_total = Mem.total_counters (Engine.store eng);
+    trace =
+      (match Engine.trace eng with
+      | None -> []
+      | Some tr -> Mm_sim.Trace.to_list tr);
   }
 
 (* --- Lamport bakery --- *)
 
-let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
-    ~entries () =
+let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
+    ?(trace_capacity = 0) ?sched ~n ~entries () =
   let eng =
-    Engine.create ~seed ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
+    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
+      ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let everyone_but p = List.filter (fun q -> not (Id.equal q p)) (Id.all n) in
@@ -86,6 +94,7 @@ let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
   in
   let mon = { inside = 0; violations = 0; entries = Array.make n 0 } in
   let wait_reads = Array.make n 0 in
+  let spin_reads = Array.make n 0 in
   let bakery_process p () =
     let pi = Id.to_int p in
     for _ = 1 to entries do
@@ -99,20 +108,24 @@ let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
       let my_number = 1 + !m in
       Proc.write number.(pi) my_number;
       Proc.write choosing.(pi) false;
-      (* wait section: these are the spins the paper's §1 points at *)
+      (* wait section: these are the spins the paper's §1 points at.  The
+         first read of each wait loop is the mandatory check; every
+         re-read after a failed check is an unprompted spin. *)
       for j = 0 to n - 1 do
         if j <> pi then begin
-          let rec await_not_choosing () =
+          let rec await_not_choosing first =
             wait_reads.(pi) <- wait_reads.(pi) + 1;
-            if Proc.read choosing.(j) then await_not_choosing ()
+            if not first then spin_reads.(pi) <- spin_reads.(pi) + 1;
+            if Proc.read choosing.(j) then await_not_choosing false
           in
-          await_not_choosing ();
-          let rec await_turn () =
+          await_not_choosing true;
+          let rec await_turn first =
             wait_reads.(pi) <- wait_reads.(pi) + 1;
+            if not first then spin_reads.(pi) <- spin_reads.(pi) + 1;
             let nj = Proc.read number.(j) in
-            if nj <> 0 && (nj, j) < (my_number, pi) then await_turn ()
+            if nj <> 0 && (nj, j) < (my_number, pi) then await_turn false
           in
-          await_turn ()
+          await_turn true
         end
       done;
       critical_section mon pi ~cs_work;
@@ -121,14 +134,15 @@ let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
   in
   List.iter (fun p -> Engine.spawn eng p (bakery_process p)) (Id.all n);
   let reason = Engine.run eng ~max_steps () in
-  finish_outcome eng mon wait_reads reason
+  finish_outcome eng mon wait_reads spin_reads reason
 
 (* --- m&m ticket lock with message wake-ups --- *)
 
-let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n ~entries ()
-    =
+let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
+    ?(trace_capacity = 0) ?sched ~n ~entries () =
   let eng =
-    Engine.create ~seed ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
+    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
+      ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let owner0 = Id.of_int 0 in
@@ -149,6 +163,10 @@ let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n ~entries ()
   in
   let mon = { inside = 0; violations = 0; entries = Array.make n 0 } in
   let wait_reads = Array.make n 0 in
+  (* No unprompted re-reads exist in this lock: waiters sleep on the
+     mailbox and only recheck SERVING after a Wake.  [spin_reads] stays
+     all-zero by construction — the §1 invariant the checker asserts. *)
+  let spin_reads = Array.make n 0 in
   let mm_process p () =
     let pi = Id.to_int p in
     for _ = 1 to entries do
@@ -203,14 +221,15 @@ let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n ~entries ()
   in
   List.iter (fun p -> Engine.spawn eng p (mm_process p)) (Id.all n);
   let reason = Engine.run eng ~max_steps () in
-  finish_outcome eng mon wait_reads reason
+  finish_outcome eng mon wait_reads spin_reads reason
 
 (* --- local-spin ticket lock: the prior-art design point --- *)
 
-let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
-    ~entries () =
+let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
+    ?(trace_capacity = 0) ?sched ~n ~entries () =
   let eng =
-    Engine.create ~seed ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
+    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
+      ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let owner0 = Id.of_int 0 in
@@ -240,6 +259,7 @@ let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
   let mon = { inside = 0; violations = 0; entries = Array.make n 0 } in
   let wait_reads = Array.make n 0 in
   let wait_reads_local = Array.make n 0 in
+  let spin_reads = Array.make n 0 in
   let local_spin_process p () =
     let pi = Id.to_int p in
     for _ = 1 to entries do
@@ -254,13 +274,15 @@ let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
       let s = Proc.read serving in
       if s <> t then begin
         (* Spin on our OWN register until the predecessor grants us the
-           ticket: every read here is local. *)
-        let rec spin () =
+           ticket: every read here is local, but each re-read after a
+           failed check is still an unprompted spin. *)
+        let rec spin first =
           wait_reads.(pi) <- wait_reads.(pi) + 1;
           wait_reads_local.(pi) <- wait_reads_local.(pi) + 1;
-          if Proc.read grant.(pi) <> t then spin ()
+          if not first then spin_reads.(pi) <- spin_reads.(pi) + 1;
+          if Proc.read grant.(pi) <> t then spin false
         in
-        spin ()
+        spin true
       end;
       Proc.write waiting.(pi) (-1);
       critical_section mon pi ~cs_work;
@@ -278,4 +300,4 @@ let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4) ~n
   in
   List.iter (fun p -> Engine.spawn eng p (local_spin_process p)) (Id.all n);
   let reason = Engine.run eng ~max_steps () in
-  finish_outcome ~wait_reads_local eng mon wait_reads reason
+  finish_outcome ~wait_reads_local eng mon wait_reads spin_reads reason

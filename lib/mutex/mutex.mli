@@ -24,9 +24,16 @@ type outcome = {
   wait_reads : int array;       (** register reads performed while waiting *)
   wait_reads_local : int array;
       (** the subset of [wait_reads] on registers the waiter owns *)
+  spin_reads : int array;
+      (** the subset of [wait_reads] that re-checked a register without
+          being prompted by a wake-up: loop iterations after the first
+          in a busy-wait.  Structurally zero for {!run_mm} (waiters sleep
+          on the mailbox) — the §1 invariant {!Mm_check} asserts. *)
   messages_sent : int;
   steps : int;
   mem_total : Mm_mem.Mem.counters;
+  trace : Mm_sim.Trace.event list;
+      (** trailing engine trace (empty unless [trace_capacity] > 0) *)
 }
 
 (** Spin reads per completed entry, averaged over all processes. *)
@@ -36,6 +43,8 @@ val run_bakery :
   ?seed:int ->
   ?max_steps:int ->
   ?cs_work:int ->
+  ?trace_capacity:int ->
+  ?sched:Mm_sim.Sched.t ->
   n:int ->
   entries:int ->
   unit ->
@@ -45,6 +54,8 @@ val run_mm :
   ?seed:int ->
   ?max_steps:int ->
   ?cs_work:int ->
+  ?trace_capacity:int ->
+  ?sched:Mm_sim.Sched.t ->
   n:int ->
   entries:int ->
   unit ->
@@ -65,6 +76,8 @@ val run_local_spin :
   ?seed:int ->
   ?max_steps:int ->
   ?cs_work:int ->
+  ?trace_capacity:int ->
+  ?sched:Mm_sim.Sched.t ->
   n:int ->
   entries:int ->
   unit ->

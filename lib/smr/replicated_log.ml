@@ -37,6 +37,7 @@ type outcome = {
   total_steps : int;
   net : Network.stats;
   mem_total : Mem.counters;
+  trace : Mm_sim.Trace.event list;
 }
 
 (* Host-level lazy register tables: conceptually the infinite per-slot
@@ -240,10 +241,10 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
   in
   main_loop 1
 
-let run ?(seed = 1) ?(max_steps = 2_000_000) ?(crashes = []) ?sched ~n
-    ~commands_per_proc () =
+let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
+    ?(crashes = []) ?sched ~n ~commands_per_proc () =
   let eng =
-    Engine.create ~seed ?sched ~domain:(Domain_.full n)
+    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
       ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
@@ -314,4 +315,8 @@ let run ?(seed = 1) ?(max_steps = 2_000_000) ?(crashes = []) ?sched ~n
     total_steps = Engine.now eng;
     net = Network.stats (Engine.network eng);
     mem_total = Mem.total_counters store;
+    trace =
+      (match Engine.trace eng with
+      | None -> []
+      | Some tr -> Mm_sim.Trace.to_list tr);
   }

@@ -48,11 +48,14 @@ type outcome = {
   total_steps : int;
   net : Mm_net.Network.stats;
   mem_total : Mm_mem.Mem.counters;
+  trace : Mm_sim.Trace.event list;
+      (** trailing engine trace (empty unless [trace_capacity] > 0) *)
 }
 
 val run :
   ?seed:int ->
   ?max_steps:int ->
+  ?trace_capacity:int ->
   ?crashes:(int * int) list ->
   ?sched:Mm_sim.Sched.t ->
   n:int ->

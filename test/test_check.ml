@@ -8,6 +8,8 @@ module Lin = Mm_check.Lin
 module Explore = Mm_check.Explore
 module Shrink = Mm_check.Shrink
 module Runner = Mm_check.Runner
+module Scenario = Mm_check.Scenario
+module Registry = Mm_check.Registry
 module Sched = Mm_sim.Sched
 module Engine = Mm_sim.Engine
 module Trace = Mm_sim.Trace
@@ -344,6 +346,109 @@ let check_same_report name (r1 : Runner.report) (r4 : Runner.report) =
   (* Belt and braces: the whole report, traces included. *)
   Alcotest.(check bool) (name ^ ": bit-identical") true (r1 = r4)
 
+(* --- Registry: every scenario through the one generic engine --- *)
+
+let scenario name =
+  match Registry.find name with
+  | Some sc -> sc
+  | None -> Alcotest.failf "scenario %s not registered" name
+
+(* Small enough that a 2-trial sweep of every scenario stays quick. *)
+let smoke_params =
+  {
+    Scenario.default_params with
+    graph = Some (B.complete 4);
+    n = 4;
+    max_steps = Some 150_000;
+    crash_window = Some 5_000;
+    warmup = Some 40_000;
+    window = Some 8_000;
+  }
+
+let test_registry_names () =
+  Alcotest.(check (list string)) "registration order"
+    [ "hbo"; "omega"; "abd"; "paxos"; "mutex"; "smr" ]
+    Registry.names;
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | Some (module S : Scenario.S) ->
+        Alcotest.(check string) "find returns the named scenario" name S.name
+      | None -> Alcotest.failf "registry lost %s" name)
+    Registry.names;
+  Alcotest.(check bool) "unknown name" true (Registry.find "nope" = None)
+
+let clean_sweep name ~budget ~params =
+  let report = Runner.sweep (scenario name) ~master_seed:1 ~budget ~params () in
+  (match report.Runner.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "%s: unexpected %s violation: %s" name cx.Runner.property
+      cx.Runner.detail);
+  Alcotest.(check int) (name ^ ": all trials ran") budget
+    report.Runner.trials_run
+
+let test_paxos_sweep_clean () =
+  clean_sweep "paxos" ~budget:10
+    ~params:{ Scenario.default_params with n = 4 }
+
+let test_mutex_sweep_clean () =
+  clean_sweep "mutex" ~budget:10
+    ~params:{ Scenario.default_params with n = 4 }
+
+let test_smr_sweep_clean () =
+  clean_sweep "smr" ~budget:6 ~params:{ Scenario.default_params with n = 4 }
+
+(* Starve the liveness monitors with a tiny step budget, then replay the
+   reported trial seed: property, detail, config, and trace must all
+   reproduce byte-for-byte. *)
+let find_violation_and_replay name ~params =
+  let sc = scenario name in
+  let report = Runner.sweep sc ~master_seed:1 ~budget:40 ~params () in
+  match report.Runner.violation with
+  | None ->
+    Alcotest.failf "%s: expected a liveness violation under the tiny budget"
+      name
+  | Some cx -> (
+    let replayed =
+      Runner.replay sc ~params ~trial_seed:cx.Runner.trial_seed ()
+    in
+    match replayed.Runner.violation with
+    | None -> Alcotest.failf "%s: replay lost the violation" name
+    | Some cx' ->
+      Alcotest.(check string) (name ^ ": property") cx.Runner.property
+        cx'.Runner.property;
+      Alcotest.(check string) (name ^ ": detail") cx.Runner.detail
+        cx'.Runner.detail;
+      Alcotest.(check bool) (name ^ ": identical config") true
+        (cx.Runner.config = cx'.Runner.config);
+      Alcotest.(check bool) (name ^ ": identical trace") true
+        (cx.Runner.trace = cx'.Runner.trace))
+
+let test_paxos_violation_replays () =
+  find_violation_and_replay "paxos"
+    ~params:
+      {
+        Scenario.default_params with
+        n = 4;
+        max_crashes = Some 0;
+        max_steps = Some 60;
+      }
+
+let test_mutex_violation_replays () =
+  find_violation_and_replay "mutex"
+    ~params:{ Scenario.default_params with n = 4; max_steps = Some 60 }
+
+let test_smr_violation_replays () =
+  find_violation_and_replay "smr"
+    ~params:
+      {
+        Scenario.default_params with
+        n = 4;
+        max_crashes = Some 0;
+        max_steps = Some 80;
+      }
+
 let test_hbo_jobs_deterministic () =
   (* The past-the-bound hunt from above: a violation exists, and jobs=4
      must report the identical trial/seed/shrunk config as jobs=1. *)
@@ -365,6 +470,17 @@ let test_omega_jobs_deterministic () =
 let test_abd_jobs_deterministic () =
   let sweep jobs = Runner.check_abd ~budget:40 ~jobs ~n:4 () in
   check_same_report "abd" (sweep 1) (sweep 4)
+
+let test_registry_jobs_deterministic () =
+  (* Every registered scenario, driven generically: a 2-trial sweep at
+     jobs=1 and jobs=2 must produce byte-identical reports. *)
+  List.iter
+    (fun ((module S : Scenario.S) as sc) ->
+      let sweep jobs =
+        Runner.sweep sc ~master_seed:5 ~budget:2 ~jobs ~params:smoke_params ()
+      in
+      check_same_report S.name (sweep 1) (sweep 2))
+    Registry.all
 
 let () =
   Alcotest.run "mm_check"
@@ -421,6 +537,19 @@ let () =
           Alcotest.test_case "report pp" `Quick
             test_report_pp_mentions_replay_seed;
         ] );
+      ( "registry",
+        [
+          Alcotest.test_case "names + find" `Quick test_registry_names;
+          Alcotest.test_case "paxos clean" `Quick test_paxos_sweep_clean;
+          Alcotest.test_case "mutex clean" `Quick test_mutex_sweep_clean;
+          Alcotest.test_case "smr clean" `Quick test_smr_sweep_clean;
+          Alcotest.test_case "paxos violation replays" `Quick
+            test_paxos_violation_replays;
+          Alcotest.test_case "mutex violation replays" `Quick
+            test_mutex_violation_replays;
+          Alcotest.test_case "smr violation replays" `Quick
+            test_smr_violation_replays;
+        ] );
       ( "jobs",
         [
           Alcotest.test_case "hbo jobs=1 = jobs=4" `Quick
@@ -429,5 +558,7 @@ let () =
             test_omega_jobs_deterministic;
           Alcotest.test_case "abd jobs=1 = jobs=4" `Quick
             test_abd_jobs_deterministic;
+          Alcotest.test_case "every scenario jobs=1 = jobs=2" `Quick
+            test_registry_jobs_deterministic;
         ] );
     ]

@@ -111,6 +111,20 @@ let test_three_way_ordering () =
   Alcotest.(check int) "local-spin msgs" 0 l.Mutex.messages_sent;
   Alcotest.(check bool) "mm msgs" true (m.Mutex.messages_sent > 0)
 
+let test_spin_reads_counter () =
+  (* spin_reads isolates the §1 invariant: re-reads while blocked that
+     no wake-up prompted.  Structurally zero for the m&m lock (waiters
+     sleep on the mailbox and recheck once per Wake), positive for both
+     spinning locks under contention. *)
+  let n = 5 and entries = 4 and cs_work = 25 in
+  let b = Mutex.run_bakery ~seed:5 ~cs_work ~n ~entries () in
+  let l = Mutex.run_local_spin ~seed:5 ~cs_work ~n ~entries () in
+  let m = Mutex.run_mm ~seed:5 ~cs_work ~n ~entries () in
+  let total o = Array.fold_left ( + ) 0 o.Mutex.spin_reads in
+  Alcotest.(check bool) "bakery spins" true (total b > 0);
+  Alcotest.(check bool) "local-spin spins" true (total l > 0);
+  Alcotest.(check int) "mm never spins" 0 (total m)
+
 let prop_mutex_safety =
   QCheck.Test.make ~name:"mutex safety across seeds and sizes" ~count:30
     QCheck.(triple (int_range 0 1000) (int_range 2 5) (int_range 1 4))
@@ -140,6 +154,8 @@ let () =
           Alcotest.test_case "local-spin basic" `Quick test_local_spin_basic;
           Alcotest.test_case "local-spin locality" `Quick test_local_spin_is_local;
           Alcotest.test_case "three-way ordering" `Quick test_three_way_ordering;
+          Alcotest.test_case "spin-read counter (§1)" `Quick
+            test_spin_reads_counter;
           QCheck_alcotest.to_alcotest prop_mutex_safety;
         ] );
     ]

@@ -169,7 +169,9 @@ let parse_json (s : string) : json =
 (* --- bench-specific shape --- *)
 
 (* (kernel, ns_per_run option) in file order; None = bechamel produced
-   no estimate (emitted as null). *)
+   no estimate (emitted as null).  Sweep kernels (check/<name>-sweep)
+   additionally carry a "budget" field — the fixed trial count the
+   kernel runs — which must be a positive integer when present. *)
 let load_bench path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -180,6 +182,10 @@ let load_bench path =
     List.map
       (function
         | Obj fields -> (
+          (match List.assoc_opt "budget" fields with
+          | None -> ()
+          | Some (Num b) when b > 0.0 && Float.is_integer b -> ()
+          | Some _ -> raise (Bad "budget must be a positive integer"));
           match (List.assoc_opt "kernel" fields, List.assoc_opt "ns_per_run" fields) with
           | Some (Str k), Some (Num ns) -> (k, Some ns)
           | Some (Str k), Some Null -> (k, None)
@@ -194,6 +200,18 @@ let check path =
     Printf.eprintf "%s: parsed, but contains no kernels\n" path;
     exit 1
   | entries ->
+    let dup =
+      List.find_opt
+        (fun (k, _) ->
+          List.length (List.filter (fun (k', _) -> String.equal k k') entries)
+          > 1)
+        entries
+    in
+    (match dup with
+    | Some (k, _) ->
+      Printf.eprintf "%s: duplicate kernel %S\n" path k;
+      exit 1
+    | None -> ());
     Printf.printf "%s: ok, %d kernel(s)\n" path (List.length entries);
     0
 
