@@ -114,10 +114,26 @@ let sweep_kernels =
                ~params:sweep_params ()) ))
     Mm_check.Registry.all
 
+(* check/<scenario>-nemesis: the same fixed-budget sweeps with a staged
+   fault timeline (partitions, degradation, freeze/thaw) drawn per
+   trial — the cost of the structured adversary relative to the plain
+   sweep kernels above. *)
+let nemesis_params = { sweep_params with Mm_check.Scenario.nemesis = true }
+
+let nemesis_kernels =
+  List.map
+    (fun ((module S : Mm_check.Scenario.S) as sc) ->
+      ( Printf.sprintf "check/%s-nemesis" S.name,
+        fun () ->
+          ignore
+            (Runner.sweep sc ~master_seed:7 ~budget:sweep_budget ~jobs:1
+               ~params:nemesis_params ()) ))
+    Mm_check.Registry.all
+
 let kernel_budgets =
   List.map
     (fun (name, _) -> (name, sweep_budget))
-    sweep_kernels
+    (sweep_kernels @ nemesis_kernels)
 
 (* One micro-kernel per experiment table: the time being measured is the
    dominant computational piece that the table's rows are built from. *)
@@ -207,7 +223,7 @@ let kernels =
     ("check/hbo-sweep-wallclock-j1", hbo_sweep_kernel 1);
     ("check/hbo-sweep-wallclock-j4", hbo_sweep_kernel 4);
   ]
-  @ sweep_kernels
+  @ sweep_kernels @ nemesis_kernels
 
 let tests =
   List.map

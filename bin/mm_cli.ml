@@ -399,8 +399,17 @@ let check_cmd =
     Arg.(value & opt (some int) None & info [ "commands" ] ~docv:"K"
            ~doc:"Smr: commands per process (default: drawn per trial).")
   in
+  let nemesis_arg =
+    Arg.(value & flag & info [ "nemesis" ]
+           ~doc:"Draw a staged fault-injection timeline per trial                  (partitions, link degradation, freeze/thaw) that always                  heals, and run the graceful-degradation monitors on top                  of the scenario's own.")
+  in
+  let settle_arg =
+    Arg.(value & opt (some int) None & info [ "settle" ] ~docv:"S"
+           ~doc:"Omega + --nemesis: steps after the last fault clears                  within which leadership must stop changing (default:                  warmup / 4).")
+  in
   let run (module S : Scenario.S) family n seed budget max_crashes max_steps
-      impl variant drop expect_stall replay trace jobs entries commands =
+      impl variant drop expect_stall replay trace jobs entries commands
+      nemesis settle =
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let variant =
       match String.lowercase_ascii variant with
@@ -423,6 +432,8 @@ let check_cmd =
         entries;
         commands;
         trace_tail = trace;
+        nemesis;
+        settle;
       }
     in
     (match Runner.preamble (module S) ~params with
@@ -452,7 +463,8 @@ let check_cmd =
     Term.(const run $ scenario_arg $ family_arg "complete" $ n_arg 6
           $ seed_arg $ budget_arg $ max_crashes_arg $ max_steps_arg
           $ impl_arg $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg
-          $ trace_arg $ jobs_arg $ entries_arg $ commands_arg)
+          $ trace_arg $ jobs_arg $ entries_arg $ commands_arg $ nemesis_arg
+          $ settle_arg)
 
 (* --- graph analysis --- *)
 

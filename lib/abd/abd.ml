@@ -130,7 +130,7 @@ let abd_process ~n ~record ~mark_done me script () =
   serve_until (fun () -> false)
 
 let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0)
-    ?(crashes = []) ?delay ~n ~scripts () =
+    ?(crashes = []) ?prepare ?delay ~n ~scripts () =
   if Array.length scripts <> n then invalid_arg "Abd.run: |scripts| <> n";
   let eng =
     Engine.create ~seed ?delay ~trace_capacity ~domain:(Domain_.isolated n)
@@ -161,6 +161,7 @@ let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0)
       let mark_done () = script_done.(pi) <- true in
       Engine.spawn eng p (abd_process ~n ~record ~mark_done p scripts.(pi)))
     (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   let all_done () =
     let ok = ref true in
     for i = 0 to n - 1 do

@@ -58,6 +58,7 @@ val run :
   ?max_steps:int ->
   ?trace_capacity:int ->
   ?crashes:(int * int) list ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?delay:Mm_net.Network.delay ->
   n:int ->
   scripts:op list array ->

@@ -112,6 +112,24 @@ let omega_stable (o : Omega.outcome) =
          | None -> "none")
          o.Omega.last_change_step o.Omega.window_start)
 
+(* Graceful degradation (Thm 5.1 under a healed adversary): once every
+   injected fault has cleared by [heal_by], a correct leader must be
+   agreed and the last output change must land within [settle] steps of
+   the heal. *)
+let omega_converges ~heal_by ~settle (o : Omega.outcome) =
+  match o.Omega.agreed_leader with
+  | None -> Fail "no agreed leader after the last fault cleared"
+  | Some l when o.Omega.crashed.(l) ->
+    Fail (Printf.sprintf "agreed leader p%d is crashed" l)
+  | Some l ->
+    if o.Omega.last_change_step <= heal_by + settle then Pass
+    else
+      Fail
+        (Printf.sprintf
+           "leadership (p%d) still changing at step %d, more than %d step(s) \
+            after the last fault cleared at %d"
+           l o.Omega.last_change_step settle heal_by)
+
 let omega_silent (o : Omega.outcome) =
   let sent = o.Omega.window_net.Mm_net.Network.sent in
   if sent = 0 then Pass

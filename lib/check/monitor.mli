@@ -51,6 +51,12 @@ val omega_stable : Mm_election.Omega.outcome -> verdict
 (** No messages sent inside the steady-state window. *)
 val omega_silent : Mm_election.Omega.outcome -> verdict
 
+(** Graceful degradation under a healed adversary: every fault cleared
+    by [heal_by], so a correct leader must be agreed and leadership must
+    stop changing within [settle] steps of the heal. *)
+val omega_converges :
+  heal_by:int -> settle:int -> Mm_election.Omega.outcome -> verdict
+
 (** {2 ABD register (§1 baseline)} *)
 
 (** Every scripted operation completed (no crashes injected). *)

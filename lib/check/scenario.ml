@@ -15,6 +15,10 @@ type params = {
   entries : int option;
   commands : int option;
   trace_tail : int;
+  (* Draw a staged fault timeline (Nemesis) per trial, and how many
+     steps after the last fault clears omega may keep re-electing. *)
+  nemesis : bool;
+  settle : int option;
 }
 
 let default_params =
@@ -35,6 +39,8 @@ let default_params =
     entries = None;
     commands = None;
     trace_tail = 30;
+    nemesis = false;
+    settle = None;
   }
 
 let fmt_crashes = function

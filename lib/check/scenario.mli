@@ -44,6 +44,12 @@ type params = {
   entries : int option;  (** mutex: CS entries per process (default: drawn) *)
   commands : int option;  (** smr: commands per process (default: drawn) *)
   trace_tail : int;  (** trailing trace events kept for reports *)
+  nemesis : bool;
+      (** draw a staged fault timeline ({!Nemesis}) per trial and run
+          the graceful-degradation monitors *)
+  settle : int option;
+      (** omega: steps after the last fault clears within which the
+          leader must stop changing (nemesis trials only) *)
 }
 
 (** [n = 6], complete graph family, trusted impl, reliable variant,

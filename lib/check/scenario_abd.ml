@@ -11,12 +11,14 @@ type cfg = {
   max_ops : int;
   max_steps : int;
   trace_tail : int;
+  nemesis : bool;
 }
 
 type trial = {
   scripts : [ `Write of int | `Read | `Pause of int ] list array;
   delay : Network.delay;
   engine_seed : int;
+  nemesis : Nemesis.t;
 }
 
 type outcome = Abd.outcome
@@ -45,11 +47,12 @@ let cfg_of_params (p : Scenario.params) =
     max_ops;
     max_steps = Option.value p.Scenario.max_steps ~default:200_000;
     trace_tail = p.Scenario.trace_tail;
+    nemesis = p.Scenario.nemesis;
   }
 
 let preamble _ = None
 
-let gen cfg rng =
+let gen (cfg : cfg) rng =
   let next_val = ref 0 in
   let scripts =
     Array.init cfg.n (fun _ ->
@@ -69,12 +72,24 @@ let gen cfg rng =
     | _ -> Network.Uniform (1, 2 + Rng.int rng 5)
   in
   let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  { scripts; delay; engine_seed }
+  (* Drawn last, gated on a sweep-wide constant: older trial seeds
+     replay unchanged.  Scripts are short, so the fault horizon is too;
+     drops would stall quorum phases forever. *)
+  let nemesis =
+    if cfg.nemesis then
+      Nemesis.gen rng ~n:cfg.n ~avoid:[] ~horizon:4_000 ~max_stages:2
+        ~allow_drop:false
+    else []
+  in
+  { scripts; delay; engine_seed; nemesis }
 
-let execute cfg t =
+let execute (cfg : cfg) t =
+  let prepare =
+    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
+  in
   Abd.run ~seed:t.engine_seed ~max_steps:cfg.max_steps
-    ~trace_capacity:cfg.trace_tail ~delay:t.delay ~n:cfg.n ~scripts:t.scripts
-    ()
+    ~trace_capacity:cfg.trace_tail ?prepare ~delay:t.delay ~n:cfg.n
+    ~scripts:t.scripts ()
 
 let monitors _cfg _t =
   [
@@ -83,15 +98,25 @@ let monitors _cfg _t =
     ("abd-linearizable", Monitor.abd_linearizable);
   ]
 
-let config _cfg t =
-  Config.str "delay" (delay_desc t.delay)
+let config (cfg : cfg) t =
+  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+   else [])
+  @ Config.str "delay" (delay_desc t.delay)
   :: List.mapi
        (fun i ops -> Config.str (Printf.sprintf "p%d" i) (fmt_script ops))
        (Array.to_list t.scripts)
 
 (* Scripts interlock through globally unique write values, so removing
    operations rewrites the history wholesale; the trial is already
-   small (max_ops per process), so no shrinking. *)
-let shrink _cfg ~still_fails:_ _t = []
+   small (max_ops per process), so only the fault timeline shrinks. *)
+let shrink (cfg : cfg) ~still_fails t =
+  if (not cfg.nemesis) || t.nemesis = [] then []
+  else
+    let nemesis' =
+      Nemesis.shrink
+        ~still_fails:(fun tl -> still_fails { t with nemesis = tl })
+        t.nemesis
+    in
+    [ Config.str "nemesis" (Nemesis.describe nemesis') ]
 
 let trace (o : outcome) = o.Abd.trace

@@ -25,6 +25,7 @@ type cfg = {
   crash_window : int;
   max_steps : int;
   trace_tail : int;
+  nemesis : bool;
   (* Theorem 4.4 scenario: (S side, T side, crash plan for B). *)
   stall : (int list * int list * (int * int) list) option;
 }
@@ -35,6 +36,7 @@ type trial = {
   k : int;  (* 0 = random walk, else PCT priority levels *)
   pct_seed : int;
   engine_seed : int;
+  nemesis : Nemesis.t;
 }
 
 type outcome = Hbo.outcome
@@ -75,17 +77,20 @@ let cfg_of_params (p : Scenario.params) =
     crash_window = Option.value p.Scenario.crash_window ~default:200;
     max_steps = Option.value p.Scenario.max_steps ~default:60_000;
     trace_tail = p.Scenario.trace_tail;
+    (* The Thm 4.4 stall scenario is a fixed permanent partition; a
+       healing timeline would contradict it, so nemesis is off there. *)
+    nemesis = p.Scenario.nemesis && not p.Scenario.expect_stall;
     stall;
   }
 
-let preamble cfg =
+let preamble (cfg : cfg) =
   Some
     (Format.asprintf "checking hbo on %s %a: Thm 4.3 crash bound f* = %d"
        cfg.family Graph.pp cfg.graph
        (default_max_crashes cfg.graph))
 
 (* Draw order is the replay contract; never reorder. *)
-let gen cfg rng =
+let gen (cfg : cfg) rng =
   let n = Graph.order cfg.graph in
   let inputs = Array.init n (fun _ -> Rng.int rng 2) in
   let crashes =
@@ -98,14 +103,23 @@ let gen cfg rng =
   let k = if Rng.bool rng then 0 else 1 + Rng.int rng 4 in
   let pct_seed = Rng.int rng 0x3FFF_FFFF in
   let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  { inputs; crashes; k; pct_seed; engine_seed }
+  (* Nemesis draws come last, gated on a sweep-wide constant, so older
+     trial seeds replay unchanged.  All faults clear in the first eighth
+     of the budget, leaving Thm 4.3 termination intact. *)
+  let nemesis =
+    if cfg.nemesis then
+      Nemesis.gen rng ~n ~avoid:(List.map fst crashes)
+        ~horizon:(cfg.max_steps / 8) ~max_stages:3 ~allow_drop:false
+    else []
+  in
+  { inputs; crashes; k; pct_seed; engine_seed; nemesis }
 
 (* PCT schedules are heavily skewed, so the slowest process may need the
    whole budget just to take a handful of steps; liveness is not
    monitored there, so cap the wasted wall-clock per PCT trial. *)
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 10_000
 
-let execute cfg t =
+let execute (cfg : cfg) t =
   let n = Graph.order cfg.graph in
   let max_steps = steps cfg ~k:t.k in
   let sched =
@@ -113,11 +127,14 @@ let execute cfg t =
     else Explore.pct ~seed:t.pct_seed ~n ~k:t.k ~depth:max_steps
   in
   let partition = Option.map (fun (s, t', _) -> (s, t')) cfg.stall in
+  let prepare =
+    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
+  in
   Hbo.run ~seed:t.engine_seed ~impl:cfg.impl ~max_steps
-    ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?partition ~sched
-    ~graph:cfg.graph ~inputs:t.inputs ()
+    ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?partition ?prepare
+    ~sched ~graph:cfg.graph ~inputs:t.inputs ()
 
-let monitors cfg t =
+let monitors (cfg : cfg) t =
   match cfg.stall with
   | Some _ ->
     [
@@ -133,7 +150,7 @@ let monitors cfg t =
        [ ("termination", Monitor.hbo_termination ~graph:cfg.graph) ]
      else [])
 
-let config cfg t =
+let config (cfg : cfg) t =
   [
     Config.str "inputs"
       (String.concat " " (Array.to_list (Array.map string_of_int t.inputs)));
@@ -141,6 +158,9 @@ let config cfg t =
     Config.str "scheduler" (Scenario.sched_desc t.k);
     Config.str "impl" (impl_desc cfg.impl);
   ]
+  @ (if cfg.nemesis then
+       [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+     else [])
   @
   match cfg.stall with
   | None -> []
@@ -151,7 +171,7 @@ let config cfg t =
            (Scenario.fmt_pids t'));
     ]
 
-let shrink cfg ~still_fails t =
+let shrink (cfg : cfg) ~still_fails t =
   match cfg.stall with
   | Some _ -> [] (* the Thm 4.4 scenario is fixed by construction *)
   | None ->
@@ -168,9 +188,20 @@ let shrink cfg ~still_fails t =
             still_fails { t with crashes = crashes'; k = v })
           ~lo:1 t.k
     in
+    let nemesis' =
+      if t.nemesis = [] then t.nemesis
+      else
+        Nemesis.shrink
+          ~still_fails:(fun tl ->
+            still_fails { t with crashes = crashes'; k = k'; nemesis = tl })
+          t.nemesis
+    in
     [
       Config.str "crashes" (Scenario.fmt_crashes crashes');
       Config.str "scheduler" (Scenario.sched_desc k');
     ]
+    @
+    (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+     else [])
 
 let trace (o : outcome) = o.Hbo.trace

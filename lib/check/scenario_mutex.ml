@@ -10,6 +10,7 @@ type cfg = {
   entries : int option; (* None: drawn per trial *)
   max_steps : int;
   trace_tail : int;
+  nemesis : bool;
 }
 
 type algo = Bakery | Local_spin | Mm
@@ -21,6 +22,7 @@ type trial = {
   k : int;
   pct_seed : int;
   engine_seed : int;
+  nemesis : Nemesis.t;
 }
 
 type outcome = Mutex.outcome
@@ -36,6 +38,7 @@ let cfg_of_params (p : Scenario.params) =
     entries = p.Scenario.entries;
     max_steps = Option.value p.Scenario.max_steps ~default:200_000;
     trace_tail = p.Scenario.trace_tail;
+    nemesis = p.Scenario.nemesis;
   }
 
 let preamble _ = None
@@ -52,11 +55,21 @@ let gen (cfg : cfg) rng =
   let k = if Rng.bool rng then 0 else 1 + Rng.int rng 4 in
   let pct_seed = Rng.int rng 0x3FFF_FFFF in
   let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  { algo; entries; cs_work; k; pct_seed; engine_seed }
+  (* Drawn last, gated on a sweep-wide constant: older trial seeds
+     replay unchanged.  Freeze/thaw across lock handoffs is the
+     interesting adversary here; drops would break the wake-up message. *)
+  let nemesis =
+    if cfg.nemesis then
+      Nemesis.gen rng ~n:cfg.n ~avoid:[]
+        ~horizon:(min (cfg.max_steps / 4) 20_000) ~max_stages:3
+        ~allow_drop:false
+    else []
+  in
+  { algo; entries; cs_work; k; pct_seed; engine_seed; nemesis }
 
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
 
-let execute cfg t =
+let execute (cfg : cfg) t =
   let max_steps = steps cfg ~k:t.k in
   let sched =
     if t.k = 0 then Explore.random_walk ()
@@ -68,8 +81,12 @@ let execute cfg t =
     | Local_spin -> Mutex.run_local_spin
     | Mm -> Mutex.run_mm
   in
+  let prepare =
+    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
+  in
   run ~seed:t.engine_seed ~max_steps ~cs_work:t.cs_work
-    ~trace_capacity:cfg.trace_tail ~sched ~n:cfg.n ~entries:t.entries ()
+    ~trace_capacity:cfg.trace_tail ?prepare ~sched ~n:cfg.n
+    ~entries:t.entries ()
 
 (* Exclusion is asserted always; the §1 no-spin invariant only applies
    to the m&m lock (the spinning locks spin by design); progress needs
@@ -83,15 +100,18 @@ let monitors _cfg t =
        [ ("mutex-progress", Monitor.mutex_progress ~entries:t.entries) ]
      else [])
 
-let config _cfg t =
+let config (cfg : cfg) t =
   [
     Config.str "algo" (algo_desc t.algo);
     Config.int "entries" t.entries;
     Config.int "cs-work" t.cs_work;
     Config.str "scheduler" (Scenario.sched_desc t.k);
   ]
+  @
+  if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+  else []
 
-let shrink _cfg ~still_fails t =
+let shrink (cfg : cfg) ~still_fails t =
   let entries' =
     if t.entries <= 1 then t.entries
     else
@@ -107,9 +127,20 @@ let shrink _cfg ~still_fails t =
           still_fails { t with entries = entries'; k = v })
         ~lo:1 t.k
   in
+  let nemesis' =
+    if t.nemesis = [] then t.nemesis
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails { t with entries = entries'; k = k'; nemesis = tl })
+        t.nemesis
+  in
   [
     Config.int "entries" entries';
     Config.str "scheduler" (Scenario.sched_desc k');
   ]
+  @
+  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+   else [])
 
 let trace (o : outcome) = o.Mutex.trace

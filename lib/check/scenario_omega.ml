@@ -13,12 +13,15 @@ type cfg = {
   warmup : int;
   window : int;
   trace_tail : int;
+  nemesis : bool;
+  settle : int; (* steps after the last fault clears to stop re-electing *)
 }
 
 type trial = {
   crashes : (int * int) list;
   variant : Omega.variant; (* per-trial drop drawn below the max *)
   engine_seed : int;
+  nemesis : Nemesis.t;
 }
 
 type outcome = Omega.outcome
@@ -42,11 +45,16 @@ let cfg_of_params (p : Scenario.params) =
     warmup = Option.value p.Scenario.warmup ~default:60_000;
     window = Option.value p.Scenario.window ~default:10_000;
     trace_tail = p.Scenario.trace_tail;
+    nemesis = p.Scenario.nemesis;
+    settle =
+      (match p.Scenario.settle with
+      | Some s -> s
+      | None -> Option.value p.Scenario.warmup ~default:60_000 / 4);
   }
 
 let preamble _ = None
 
-let gen cfg rng =
+let gen (cfg : cfg) rng =
   (* Process 0 is the designated timely process; §5 needs it alive. *)
   let crashes =
     Explore.gen_crashes rng ~n:cfg.n ~avoid:[ 0 ] ~max_crashes:cfg.max_crashes
@@ -58,35 +66,86 @@ let gen cfg rng =
     | Omega.Fair_lossy max -> Omega.Fair_lossy (Explore.gen_drop rng ~max)
   in
   let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  { crashes; variant; engine_seed }
+  (* Nemesis draws come last, gated on a sweep-wide constant, so older
+     trial seeds replay unchanged.  Heartbeats travel through shared
+     memory, so partitions alone cannot unseat a leader; freezing the
+     initial leader p0 is what forces a re-election — legal, because a
+     freeze that thaws is exactly "eventually timely" (§5).  Every
+     window clears in the first warmup quarter so the run can settle
+     well before the steady-state window. *)
+  let nemesis =
+    if cfg.nemesis then
+      Nemesis.gen rng ~n:cfg.n
+        ~avoid:(List.map fst crashes)
+        ~horizon:(cfg.warmup / 4) ~max_stages:3
+        ~allow_drop:(match cfg.variant with Omega.Fair_lossy _ -> true | Omega.Reliable -> false)
+    else []
+  in
+  { crashes; variant; engine_seed; nemesis }
 
-let execute cfg t =
+let execute (cfg : cfg) t =
+  let prepare =
+    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
+  in
   Omega.run ~seed:t.engine_seed ~trace_capacity:cfg.trace_tail
-    ~crashes:t.crashes ~warmup:cfg.warmup ~window:cfg.window
+    ~crashes:t.crashes ~warmup:cfg.warmup ~window:cfg.window ?prepare
     ~variant:t.variant ~n:cfg.n ()
 
 (* A crashed process can leave a notification unacknowledged forever,
    which the mechanisms may legitimately keep retransmitting — assert
    steady-state silence only on crash-free trials. *)
-let monitors _cfg t =
+let monitors (cfg : cfg) t =
+  (* The last fault to clear is either the end of the last nemesis
+     window or the last crash (which never heals but stops changing the
+     membership); leadership must settle within [cfg.settle] of it. *)
+  let heal_by =
+    max
+      (Nemesis.heal_step t.nemesis)
+      (List.fold_left (fun acc (_, s) -> max acc s) 0 t.crashes)
+  in
   ("omega-stable", Monitor.omega_stable)
-  :: (if t.crashes = [] then [ ("omega-silent", Monitor.omega_silent) ]
-      else [])
+  :: ((if t.nemesis <> [] then
+         [
+           ( "nemesis-convergence",
+             Monitor.omega_converges ~heal_by ~settle:cfg.settle );
+         ]
+       else [])
+     @
+     if t.crashes = [] then [ ("omega-silent", Monitor.omega_silent) ]
+     else [])
 
-let config cfg t =
+let config (cfg : cfg) t =
   [
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "variant" (variant_desc t.variant);
     Config.int "warmup" cfg.warmup;
     Config.int "window" cfg.window;
   ]
+  @
+  if cfg.nemesis then
+    [
+      Config.str "nemesis" (Nemesis.describe t.nemesis);
+      Config.int "settle" cfg.settle;
+    ]
+  else []
 
-let shrink _cfg ~still_fails t =
+let shrink (cfg : cfg) ~still_fails t =
   let crashes' =
     Shrink.list_min
       ~still_fails:(fun cs -> still_fails { t with crashes = cs })
       t.crashes
   in
-  [ Config.str "crashes" (Scenario.fmt_crashes crashes') ]
+  let nemesis' =
+    if t.nemesis = [] then t.nemesis
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails { t with crashes = crashes'; nemesis = tl })
+        t.nemesis
+  in
+  Config.str "crashes" (Scenario.fmt_crashes crashes')
+  ::
+  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+   else [])
 
 let trace (o : outcome) = o.Omega.trace

@@ -11,6 +11,7 @@ type cfg = {
   crash_window : int;
   max_steps : int;
   trace_tail : int;
+  nemesis : bool;
 }
 
 type trial = {
@@ -20,6 +21,7 @@ type trial = {
   k : int;
   pct_seed : int;
   engine_seed : int;
+  nemesis : Nemesis.t;
 }
 
 type outcome = Paxos.outcome
@@ -37,12 +39,13 @@ let cfg_of_params (p : Scenario.params) =
     crash_window = Option.value p.Scenario.crash_window ~default:2_000;
     max_steps = Option.value p.Scenario.max_steps ~default:200_000;
     trace_tail = p.Scenario.trace_tail;
+    nemesis = p.Scenario.nemesis;
   }
 
 let preamble _ = None
 
 (* Draw order is the replay contract; never reorder. *)
-let gen cfg rng =
+let gen (cfg : cfg) rng =
   let inputs = Array.init cfg.n (fun _ -> Rng.int rng 1_000) in
   let oracle =
     match Rng.int rng 4 with
@@ -57,21 +60,33 @@ let gen cfg rng =
   let k = if Rng.bool rng then 0 else 1 + Rng.int rng 4 in
   let pct_seed = Rng.int rng 0x3FFF_FFFF in
   let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  { inputs; oracle; crashes; k; pct_seed; engine_seed }
+  (* Drawn last, gated on a sweep-wide constant: older trial seeds
+     replay unchanged.  No drops — Paxos messages are not retransmitted. *)
+  let nemesis =
+    if cfg.nemesis then
+      Nemesis.gen rng ~n:cfg.n ~avoid:(List.map fst crashes)
+        ~horizon:(min (cfg.max_steps / 4) 20_000) ~max_stages:3
+        ~allow_drop:false
+    else []
+  in
+  { inputs; oracle; crashes; k; pct_seed; engine_seed; nemesis }
 
 (* Liveness is only monitored on fair trials, so cap the wall-clock a
    skewed PCT schedule can burn. *)
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
 
-let execute cfg t =
+let execute (cfg : cfg) t =
   let max_steps = steps cfg ~k:t.k in
   let sched =
     if t.k = 0 then Explore.random_walk ()
     else Explore.pct ~seed:t.pct_seed ~n:cfg.n ~k:t.k ~depth:max_steps
   in
+  let prepare =
+    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
+  in
   Paxos.run ~seed:t.engine_seed ~oracle:t.oracle ~max_steps
-    ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ~sched ~n:cfg.n
-    ~inputs:t.inputs ()
+    ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?prepare ~sched
+    ~n:cfg.n ~inputs:t.inputs ()
 
 (* Safety holds on every trial — dueling Anarchy leaders included.
    Termination needs a fair schedule, no crashes (a dead Static leader
@@ -84,7 +99,7 @@ let monitors _cfg t =
      [ ("paxos-termination", Monitor.paxos_termination) ]
    else [])
 
-let config _cfg t =
+let config (cfg : cfg) t =
   [
     Config.str "inputs"
       (String.concat " " (Array.to_list (Array.map string_of_int t.inputs)));
@@ -92,8 +107,11 @@ let config _cfg t =
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "scheduler" (Scenario.sched_desc t.k);
   ]
+  @
+  if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+  else []
 
-let shrink _cfg ~still_fails t =
+let shrink (cfg : cfg) ~still_fails t =
   let crashes' =
     Shrink.list_min
       ~still_fails:(fun cs -> still_fails { t with crashes = cs })
@@ -106,9 +124,20 @@ let shrink _cfg ~still_fails t =
         ~still_fails:(fun v -> still_fails { t with crashes = crashes'; k = v })
         ~lo:1 t.k
   in
+  let nemesis' =
+    if t.nemesis = [] then t.nemesis
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails { t with crashes = crashes'; k = k'; nemesis = tl })
+        t.nemesis
+  in
   [
     Config.str "crashes" (Scenario.fmt_crashes crashes');
     Config.str "scheduler" (Scenario.sched_desc k');
   ]
+  @
+  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+   else [])
 
 let trace (o : outcome) = o.Paxos.trace

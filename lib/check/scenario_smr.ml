@@ -12,6 +12,7 @@ type cfg = {
   crash_window : int;
   max_steps : int;
   trace_tail : int;
+  nemesis : bool;
 }
 
 type trial = {
@@ -20,6 +21,7 @@ type trial = {
   k : int;
   pct_seed : int;
   engine_seed : int;
+  nemesis : Nemesis.t;
 }
 
 type outcome = Log.outcome
@@ -33,6 +35,7 @@ let cfg_of_params (p : Scenario.params) =
     crash_window = Option.value p.Scenario.crash_window ~default:2_000;
     max_steps = Option.value p.Scenario.max_steps ~default:400_000;
     trace_tail = p.Scenario.trace_tail;
+    nemesis = p.Scenario.nemesis;
   }
 
 let preamble _ = None
@@ -49,18 +52,31 @@ let gen (cfg : cfg) rng =
   let k = if Rng.bool rng then 0 else 1 + Rng.int rng 4 in
   let pct_seed = Rng.int rng 0x3FFF_FFFF in
   let engine_seed = Rng.int rng 0x3FFF_FFFF in
-  { commands; crashes; k; pct_seed; engine_seed }
+  (* Drawn last, gated on a sweep-wide constant: older trial seeds
+     replay unchanged.  No drops — log messages are not retransmitted. *)
+  let nemesis =
+    if cfg.nemesis then
+      Nemesis.gen rng ~n:cfg.n ~avoid:(List.map fst crashes)
+        ~horizon:(min (cfg.max_steps / 4) 20_000) ~max_stages:3
+        ~allow_drop:false
+    else []
+  in
+  { commands; crashes; k; pct_seed; engine_seed; nemesis }
 
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
 
-let execute cfg t =
+let execute (cfg : cfg) t =
   let max_steps = steps cfg ~k:t.k in
   let sched =
     if t.k = 0 then Explore.random_walk ()
     else Explore.pct ~seed:t.pct_seed ~n:cfg.n ~k:t.k ~depth:max_steps
   in
+  let prepare =
+    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
+  in
   Log.run ~seed:t.engine_seed ~max_steps ~trace_capacity:cfg.trace_tail
-    ~crashes:t.crashes ~sched ~n:cfg.n ~commands_per_proc:t.commands ()
+    ~crashes:t.crashes ?prepare ~sched ~n:cfg.n ~commands_per_proc:t.commands
+    ()
 
 (* Safety (slot consistency + prefix agreement) holds on every trial;
    full commitment needs a fair schedule and no crashes (recovery after
@@ -73,14 +89,17 @@ let monitors _cfg t =
      [ ("smr-committed", Monitor.smr_committed) ]
    else [])
 
-let config _cfg t =
+let config (cfg : cfg) t =
   [
     Config.int "commands" t.commands;
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "scheduler" (Scenario.sched_desc t.k);
   ]
+  @
+  if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+  else []
 
-let shrink _cfg ~still_fails t =
+let shrink (cfg : cfg) ~still_fails t =
   let crashes' =
     Shrink.list_min
       ~still_fails:(fun cs -> still_fails { t with crashes = cs })
@@ -93,9 +112,20 @@ let shrink _cfg ~still_fails t =
         ~still_fails:(fun v -> still_fails { t with crashes = crashes'; k = v })
         ~lo:1 t.k
   in
+  let nemesis' =
+    if t.nemesis = [] then t.nemesis
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails { t with crashes = crashes'; k = k'; nemesis = tl })
+        t.nemesis
+  in
   [
     Config.str "crashes" (Scenario.fmt_crashes crashes');
     Config.str "scheduler" (Scenario.sched_desc k');
   ]
+  @
+  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+   else [])
 
 let trace (o : outcome) = o.Log.trace

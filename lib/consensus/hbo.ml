@@ -218,7 +218,7 @@ let hbo_process ~n ~nbhd ~objects ~on_decide ~input () =
   loop 1 (propose_r 1 input)
 
 let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
-    ?(trace_capacity = 0) ?(crashes = []) ?partition ?sched
+    ?(trace_capacity = 0) ?(crashes = []) ?partition ?prepare ?sched
     ?(link = Network.Reliable) ?delay ~graph ~inputs () =
   let n = Graph.order graph in
   if Array.length inputs <> n then invalid_arg "Hbo.run: |inputs| <> n";
@@ -232,12 +232,8 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
   (match partition with
   | None -> ()
   | Some (side_a, side_b) ->
-    let side = Array.make n ' ' in
-    List.iter (fun p -> side.(p) <- 'a') side_a;
-    List.iter (fun p -> side.(p) <- 'b') side_b;
-    Network.set_block_fn (Engine.network eng) (fun ~now:_ ~src ~dst ->
-        let s = side.(Id.to_int src) and d = side.(Id.to_int dst) in
-        s <> ' ' && d <> ' ' && s <> d));
+    Network.partition (Engine.network eng)
+      [ List.map Id.of_int side_a; List.map Id.of_int side_b ]);
   let store = Engine.store eng in
   let objects = make_objects impl graph store in
   let decisions = Array.make n None in
@@ -261,6 +257,7 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
       Engine.spawn eng p
         (hbo_process ~n ~nbhd ~objects ~on_decide ~input:inputs.(pi)))
     (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   let all_decided () =
     let ok = ref true in
     for i = 0 to n - 1 do

@@ -75,6 +75,7 @@ val run :
   ?trace_capacity:int ->
   ?crashes:(int * int) list ->
   ?partition:int list * int list ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   ?link:Mm_net.Network.kind ->
   ?delay:Mm_net.Network.delay ->

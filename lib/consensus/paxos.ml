@@ -34,7 +34,7 @@ type outcome = {
 }
 
 let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
-    ?(trace_capacity = 0) ?(crashes = []) ?sched ~n ~inputs () =
+    ?(trace_capacity = 0) ?(crashes = []) ?prepare ?sched ~n ~inputs () =
   if Array.length inputs <> n then invalid_arg "Paxos.run: |inputs| <> n";
   let eng =
     Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
@@ -159,6 +159,7 @@ let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
     main_loop 1 0
   in
   List.iter (fun p -> Engine.spawn eng p (paxos_process p)) (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   let all_decided () =
     let ok = ref true in
     for i = 0 to n - 1 do

@@ -62,6 +62,7 @@ val run :
   ?max_steps:int ->
   ?trace_capacity:int ->
   ?crashes:(int * int) list ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   n:int ->
   inputs:int array ->

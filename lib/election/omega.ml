@@ -123,7 +123,8 @@ let omega_process ~n ~eta ~mech ~state_regs ~report me () =
 
 let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
     ?(crashes = []) ?(memory_failures = []) ?(warmup = 60_000)
-    ?(window = 20_000) ?delay ?(sched_base = Sched.Random) ~variant ~n () =
+    ?(window = 20_000) ?delay ?prepare ?(sched_base = Sched.Random) ~variant
+    ~n () =
   let link, mech_of =
     match variant with
     | Reliable ->
@@ -178,6 +179,7 @@ let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
       in
       Engine.spawn eng p (omega_process ~n ~eta ~mech ~state_regs ~report p))
     (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   (* Warmup, pausing at each scheduled memory failure to flip the host's
      registers into omission mode. *)
   let failures =

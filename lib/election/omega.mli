@@ -67,6 +67,7 @@ val run :
   ?warmup:int ->
   ?window:int ->
   ?delay:Mm_net.Network.delay ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched_base:Mm_sim.Sched.base ->
   variant:variant ->
   n:int ->

@@ -71,7 +71,7 @@ let finish_outcome ?wait_reads_local eng mon wait_reads spin_reads reason =
 (* --- Lamport bakery --- *)
 
 let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?sched ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ~n ~entries () =
   let eng =
     Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
       ~link:Network.Reliable ~n ()
@@ -133,13 +133,14 @@ let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
     done
   in
   List.iter (fun p -> Engine.spawn eng p (bakery_process p)) (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   let reason = Engine.run eng ~max_steps () in
   finish_outcome eng mon wait_reads spin_reads reason
 
 (* --- m&m ticket lock with message wake-ups --- *)
 
 let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?sched ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ~n ~entries () =
   let eng =
     Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
       ~link:Network.Reliable ~n ()
@@ -220,13 +221,14 @@ let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
     done
   in
   List.iter (fun p -> Engine.spawn eng p (mm_process p)) (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   let reason = Engine.run eng ~max_steps () in
   finish_outcome eng mon wait_reads spin_reads reason
 
 (* --- local-spin ticket lock: the prior-art design point --- *)
 
 let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?sched ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ~n ~entries () =
   let eng =
     Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
       ~link:Network.Reliable ~n ()
@@ -299,5 +301,6 @@ let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
     done
   in
   List.iter (fun p -> Engine.spawn eng p (local_spin_process p)) (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   let reason = Engine.run eng ~max_steps () in
   finish_outcome ~wait_reads_local eng mon wait_reads spin_reads reason

@@ -44,6 +44,7 @@ val run_bakery :
   ?max_steps:int ->
   ?cs_work:int ->
   ?trace_capacity:int ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   n:int ->
   entries:int ->
@@ -55,6 +56,7 @@ val run_mm :
   ?max_steps:int ->
   ?cs_work:int ->
   ?trace_capacity:int ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   n:int ->
   entries:int ->
@@ -77,6 +79,7 @@ val run_local_spin :
   ?max_steps:int ->
   ?cs_work:int ->
   ?trace_capacity:int ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   n:int ->
   entries:int ->

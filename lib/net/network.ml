@@ -46,6 +46,13 @@ type t = {
   mutable heap : int array;
   mutable heap_len : int;
   mailboxes : (Id.t * Message.payload) Queue.t array;
+  (* Structured adversary state, indexed like [queues].  [held] links keep
+     their messages queued (No-loss: they deliver after heal); degraded
+     links add [extra_delay] to every accepted message and drop each send
+     with probability [extra_drop] on top of the link kind. *)
+  held : bool array;
+  extra_drop : float array;
+  extra_delay : int array;
   mutable block_fn : (now:int -> src:Id.t -> dst:Id.t -> bool) option;
   mutable observer : (event -> unit) option;
   mutable sent : int;
@@ -81,6 +88,9 @@ let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
     heap = Array.make 64 0;
     heap_len = 0;
     mailboxes = Array.init n (fun _ -> Queue.create ());
+    held = Array.make (n * n) false;
+    extra_drop = Array.make (n * n) 0.0;
+    extra_delay = Array.make (n * n) 0;
     block_fn = None;
     observer = None;
     sent = 0;
@@ -185,10 +195,12 @@ let send t ~now ~src ~dst payload =
     notify t (Deliver { src; dst })
   end
   else begin
+    let idx = (si * t.n) + di in
     let drop =
-      match t.net_kind with
+      (match t.net_kind with
       | Reliable -> false
-      | Fair_lossy p -> Rng.float t.rng < p
+      | Fair_lossy p -> Rng.float t.rng < p)
+      || (t.extra_drop.(idx) > 0.0 && Rng.float t.rng < t.extra_drop.(idx))
     in
     if drop then begin
       t.dropped <- t.dropped + 1;
@@ -196,8 +208,7 @@ let send t ~now ~src ~dst payload =
     end
     else begin
       let msg = { Message.src; dst; payload; sent_at = now; uid } in
-      let due = now + draw_delay t in
-      let idx = (si * t.n) + di in
+      let due = now + draw_delay t + t.extra_delay.(idx) in
       let q = t.queues.(idx) in
       q := insert_by_due { msg; due } !q;
       t.in_flight_count <- t.in_flight_count + 1;
@@ -235,6 +246,8 @@ let tick t ~now =
       t.wake_due.(idx) <- no_wake;
       let si = idx / t.n and di = idx mod t.n in
       let blocked =
+        t.held.(idx)
+        ||
         match t.block_fn with
         | None -> false
         | Some f -> f ~now ~src:(Id.of_int si) ~dst:(Id.of_int di)
@@ -256,6 +269,55 @@ let drain t p =
 
 let peek_count t p = Queue.length t.mailboxes.(Id.to_int p)
 let set_block_fn t f = t.block_fn <- Some f
+
+(* --- structured adversary: partitions and link degradation --- *)
+
+(* A link is held iff its endpoints appear in two *different* listed
+   groups; processes not listed in any group keep all their links.  Held
+   links re-enter the normal delivery path on [heal]: tick's poll-and-
+   rearm keeps every queued message alive, so No-loss is preserved. *)
+let partition t groups =
+  let group_of = Array.make t.n (-1) in
+  List.iteri
+    (fun g members ->
+      List.iter
+        (fun p ->
+          let i = Id.to_int p in
+          if i < 0 || i >= t.n then invalid_arg "Network.partition: id out of range";
+          if group_of.(i) >= 0 then
+            invalid_arg "Network.partition: process in two groups";
+          group_of.(i) <- g)
+        members)
+    groups;
+  for si = 0 to t.n - 1 do
+    for di = 0 to t.n - 1 do
+      if
+        si <> di
+        && group_of.(si) >= 0
+        && group_of.(di) >= 0
+        && group_of.(si) <> group_of.(di)
+      then t.held.((si * t.n) + di) <- true
+    done
+  done
+
+let heal t =
+  Array.fill t.held 0 (Array.length t.held) false
+
+let degrade t ~src ~dst ?(drop = 0.0) ?(extra_delay = 0) () =
+  let si = Id.to_int src and di = Id.to_int dst in
+  if si < 0 || si >= t.n || di < 0 || di >= t.n then
+    invalid_arg "Network.degrade: id out of range";
+  if drop < 0.0 || drop >= 1.0 then
+    invalid_arg "Network.degrade: drop probability must be in [0, 1)";
+  if extra_delay < 0 then invalid_arg "Network.degrade: negative extra delay";
+  let idx = (si * t.n) + di in
+  t.extra_drop.(idx) <- drop;
+  t.extra_delay.(idx) <- extra_delay
+
+let restore t =
+  Array.fill t.extra_drop 0 (Array.length t.extra_drop) 0.0;
+  Array.fill t.extra_delay 0 (Array.length t.extra_delay) 0
+
 let set_observer t f = t.observer <- Some f
 
 let stats t =

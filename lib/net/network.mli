@@ -62,6 +62,43 @@ val peek_count : t -> Mm_core.Id.t -> int
 val set_block_fn :
   t -> (now:int -> src:Mm_core.Id.t -> dst:Mm_core.Id.t -> bool) -> unit
 
+(** {2 Structured adversary}
+
+    Declarative fault state layered on the per-link queues, used by
+    [Mm_check.Nemesis].  None of these operations ever discards a queued
+    message: holds only defer delivery (No-loss is preserved — held
+    messages deliver after {!heal}), and degradation applies only to
+    sends made while it is in force. *)
+
+(** [partition t groups] holds every link whose endpoints lie in two
+    {e different} listed groups.  Processes not listed in any group keep
+    all their links; links within a group are unaffected.  Raises
+    [Invalid_argument] if an id is out of range or listed twice.
+    Cumulative with any holds already in place. *)
+val partition : t -> Mm_core.Id.t list list -> unit
+
+(** [heal t] lifts every hold installed by {!partition}.  Messages held
+    while partitioned are delivered from the next tick on. *)
+val heal : t -> unit
+
+(** [degrade t ~src ~dst ?drop ?extra_delay ()] degrades one directed
+    link: each subsequent send is additionally dropped with probability
+    [drop] (on top of the link kind; default 0), and accepted messages
+    get [extra_delay] added to their drawn delay (default 0).  Raises
+    [Invalid_argument] if [drop] is outside [0, 1) or [extra_delay] is
+    negative. *)
+val degrade :
+  t ->
+  src:Mm_core.Id.t ->
+  dst:Mm_core.Id.t ->
+  ?drop:float ->
+  ?extra_delay:int ->
+  unit ->
+  unit
+
+(** [restore t] clears all link degradation installed by {!degrade}. *)
+val restore : t -> unit
+
 (** Link-level events, observable by monitors (e.g. the engine's trace):
     a fair-loss drop at send time, or a message moved into its
     destination mailbox (including local self-delivery). *)

@@ -44,6 +44,13 @@ type t = {
   seed_rng : Rng.t;  (* parent stream for derive_rng *)
   procs : proc array;
   crash_step : int option array;
+  (* Frozen processes are slow, not dead: they take no steps while the
+     flag is set but keep their fiber and message queues, so they resume
+     exactly where they stopped on thaw. *)
+  frozen : bool array;
+  (* Staged actions, ascending in step, fired by the run loop once the
+     clock reaches them.  The adversary's timeline hook (Nemesis). *)
+  mutable actions : (int * (t -> unit)) list;
   tr : Trace.t option;
   view : Sched.view;  (* reused every step; see Sched.view *)
   mutable step : int;
@@ -87,6 +94,8 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
       seed_rng = Rng.split root;
       procs;
       crash_step = Array.make n None;
+      frozen = Array.make n false;
+      actions = [];
       tr = (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None);
       view =
         {
@@ -211,9 +220,46 @@ let spawn t pid main =
 
 let crash_at t pid step =
   if step < 0 then invalid_arg "Engine.crash_at: negative step";
-  t.crash_step.(Id.to_int pid) <- Some step
+  let i = Id.to_int pid in
+  (* Reject a second, conflicting schedule rather than silently
+     overwriting: two adversary layers disagreeing about when a process
+     dies is a bug in the harness, not a fault to inject. *)
+  (match t.crash_step.(i) with
+  | Some s when s <> step ->
+    invalid_arg "Engine.crash_at: conflicting crash schedule for pid"
+  | _ -> ());
+  t.crash_step.(i) <- Some step
 
 let crash_now t pid = crash_at t pid t.step
+
+let freeze t pid =
+  let i = Id.to_int pid in
+  (match t.procs.(i).p_status with
+  | Crashed -> invalid_arg "Engine.freeze: process already crashed"
+  | Unspawned | Ready | Done -> ());
+  t.frozen.(i) <- true
+
+let thaw t pid = t.frozen.(Id.to_int pid) <- false
+let is_frozen t pid = t.frozen.(Id.to_int pid)
+
+let at t ~step f =
+  if step < 0 then invalid_arg "Engine.at: negative step";
+  (* Sorted insert keeps firing order (step, registration order). *)
+  let rec ins = function
+    | [] -> [ (step, f) ]
+    | (s, _) :: _ as rest when s > step -> (step, f) :: rest
+    | x :: tl -> x :: ins tl
+  in
+  t.actions <- ins t.actions
+
+let fire_actions t =
+  let rec go = function
+    | (s, f) :: tl when s <= t.step ->
+      f t;
+      go tl
+    | rest -> rest
+  in
+  t.actions <- go t.actions
 
 let apply_crashes t =
   for i = 0 to t.n_procs - 1 do
@@ -239,7 +285,7 @@ let refill_runnable t =
   for i = 0 to t.n_procs - 1 do
     let p = t.procs.(i) in
     match p.p_status, p.pending with
-    | Ready, Some _ ->
+    | Ready, Some _ when not t.frozen.(i) ->
       v.Sched.runnable.(!c) <- i;
       incr c
     | _ -> ()
@@ -247,14 +293,35 @@ let refill_runnable t =
   v.Sched.count <- !c;
   !c
 
+(* True iff some process could run were it not frozen: the system is
+   stalled, not finished, so the clock must advance (messages keep
+   flowing, thaw actions can fire) instead of reporting Quiescent. *)
+let frozen_pending t =
+  let rec go i =
+    i < t.n_procs
+    &&
+    let p = t.procs.(i) in
+    (t.frozen.(i) && p.p_status = Ready && p.pending <> None) || go (i + 1)
+  in
+  go 0
+
 let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
   let deadline = t.step + max_steps in
   let reason = ref None in
   while !reason = None do
     apply_crashes t;
+    fire_actions t;
     if until () then reason := Some Stopped
     else if t.step >= deadline then reason := Some Step_limit
-    else if refill_runnable t = 0 then reason := Some Quiescent
+    else if refill_runnable t = 0 then begin
+      if frozen_pending t then begin
+        (* Everyone runnable is frozen: let time pass so deliveries and
+           staged thaws still happen; bounded by the deadline above. *)
+        t.step <- t.step + 1;
+        Network.tick t.net ~now:t.step
+      end
+      else reason := Some Quiescent
+    end
     else begin
       t.view.Sched.now <- t.step;
       let chosen = Sched.pick t.sched t.sched_rng t.view in

@@ -48,11 +48,39 @@ val spawn : t -> Mm_core.Id.t -> (unit -> unit) -> unit
 
 (** [crash_at t pid step] schedules a crash: [pid] executes no step at or
     after global step [step].  [crash_at t pid 0] crashes it before it
-    takes any step. *)
+    takes any step.  Raises [Invalid_argument] on a negative step, or if
+    [pid] already has a pending crash scheduled at a {e different} step
+    (re-scheduling the same step is a no-op). *)
 val crash_at : t -> Mm_core.Id.t -> int -> unit
 
 (** Crash immediately (at the current step). *)
 val crash_now : t -> Mm_core.Id.t -> unit
+
+(** {2 Freeze / thaw}
+
+    A frozen process is slow, not dead: it takes no steps while frozen
+    but keeps its fiber, mailbox and memory, and resumes exactly where
+    it stopped once thawed.  This is the adversary power behind
+    "eventually timely": crash-stop cannot model a process that is
+    merely late.  If every runnable process is frozen the engine lets
+    time pass (messages still deliver, staged actions still fire)
+    instead of reporting [Quiescent]. *)
+
+(** [freeze t pid] suspends scheduling of [pid].  Idempotent.  Raises
+    [Invalid_argument] if [pid] has already crashed. *)
+val freeze : t -> Mm_core.Id.t -> unit
+
+(** [thaw t pid] makes [pid] schedulable again.  Idempotent. *)
+val thaw : t -> Mm_core.Id.t -> unit
+
+val is_frozen : t -> Mm_core.Id.t -> bool
+
+(** [at t ~step f] registers a staged action: [f t] runs inside the run
+    loop once the global clock reaches [step] (before the next pick).
+    Actions fire in (step, registration) order and persist across
+    segmented [run] calls; [Mm_check.Nemesis] compiles fault timelines
+    onto this hook.  Raises [Invalid_argument] on a negative step. *)
+val at : t -> step:int -> (t -> unit) -> unit
 
 type status =
   | Unspawned

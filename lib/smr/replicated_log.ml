@@ -242,7 +242,7 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
   main_loop 1
 
 let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
-    ?(crashes = []) ?sched ~n ~commands_per_proc () =
+    ?(crashes = []) ?prepare ?sched ~n ~commands_per_proc () =
   let eng =
     Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
       ~link:Network.Reliable ~n ()
@@ -283,6 +283,7 @@ let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
       in
       Engine.spawn eng p (log_process ~n ~sm ~alive ~my_commands ~on_apply p))
     (Id.all n);
+  (match prepare with None -> () | Some f -> f eng);
   let everyone_done () =
     let ok = ref true in
     for pi = 0 to n - 1 do

@@ -1,0 +1,33 @@
+(* nemesis_smoke — `dune build @nemesis-smoke`: a 1-trial sweep of every
+   registered scenario with nemesis timelines enabled.  Harness
+   validation, not a hunt: the budget is the bare minimum that exercises
+   Nemesis.gen/install and the graceful-degradation monitors end-to-end,
+   so adding a scenario to Registry.all is enough to put it under the
+   alias. *)
+
+module B = Mm_graph.Builders
+module Scenario = Mm_check.Scenario
+module Registry = Mm_check.Registry
+module Runner = Mm_check.Runner
+
+let params =
+  {
+    Scenario.default_params with
+    graph = Some (B.complete 4);
+    n = 4;
+    max_steps = Some 150_000;
+    crash_window = Some 5_000;
+    warmup = Some 40_000;
+    window = Some 8_000;
+    nemesis = true;
+  }
+
+let () =
+  let failed = ref false in
+  List.iter
+    (fun ((module S : Scenario.S) as sc) ->
+      let r = Runner.sweep sc ~master_seed:1 ~budget:1 ~params () in
+      Format.printf "%a" Runner.pp_report r;
+      if r.Runner.violation <> None then failed := true)
+    Registry.all;
+  if !failed then exit 1

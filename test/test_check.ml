@@ -18,6 +18,10 @@ module B = Mm_graph.Builders
 module Net = Mm_net.Network
 module Id = Mm_core.Id
 module Omega = Mm_election.Omega
+module Nemesis = Mm_check.Nemesis
+module Monitor = Mm_check.Monitor
+module Config = Mm_check.Config
+module Rng = Mm_rng.Rng
 
 type Mm_net.Message.payload += Ping
 
@@ -482,6 +486,178 @@ let test_registry_jobs_deterministic () =
       check_same_report S.name (sweep 1) (sweep 2))
     Registry.all
 
+(* --- Nemesis: staged fault-injection timelines --- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_nemesis_gen_well_formed () =
+  for seed = 0 to 49 do
+    let gen_once () =
+      Nemesis.gen (Rng.create seed) ~n:4 ~avoid:[ 1 ] ~horizon:1_000
+        ~max_stages:3 ~allow_drop:false
+    in
+    let tl = gen_once () in
+    Nemesis.validate tl ~n:4;
+    Alcotest.(check bool) "same seed, same timeline" true (tl = gen_once ());
+    Alcotest.(check bool) "non-empty" true (tl <> []);
+    Alcotest.(check bool) "heals within horizon" true
+      (Nemesis.heal_step tl <= 1_000);
+    List.iter
+      (fun (st : Nemesis.stage) ->
+        match st.Nemesis.fault with
+        | Nemesis.Crash _ -> Alcotest.fail "gen drew a crash burst"
+        | Nemesis.Freeze ps ->
+          Alcotest.(check bool) "avoided pid never frozen" false
+            (List.mem 1 ps)
+        | Nemesis.Degrade { drop; _ } ->
+          Alcotest.(check (float 0.0)) "no loss unless allowed" 0.0 drop
+        | Nemesis.Partition _ -> ())
+      tl
+  done
+
+let test_nemesis_gen_covers_fault_kinds () =
+  let part = ref 0 and deg = ref 0 and frz = ref 0 in
+  for seed = 0 to 49 do
+    List.iter
+      (fun (st : Nemesis.stage) ->
+        match st.Nemesis.fault with
+        | Nemesis.Partition _ -> incr part
+        | Nemesis.Degrade _ -> incr deg
+        | Nemesis.Freeze _ -> incr frz
+        | Nemesis.Crash _ -> ())
+      (Nemesis.gen (Rng.create seed) ~n:4 ~avoid:[] ~horizon:1_000
+         ~max_stages:3 ~allow_drop:true)
+  done;
+  Alcotest.(check bool) "partitions drawn" true (!part > 0);
+  Alcotest.(check bool) "degrades drawn" true (!deg > 0);
+  Alcotest.(check bool) "freezes drawn" true (!frz > 0)
+
+let test_nemesis_validate_rejects () =
+  let rejects name tl =
+    Alcotest.(check bool) name true
+      (try Nemesis.validate tl ~n:3; false with Invalid_argument _ -> true)
+  in
+  let st at duration fault = { Nemesis.at; duration; fault } in
+  rejects "negative start" [ st (-1) 5 (Nemesis.Freeze [ 0 ]) ];
+  rejects "zero duration" [ st 0 0 (Nemesis.Freeze [ 0 ]) ];
+  rejects "one-group partition" [ st 0 5 (Nemesis.Partition [ [ 0; 1; 2 ] ]) ];
+  rejects "pid in two groups"
+    [ st 0 5 (Nemesis.Partition [ [ 0 ]; [ 0; 1 ] ]) ];
+  rejects "partition pid range" [ st 0 5 (Nemesis.Partition [ [ 0 ]; [ 7 ] ]) ];
+  rejects "empty freeze" [ st 0 5 (Nemesis.Freeze []) ];
+  rejects "bad degrade drop"
+    [
+      st 0 5 (Nemesis.Degrade { members = [ 0 ]; drop = 1.0; extra_delay = 0 });
+    ];
+  rejects "negative crash step" [ st 0 1 (Nemesis.Crash [ (0, -2) ]) ]
+
+let test_nemesis_shrink_minimizes () =
+  let freeze =
+    { Nemesis.at = 10; duration = 100; fault = Nemesis.Freeze [ 2 ] }
+  in
+  let partition =
+    { Nemesis.at = 0; duration = 50; fault = Nemesis.Partition [ [ 0 ]; [ 1; 2 ] ] }
+  in
+  (* "Fails" iff the timeline still freezes p2 for at least 40 steps. *)
+  let still_fails tl =
+    List.exists
+      (fun (st : Nemesis.stage) ->
+        st.Nemesis.fault = Nemesis.Freeze [ 2 ] && st.Nemesis.duration >= 40)
+      tl
+  in
+  let shrunk = Nemesis.shrink ~still_fails [ partition; freeze ] in
+  Alcotest.(check bool) "still fails" true (still_fails shrunk);
+  match shrunk with
+  | [ st ] ->
+    Alcotest.(check bool) "kept the freeze" true
+      (st.Nemesis.fault = Nemesis.Freeze [ 2 ]);
+    Alcotest.(check int) "duration minimized" 40 st.Nemesis.duration
+  | _ -> Alcotest.failf "expected a single stage, got %d" (List.length shrunk)
+
+let nemesis_params = { smoke_params with Scenario.nemesis = true }
+
+let test_registry_nemesis_sweeps_clean () =
+  List.iter
+    (fun (module S : Scenario.S) ->
+      clean_sweep S.name ~budget:2 ~params:nemesis_params)
+    Registry.all
+
+let test_registry_nemesis_jobs_deterministic () =
+  List.iter
+    (fun ((module S : Scenario.S) as sc) ->
+      let sweep jobs =
+        Runner.sweep sc ~master_seed:11 ~budget:2 ~jobs ~params:nemesis_params
+          ()
+      in
+      check_same_report (S.name ^ "+nemesis") (sweep 1) (sweep 2))
+    Registry.all
+
+(* Acceptance: every registered scenario runs under at least one
+   partition-then-heal timeline, and re-executing that exact trial gives
+   byte-identical monitor verdicts and trace. *)
+let test_partition_timeline_replays_identically () =
+  List.iter
+    (fun (module S : Scenario.S) ->
+      let cfg = S.cfg_of_params nemesis_params in
+      let rec hunt seed =
+        if seed > 500 then
+          Alcotest.failf "%s: no partition timeline within 500 seeds" S.name
+        else
+          let t = S.gen cfg (Rng.create seed) in
+          let nem =
+            Option.value ~default:""
+              (Config.find_str (S.config cfg t) "nemesis")
+          in
+          if contains_sub nem "partition(" then t else hunt (seed + 1)
+      in
+      let t = hunt 0 in
+      let run () =
+        let o = S.execute cfg t in
+        ( List.map (fun (name, m) -> (name, m o)) (S.monitors cfg t),
+          S.trace o )
+      in
+      let v1, tr1 = run () in
+      let v2, tr2 = run () in
+      Alcotest.(check bool) (S.name ^ ": identical verdicts") true (v1 = v2);
+      Alcotest.(check bool) (S.name ^ ": identical trace") true (tr1 = tr2))
+    Registry.all
+
+(* Starving omega's convergence allowance flushes out a violation: the
+   reported timeline must be in the config, the shrunk reproducer
+   non-empty, and the replay from the reported seed byte-identical. *)
+let test_omega_nemesis_convergence_violation () =
+  let params = { nemesis_params with Scenario.settle = Some 10 } in
+  let sc = scenario "omega" in
+  let report = Runner.sweep sc ~master_seed:1 ~budget:40 ~params () in
+  match report.Runner.violation with
+  | None ->
+    Alcotest.fail "expected a nemesis-convergence violation with settle=10"
+  | Some cx ->
+    Alcotest.(check string) "property" "nemesis-convergence"
+      cx.Runner.property;
+    Alcotest.(check bool) "config names the timeline" true
+      (match Config.find_str cx.Runner.config "nemesis" with
+      | Some d -> d <> "none"
+      | None -> false);
+    Alcotest.(check bool) "shrunk non-empty" true (cx.Runner.shrunk <> []);
+    let replayed =
+      Runner.replay sc ~params ~trial_seed:cx.Runner.trial_seed ()
+    in
+    (match replayed.Runner.violation with
+    | None -> Alcotest.fail "replay lost the violation"
+    | Some cx' ->
+      Alcotest.(check string) "replayed property" cx.Runner.property
+        cx'.Runner.property;
+      Alcotest.(check string) "replayed detail" cx.Runner.detail
+        cx'.Runner.detail;
+      Alcotest.(check bool) "replayed config" true
+        (cx.Runner.config = cx'.Runner.config);
+      Alcotest.(check bool) "replayed trace" true
+        (cx.Runner.trace = cx'.Runner.trace))
+
 let () =
   Alcotest.run "mm_check"
     [
@@ -560,5 +736,24 @@ let () =
             test_abd_jobs_deterministic;
           Alcotest.test_case "every scenario jobs=1 = jobs=2" `Quick
             test_registry_jobs_deterministic;
+        ] );
+      ( "nemesis",
+        [
+          Alcotest.test_case "gen well-formed" `Quick
+            test_nemesis_gen_well_formed;
+          Alcotest.test_case "gen covers fault kinds" `Quick
+            test_nemesis_gen_covers_fault_kinds;
+          Alcotest.test_case "validate rejects" `Quick
+            test_nemesis_validate_rejects;
+          Alcotest.test_case "shrink minimizes" `Quick
+            test_nemesis_shrink_minimizes;
+          Alcotest.test_case "every scenario sweeps clean" `Quick
+            test_registry_nemesis_sweeps_clean;
+          Alcotest.test_case "every scenario jobs=1 = jobs=2" `Quick
+            test_registry_nemesis_jobs_deterministic;
+          Alcotest.test_case "partition-then-heal replays" `Quick
+            test_partition_timeline_replays_identically;
+          Alcotest.test_case "omega convergence violation" `Quick
+            test_omega_nemesis_convergence_violation;
         ] );
     ]

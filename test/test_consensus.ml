@@ -405,9 +405,14 @@ let prop_hbo_safety_random_graphs =
       done;
       let g = G.create n !edges in
       let inputs = Array.init n (fun _ -> Mm_rng.Rng.int rng 2) in
+      (* Distinct pids: crash_at rejects conflicting schedules for the
+         same process, so (i * 2) mod n must not wrap into a duplicate. *)
       let crashes =
-        List.init crash_count (fun i ->
-            ((i * 2) mod n, Mm_rng.Rng.int rng 2000))
+        let pids =
+          List.sort_uniq compare
+            (List.init crash_count (fun i -> (i * 2) mod n))
+        in
+        List.map (fun p -> (p, Mm_rng.Rng.int rng 2000)) pids
       in
       let o =
         Hbo.run ~seed ~impl:Hbo.Trusted ~graph:g ~max_steps:150_000 ~crashes

@@ -95,8 +95,12 @@ let test_block_fn () =
   Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 1);
   Net.tick net ~now:50;
   Alcotest.(check int) "held" 0 (Net.peek_count net (id 1));
+  Alcotest.(check int) "held message still in flight" 1
+    (Net.stats net).Net.in_flight;
   Net.tick net ~now:100;
-  Alcotest.(check int) "released" 1 (Net.peek_count net (id 1))
+  Alcotest.(check int) "released" 1 (Net.peek_count net (id 1));
+  Alcotest.(check int) "in_flight drained after release" 0
+    (Net.stats net).Net.in_flight
 
 let test_window_diff () =
   let net = mk 2 in
@@ -119,9 +123,85 @@ let test_create_validation () =
   Alcotest.(check bool) "bad drop prob" true
     (try ignore (mk ~kind:(Net.Fair_lossy 1.0) 2); false
      with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative drop prob" true
+    (try ignore (mk ~kind:(Net.Fair_lossy (-0.1)) 2); false
+     with Invalid_argument _ -> true);
   Alcotest.(check bool) "bad delay" true
     (try ignore (mk ~delay:(Net.Fixed 0) 2); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "uniform lo < 1" true
+    (try ignore (mk ~delay:(Net.Uniform (0, 3)) 2); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "uniform hi < lo" true
+    (try ignore (mk ~delay:(Net.Uniform (4, 2)) 2); false
      with Invalid_argument _ -> true)
+
+let test_partition_holds_then_heals () =
+  (* No-loss across a partition: messages sent into a held link stay
+     queued (never dropped) and all come out after heal. *)
+  let net = mk ~delay:(Net.Fixed 1) 4 in
+  Net.partition net [ [ id 0; id 1 ]; [ id 2; id 3 ] ];
+  for i = 1 to 25 do
+    Net.send net ~now:0 ~src:(id 0) ~dst:(id 2) (Num i)
+  done;
+  Net.tick net ~now:100;
+  Alcotest.(check int) "held across the cut" 0 (Net.peek_count net (id 2));
+  let s = Net.stats net in
+  Alcotest.(check int) "nothing dropped while held" 0 s.Net.dropped;
+  Alcotest.(check int) "all still in flight" 25 s.Net.in_flight;
+  (* Same-side traffic is unaffected. *)
+  Net.send net ~now:100 ~src:(id 0) ~dst:(id 1) (Num 99);
+  Net.tick net ~now:101;
+  Alcotest.(check int) "same side delivers" 1 (Net.peek_count net (id 1));
+  Net.heal net;
+  Net.tick net ~now:102;
+  Alcotest.(check int) "all released after heal" 25 (Net.peek_count net (id 2));
+  let s = Net.stats net in
+  Alcotest.(check int) "in_flight drained" 0 s.Net.in_flight;
+  Alcotest.(check int) "sent = delivered" s.Net.sent s.Net.delivered
+
+let test_partition_validation () =
+  let net = mk 3 in
+  Alcotest.(check bool) "id out of range" true
+    (try Net.partition net [ [ id 0; id 5 ] ]; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate membership" true
+    (try Net.partition net [ [ id 0 ]; [ id 0; id 1 ] ]; false
+     with Invalid_argument _ -> true)
+
+let test_degrade_drop_and_restore () =
+  let net = mk ~seed:7 2 in
+  Net.degrade net ~src:(id 0) ~dst:(id 1) ~drop:0.95 ();
+  for i = 1 to 500 do
+    Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num i)
+  done;
+  let s = Net.stats net in
+  Alcotest.(check bool)
+    (Printf.sprintf "most dropped on a degraded reliable link (%d)" s.Net.dropped)
+    true
+    (s.Net.dropped > 400);
+  Net.restore net;
+  let before = Net.stats net in
+  for i = 1 to 100 do
+    Net.send net ~now:10 ~src:(id 0) ~dst:(id 1) (Num i)
+  done;
+  let d = Net.diff_since net before in
+  Alcotest.(check int) "no drops after restore" 0 d.Net.dropped;
+  Alcotest.(check bool) "bad degrade drop" true
+    (try Net.degrade net ~src:(id 0) ~dst:(id 1) ~drop:1.0 (); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative degrade delay" true
+    (try Net.degrade net ~src:(id 0) ~dst:(id 1) ~extra_delay:(-1) (); false
+     with Invalid_argument _ -> true)
+
+let test_degrade_extra_delay () =
+  let net = mk ~delay:(Net.Fixed 2) 2 in
+  Net.degrade net ~src:(id 0) ~dst:(id 1) ~extra_delay:10 ();
+  Net.send net ~now:0 ~src:(id 0) ~dst:(id 1) (Num 1);
+  Net.tick net ~now:11;
+  Alcotest.(check int) "not at base delay" 0 (Net.peek_count net (id 1));
+  Net.tick net ~now:12;
+  Alcotest.(check int) "at base + extra" 1 (Net.peek_count net (id 1))
 
 let prop_reliable_counts =
   QCheck.Test.make ~name:"reliable: sent = delivered + in_flight" ~count:50
@@ -151,6 +231,14 @@ let () =
           Alcotest.test_case "window diff" `Quick test_window_diff;
           Alcotest.test_case "delay bounds" `Quick test_delay_bounds;
           Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "partition no-loss" `Quick
+            test_partition_holds_then_heals;
+          Alcotest.test_case "partition validation" `Quick
+            test_partition_validation;
+          Alcotest.test_case "degrade drop + restore" `Quick
+            test_degrade_drop_and_restore;
+          Alcotest.test_case "degrade extra delay" `Quick
+            test_degrade_extra_delay;
           QCheck_alcotest.to_alcotest prop_reliable_counts;
         ] );
     ]

@@ -130,6 +130,89 @@ let test_crash_before_start () =
   Alcotest.(check bool) "crashed process never ran its first step" true
     (Engine.steps_of eng p1 = 0)
 
+let test_crash_at_conflict () =
+  let eng = make ~seed:5 2 in
+  let p1 = Id.of_int 1 in
+  Engine.spawn eng (Id.of_int 0) (fun () -> Proc.yield ());
+  Engine.spawn eng p1 (fun () -> Proc.yield ());
+  Engine.crash_at eng p1 50;
+  (* Re-scheduling the same step is idempotent... *)
+  Engine.crash_at eng p1 50;
+  (* ...but a different step is a conflicting fault plan. *)
+  Alcotest.(check bool) "conflicting schedule rejected" true
+    (try Engine.crash_at eng p1 60; false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative step rejected" true
+    (try Engine.crash_at eng (Id.of_int 0) (-1); false
+     with Invalid_argument _ -> true)
+
+let test_freeze_thaw () =
+  let eng = make ~seed:6 2 in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let count0 = ref 0 and count1 = ref 0 in
+  let spin counter () =
+    let rec go () =
+      incr counter;
+      Proc.yield ();
+      go ()
+    in
+    go ()
+  in
+  Engine.spawn eng p0 (spin count0);
+  Engine.spawn eng p1 (spin count1);
+  Engine.freeze eng p1;
+  Alcotest.(check bool) "reported frozen" true (Engine.is_frozen eng p1);
+  ignore (Engine.run eng ~max_steps:200 ());
+  Alcotest.(check int) "no steps while frozen" 0 (Engine.steps_of eng p1);
+  Alcotest.(check bool) "others kept running" true (!count0 > 100);
+  Engine.thaw eng p1;
+  Alcotest.(check bool) "reported thawed" false (Engine.is_frozen eng p1);
+  ignore (Engine.run eng ~max_steps:200 ());
+  Alcotest.(check bool) "resumed after thaw" true (Engine.steps_of eng p1 > 0);
+  (* Freeze is slow-not-dead: the process never counts as crashed. *)
+  Alcotest.(check bool) "never crashed" true
+    (Engine.status_of eng p1 <> Engine.Crashed)
+
+let test_all_frozen_advances_clock () =
+  (* With every runnable process frozen the engine must advance the
+     clock (frozen means slow, not dead) rather than report quiescence,
+     so a scheduled thaw can still fire. *)
+  let eng = make ~seed:7 2 in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let spin () =
+    let rec go () =
+      Proc.yield ();
+      go ()
+    in
+    go ()
+  in
+  Engine.spawn eng p0 spin;
+  Engine.spawn eng p1 spin;
+  Engine.freeze eng p0;
+  Engine.freeze eng p1;
+  Engine.at eng ~step:50 (fun e ->
+      Engine.thaw e p0;
+      Engine.thaw e p1);
+  let reason = Engine.run eng ~max_steps:500 () in
+  Alcotest.(check bool) "ran past the freeze" true (reason = Engine.Step_limit);
+  Alcotest.(check bool) "p0 resumed" true (Engine.steps_of eng p0 > 0)
+
+let test_at_actions_fire_in_order () =
+  let eng = make ~seed:8 1 in
+  Engine.spawn eng (Id.of_int 0) (fun () ->
+      for _ = 1 to 100 do
+        Proc.yield ()
+      done);
+  let fired = ref [] in
+  Engine.at eng ~step:30 (fun _ -> fired := 30 :: !fired);
+  Engine.at eng ~step:10 (fun _ -> fired := 10 :: !fired);
+  Engine.at eng ~step:20 (fun _ -> fired := 20 :: !fired);
+  Alcotest.(check bool) "negative step rejected" true
+    (try Engine.at eng ~step:(-1) (fun _ -> ()); false
+     with Invalid_argument _ -> true);
+  ignore (Engine.run eng ~max_steps:200 ());
+  Alcotest.(check (list int)) "fired ascending" [ 10; 20; 30 ]
+    (List.rev !fired)
+
 let test_determinism () =
   let run_once seed =
     let eng = make ~seed 4 in
@@ -365,6 +448,11 @@ let () =
           Alcotest.test_case "domain forbids alloc" `Quick test_domain_forbids_alloc;
           Alcotest.test_case "crash" `Quick test_crash;
           Alcotest.test_case "crash before start" `Quick test_crash_before_start;
+          Alcotest.test_case "crash_at conflict" `Quick test_crash_at_conflict;
+          Alcotest.test_case "freeze/thaw" `Quick test_freeze_thaw;
+          Alcotest.test_case "all frozen advances clock" `Quick
+            test_all_frozen_advances_clock;
+          Alcotest.test_case "at actions" `Quick test_at_actions_fire_in_order;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "round robin" `Quick test_round_robin;
           Alcotest.test_case "timeliness" `Quick test_timeliness;

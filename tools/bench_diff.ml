@@ -169,9 +169,14 @@ let parse_json (s : string) : json =
 (* --- bench-specific shape --- *)
 
 (* (kernel, ns_per_run option) in file order; None = bechamel produced
-   no estimate (emitted as null).  Sweep kernels (check/<name>-sweep)
-   additionally carry a "budget" field — the fixed trial count the
-   kernel runs — which must be a positive integer when present. *)
+   no estimate (emitted as null).  Sweep kernels (check/<name>-sweep and
+   check/<name>-nemesis) must additionally carry a "budget" field — the
+   fixed trial count the kernel runs — as a positive integer; any other
+   kernel may carry one too, with the same shape. *)
+let requires_budget kernel =
+  String.starts_with ~prefix:"check/" kernel
+  && (String.ends_with ~suffix:"-sweep" kernel
+     || String.ends_with ~suffix:"-nemesis" kernel)
 let load_bench path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -182,13 +187,22 @@ let load_bench path =
     List.map
       (function
         | Obj fields -> (
+          let name =
+            match List.assoc_opt "kernel" fields with
+            | Some (Str k) -> Some k
+            | _ -> None
+          in
           (match List.assoc_opt "budget" fields with
-          | None -> ()
+          | None ->
+            (match name with
+            | Some k when requires_budget k ->
+              raise (Bad (Printf.sprintf "kernel %S must carry a budget" k))
+            | _ -> ())
           | Some (Num b) when b > 0.0 && Float.is_integer b -> ()
           | Some _ -> raise (Bad "budget must be a positive integer"));
-          match (List.assoc_opt "kernel" fields, List.assoc_opt "ns_per_run" fields) with
-          | Some (Str k), Some (Num ns) -> (k, Some ns)
-          | Some (Str k), Some Null -> (k, None)
+          match (name, List.assoc_opt "ns_per_run" fields) with
+          | Some k, Some (Num ns) -> (k, Some ns)
+          | Some k, Some Null -> (k, None)
           | _ -> raise (Bad "entry must have kernel:string, ns_per_run:number|null"))
         | _ -> raise (Bad "array entries must be objects"))
       items
