@@ -130,11 +130,11 @@ let abd_process ~n ~record ~mark_done me script () =
   serve_until (fun () -> false)
 
 let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0)
-    ?(crashes = []) ?prepare ?delay ~n ~scripts () =
+    ?(crashes = []) ?prepare ?delay ?arena ~n ~scripts () =
   if Array.length scripts <> n then invalid_arg "Abd.run: |scripts| <> n";
   let eng =
-    Engine.create ~seed ?delay ~trace_capacity ~domain:(Domain_.isolated n)
-      ~link:Network.Reliable ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?delay ~trace_capacity
+      ~domain:(Domain_.isolated n) ~link:Network.Reliable ~n ()
   in
   let crashed = Array.make n false in
   List.iter

@@ -60,6 +60,7 @@ val run :
   ?crashes:(int * int) list ->
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?delay:Mm_net.Network.delay ->
+  ?arena:Mm_sim.Arena.t ->
   n:int ->
   scripts:op list array ->
   unit ->

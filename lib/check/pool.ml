@@ -1,44 +1,76 @@
 (* A hand-rolled Stdlib.Domain work-queue pool (no domainslib): trials
-   are claimed off a shared atomic counter, and the lowest-index hit is
-   tracked as a frontier so the search result is deterministic no matter
-   how trials interleave across domains. *)
+   are claimed off a shared atomic counter in chunks, and the lowest
+   hit is tracked as a frontier so the search result is deterministic
+   no matter how trials interleave across domains. *)
 
 let default_jobs () = max 1 (Stdlib.Domain.recommended_domain_count () - 1)
+
+(* One atomic claim per [chunk] indices.  Small sweeps still want
+   fine-grained claims (chunking a 24-trial sweep into 64s would
+   serialize it), so the default scales with the work per worker and is
+   capped: ~8 claims per worker over the budget, at most 64 per claim. *)
+let default_chunk ~jobs ~budget = max 1 (min 64 (budget / (jobs * 8)))
 
 (* Lock-free minimum: CAS until [v] is no improvement. *)
 let rec update_min a v =
   let cur = Atomic.get a in
   if v < cur && not (Atomic.compare_and_set a cur v) then update_min a v
 
-let find_first ?(jobs = 1) ~budget f =
-  let jobs = max 1 (min jobs budget) in
+let find_first_init ?(jobs = 1) ?chunk ~init ~budget f =
+  if jobs < 1 then invalid_arg "Pool.find_first: jobs must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.find_first: chunk must be >= 1"
+  | _ -> ());
+  let jobs = min jobs budget in
   if budget <= 0 then None
-  else if jobs = 1 then begin
+  else if jobs <= 1 then begin
+    let ctx = init () in
     let rec go i =
-      if i >= budget then None else if f i then Some i else go (i + 1)
+      if i >= budget then None else if f ctx i then Some i else go (i + 1)
     in
     go 0
   end
   else begin
+    let chunk =
+      match chunk with
+      | Some c -> c
+      | None -> default_chunk ~jobs ~budget
+    in
     let next = Atomic.make 0 in
     let frontier = Atomic.make max_int in
     let failure = Atomic.make None in
     let worker () =
+      let ctx = init () in
       let running = ref true in
       while !running do
-        let i = Atomic.fetch_and_add next 1 in
+        let base = Atomic.fetch_and_add next chunk in
         (* Indices above the frontier cannot beat the current best hit;
-           stop claiming.  Every index below it is still claimed exactly
-           once, so the final frontier is the true minimum. *)
-        if i >= budget || i > Atomic.get frontier || Atomic.get failure <> None
+           stop claiming.  Every chunk that contains an index at or
+           below the final frontier starts at or below it (the frontier
+           only decreases), so each such index is still evaluated
+           exactly once and the final frontier is the true minimum. *)
+        if
+          base >= budget
+          || base > Atomic.get frontier
+          || Atomic.get failure <> None
         then running := false
-        else
-          match f i with
-          | true -> update_min frontier i
-          | false -> ()
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+        else begin
+          let stop = min budget (base + chunk) in
+          let i = ref base in
+          while !i < stop && Atomic.get failure = None do
+            (* Per-index skip inside the chunk, same frontier argument:
+               an index skipped here exceeds the frontier now, hence
+               exceeds the final frontier too. *)
+            (if !i <= Atomic.get frontier then
+               match f ctx !i with
+               | true -> update_min frontier !i
+               | false -> ()
+               | exception e ->
+                 let bt = Printexc.get_raw_backtrace () in
+                 ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+            incr i
+          done
+        end
       done
     in
     let helpers = Array.init (jobs - 1) (fun _ -> Stdlib.Domain.spawn worker) in
@@ -51,3 +83,6 @@ let find_first ?(jobs = 1) ~budget f =
     | i when i = max_int -> None
     | i -> Some i
   end
+
+let find_first ?jobs ?chunk ~budget f =
+  find_first_init ?jobs ?chunk ~init:(fun () -> ()) ~budget (fun () i -> f i)

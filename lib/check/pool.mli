@@ -2,13 +2,16 @@
 
     Built directly on [Stdlib.Domain] + [Atomic] (no external
     dependencies): worker domains claim trial indices from a shared
-    counter and race to lower a "frontier" — the lowest index whose
-    predicate held.  Workers stop claiming indices above the frontier,
-    so a sweep that hits early stops early, yet every index below the
-    final frontier is evaluated exactly once.  The result is therefore
-    a pure function of [f] and [budget], independent of [jobs] and of
-    scheduling: the determinism rule is {e lowest index wins}, not
-    first-to-complete. *)
+    counter — a {e chunk} of consecutive indices per atomic claim, so a
+    large sweep costs one fetch-and-add per chunk instead of one per
+    trial — and race to lower a "frontier", the lowest index whose
+    predicate held.  Workers stop claiming chunks above the frontier and
+    skip individual indices above it, yet every index at or below the
+    final frontier is evaluated exactly once (the frontier only
+    decreases, so a chunk containing such an index is never skipped).
+    The result is therefore a pure function of [f] and [budget],
+    independent of [jobs], [chunk] and scheduling: the determinism rule
+    is {e lowest index wins}, not first-to-complete. *)
 
 (** [Domain.recommended_domain_count () - 1] (leaving one core for the
     coordinating domain), at least 1. *)
@@ -19,7 +22,25 @@ val default_jobs : unit -> int
     multiple domains concurrently (in this codebase: any function of a
     trial seed that builds its own engine).  [jobs] (default 1) is the
     total number of domains used, including the calling one; it is
-    capped at [budget].  If some call to [f] raises, the first
-    exception observed is re-raised on the calling domain after all
-    workers have drained. *)
-val find_first : ?jobs:int -> budget:int -> (int -> bool) -> int option
+    capped at [budget].  [chunk] (default: adaptive, roughly
+    [budget / (jobs * 8)] capped at 64) is the number of consecutive
+    indices claimed per atomic operation.  If some call to [f] raises,
+    the first exception observed is re-raised on the calling domain
+    after all workers have drained.
+
+    @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
+val find_first : ?jobs:int -> ?chunk:int -> budget:int -> (int -> bool) -> int option
+
+(** [find_first_init ~init ~budget f] is {!find_first} for predicates
+    that want per-worker state: every worker domain (including the
+    calling one) runs [init ()] once and passes the result to each of
+    its [f] calls.  The sweep engine uses this to give each domain one
+    reusable simulator arena.  [init] must be safe to call concurrently;
+    the context never crosses domains. *)
+val find_first_init :
+  ?jobs:int ->
+  ?chunk:int ->
+  init:(unit -> 'ctx) ->
+  budget:int ->
+  ('ctx -> int -> bool) ->
+  int option

@@ -1,5 +1,6 @@
 module Rng = Mm_rng.Rng
 module Trace = Mm_sim.Trace
+module Arena = Mm_sim.Arena
 module Hbo = Mm_consensus.Hbo
 module Omega = Mm_election.Omega
 
@@ -17,6 +18,8 @@ type report = {
   algo : string;
   budget : int;
   trials_run : int;
+  distinct_trials : int;
+  deduped : int;
   violation : counterexample option;
 }
 
@@ -47,39 +50,117 @@ let pp_counterexample fmt cx =
 let pp_report fmt r =
   match r.violation with
   | None ->
-    Format.fprintf fmt "%s: %d/%d trial(s) passed, no violation found@."
-      r.algo r.trials_run r.budget
+    Format.fprintf fmt
+      "%s: %d/%d trial(s) passed, no violation found (%d distinct, %d \
+       deduped)@."
+      r.algo r.trials_run r.budget r.distinct_trials r.deduped
   | Some cx ->
-    Format.fprintf fmt "%s: violation found after %d trial(s)@.%a" r.algo
-      r.trials_run pp_counterexample cx
+    Format.fprintf fmt
+      "%s: violation found after %d trial(s) (%d distinct, %d deduped)@.%a"
+      r.algo r.trials_run r.distinct_trials r.deduped pp_counterexample cx
 
 (* ------------------------------------------------------------------ *)
 (* The generic sweep engine                                           *)
 
-let trial_seed_of rng = Int64.to_int (Rng.bits64 rng) land 0x3FFF_FFFF
+(* 62-bit non-negative trial seeds: the full width [Rng.create] accepts
+   (minus the sign and one bit of slack for the CLI's plain-int
+   parsing), so trial generation gets the master stream's entropy
+   instead of a 30-bit slice of it. *)
+let trial_seed_of rng = Int64.to_int (Int64.shift_right_logical (Rng.bits64 rng) 2)
+
+(* The effective worker-domain ceiling for parallel sweeps.  Read per
+   sweep so tests (and operators) can adjust it between runs. *)
+let max_workers () =
+  match Sys.getenv_opt "MM_CHECK_MAX_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some k when k >= 1 -> k
+    | Some _ | None -> Stdlib.Domain.recommended_domain_count ())
+  | None -> Stdlib.Domain.recommended_domain_count ()
+
+(* Distinct-trial accounting over the generation fingerprints of trials
+   [0, trials_run).  Computed from the recorded fingerprint array after
+   the sweep, never from the racy execution-skipping decisions, so the
+   reported numbers are identical for every [jobs]/[chunk] setting. *)
+let count_distinct fps trials_run =
+  let seen = Hashtbl.create (2 * trials_run) in
+  let d = ref 0 in
+  for i = 0 to trials_run - 1 do
+    if not (Hashtbl.mem seen fps.(i)) then begin
+      Hashtbl.add seen fps.(i) ();
+      incr d
+    end
+  done;
+  !d
+
+(* A fixed-capacity lock-free set of fingerprints shared by the sweep
+   workers: open addressing, one CAS per insert, [min_int] = empty slot
+   (fingerprints are non-negative).  Capacity is at least twice the
+   budget, so the load factor never exceeds 1/2 and probes terminate.
+   Membership is advisory — a racing duplicate may slip past and
+   execute its (identical, clean) trial twice, which wastes work but
+   cannot change any reported number. *)
+module Fp_set = struct
+  type t = { slots : int Atomic.t array; mask : int }
+
+  let create budget =
+    let cap = ref 16 in
+    while !cap < 2 * budget do
+      cap := !cap * 2
+    done;
+    { slots = Array.init !cap (fun _ -> Atomic.make min_int); mask = !cap - 1 }
+
+  let rec mem_at t fp i =
+    match Atomic.get t.slots.(i land t.mask) with
+    | v when v = fp -> true
+    | v when v = min_int -> false
+    | _ -> mem_at t fp (i + 1)
+
+  let mem t fp = mem_at t fp (fp land t.mask)
+
+  let rec add_at t fp i =
+    let slot = t.slots.(i land t.mask) in
+    match Atomic.get slot with
+    | v when v = fp -> ()
+    | v when v = min_int ->
+      if not (Atomic.compare_and_set slot min_int fp) then add_at t fp i
+    | _ -> add_at t fp (i + 1)
+
+  let add t fp = add_at t fp (fp land t.mask)
+end
 
 (* Driving one scenario: a trial is gen + execute + monitors, and a
    violating trial additionally delta-debugs itself through the
    scenario's [shrink], re-running candidate trials and keeping a
    reduction only if the same property still fails. *)
 module Drive (Sc : Scenario.S) = struct
-  let run_one cfg ~trial_seed =
+  (* Generate the trial and digest the full draw stream.  Equal
+     fingerprints mean byte-identical draw streams, hence identical
+     trials, hence identical outcomes — the soundness premise of the
+     dedup memo. *)
+  let gen_fp cfg ~trial_seed =
+    let rng = Rng.create trial_seed in
+    Rng.fingerprint_start rng;
+    let t = Sc.gen cfg rng in
+    (t, Rng.fingerprint rng)
+
+  let check ?arena cfg t =
+    let o = Sc.execute ?arena cfg t in
+    Monitor.first_failure (Sc.monitors cfg t) o
+
+  let run_one ?arena cfg ~trial_seed =
     let rng = Rng.create trial_seed in
     let t = Sc.gen cfg rng in
-    let o = Sc.execute cfg t in
+    let o = Sc.execute ?arena cfg t in
     (t, o, Monitor.first_failure (Sc.monitors cfg t) o)
 
-  let detect cfg ~trial_seed =
-    let _, _, failure = run_one cfg ~trial_seed in
-    failure <> None
-
-  let run_trial cfg ~trial ~trial_seed =
-    let t, o, failure = run_one cfg ~trial_seed in
+  let run_trial ?arena cfg ~trial ~trial_seed =
+    let t, o, failure = run_one ?arena cfg ~trial_seed in
     match failure with
     | None -> None
     | Some (property, detail) ->
       let still_fails cand =
-        let o' = Sc.execute cfg cand in
+        let o' = Sc.execute ?arena cfg cand in
         match Monitor.first_failure (Sc.monitors cfg cand) o' with
         | Some (p, _) -> String.equal p property
         | None -> false
@@ -97,60 +178,119 @@ module Drive (Sc : Scenario.S) = struct
 end
 
 (* Sweeps come in two phases so that fan-out stays deterministic:
-   [detect] is the cheap violation predicate run (possibly in parallel)
-   on every trial seed, and [run_trial] re-runs one trial in full —
-   including delta-debug shrinking — to package the counterexample.
-   With [jobs > 1] the trials fan out across a domain pool; the
-   reported violation is the one with the lowest trial index among all
-   hits (not the first to complete), and shrinking runs single-threaded
-   on that trial's seed, so reports are bit-for-bit identical to a
-   [jobs = 1] sweep. *)
-let sweep_seeds ~algo ~budget ~master_seed ~jobs ~detect ~run_trial =
+   detection is the cheap violation predicate run (possibly in
+   parallel) on every trial seed, and [run_trial] re-runs one trial in
+   full — including delta-debug shrinking — to package the
+   counterexample.  With [jobs > 1] the trials fan out across a domain
+   pool; the reported violation is the one with the lowest trial index
+   among all hits (not the first to complete), and shrinking runs
+   single-threaded on that trial's seed, so reports are bit-for-bit
+   identical to a [jobs = 1] sweep.
+
+   Each worker domain owns one reusable {!Mm_sim.Arena} (unless
+   [reuse_arenas] is off), so a sweep allocates one simulator per
+   domain instead of one per trial.  Clean trials whose generation
+   fingerprint was already seen clean are counted but not re-executed;
+   violating fingerprints are never memoized, so a duplicate of a
+   violating trial always re-executes and the lowest-index hit is
+   unchanged. *)
+let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
+    ?(reuse_arenas = true) ~params () =
+  if jobs < 1 then invalid_arg "Runner.sweep: jobs must be >= 1";
+  (* [jobs] is a maximum degree of parallelism, not a worker count to
+     honor literally: domains beyond the core count only add
+     stop-the-world synchronization (each minor collection barriers
+     every domain), so oversubscribing a small machine makes sweeps
+     slower, not faster.  Capping is observably safe — reports are
+     jobs-invariant by construction (see the determinism tests).
+     MM_CHECK_MAX_DOMAINS overrides the machine-derived cap; the
+     determinism tests use it to drive the parallel path even on a
+     single-core host. *)
+  let jobs = min jobs (max_workers ()) in
+  let module D = Drive (Sc) in
+  let budget = Option.value budget ~default:Sc.default_budget in
+  let cfg = Sc.cfg_of_params params in
+  let algo = Sc.name in
+  let new_arena () = if reuse_arenas then Some (Arena.create ()) else None in
   let rng = Rng.create master_seed in
-  if jobs <= 1 then
+  let fps = Array.make (max budget 1) 0 in
+  let finish ~trials_run ~violation =
+    let distinct_trials = count_distinct fps trials_run in
+    {
+      algo;
+      budget;
+      trials_run;
+      distinct_trials;
+      deduped = trials_run - distinct_trials;
+      violation;
+    }
+  in
+  if budget <= 0 then finish ~trials_run:0 ~violation:None
+  else if jobs = 1 then begin
+    let arena = new_arena () in
+    let memo = Hashtbl.create (2 * budget) in
     let rec go i =
-      if i >= budget then
-        { algo; budget; trials_run = budget; violation = None }
-      else
+      if i >= budget then finish ~trials_run:budget ~violation:None
+      else begin
         let trial_seed = trial_seed_of rng in
-        match run_trial ~trial:i ~trial_seed with
-        | None -> go (i + 1)
-        | Some cx ->
-          { algo; budget; trials_run = i + 1; violation = Some cx }
+        let t, fp = D.gen_fp cfg ~trial_seed in
+        fps.(i) <- fp;
+        if Hashtbl.mem memo fp then go (i + 1)
+        else
+          match D.check ?arena cfg t with
+          | None ->
+            Hashtbl.add memo fp ();
+            go (i + 1)
+          | Some _ -> (
+            match D.run_trial ?arena cfg ~trial:i ~trial_seed with
+            | Some cx -> finish ~trials_run:(i + 1) ~violation:(Some cx)
+            | None ->
+              (* A trial is a pure function of its seed, so the detect
+                 hit must reproduce. *)
+              assert false)
+      end
     in
     go 0
+  end
   else begin
     (* Same master stream, pre-drawn: seed i here = seed of trial i in
        the sequential loop above. *)
     let seeds = Array.init budget (fun _ -> trial_seed_of rng) in
-    match
-      Pool.find_first ~jobs ~budget (fun i -> detect ~trial_seed:seeds.(i))
-    with
-    | None -> { algo; budget; trials_run = budget; violation = None }
+    let clean = Fp_set.create budget in
+    let detect arena i =
+      let t, fp = D.gen_fp cfg ~trial_seed:seeds.(i) in
+      (* One writer per index (the pool claims each index exactly once);
+         the joins below order these writes before the distinct count. *)
+      fps.(i) <- fp;
+      if Fp_set.mem clean fp then false
+      else
+        match D.check ?arena cfg t with
+        | None ->
+          Fp_set.add clean fp;
+          false
+        | Some _ -> true
+    in
+    match Pool.find_first_init ~jobs ~init:new_arena ~budget detect with
+    | None -> finish ~trials_run:budget ~violation:None
     | Some i -> (
-      match run_trial ~trial:i ~trial_seed:seeds.(i) with
-      | Some cx -> { algo; budget; trials_run = i + 1; violation = Some cx }
-      | None ->
-        (* A trial is a pure function of its seed, so the detect hit
-           must reproduce. *)
-        assert false)
+      let arena = new_arena () in
+      match D.run_trial ?arena cfg ~trial:i ~trial_seed:seeds.(i) with
+      | Some cx -> finish ~trials_run:(i + 1) ~violation:(Some cx)
+      | None -> assert false)
   end
-
-let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
-    ~params () =
-  let module D = Drive (Sc) in
-  let budget = Option.value budget ~default:Sc.default_budget in
-  let cfg = Sc.cfg_of_params params in
-  sweep_seeds ~algo:Sc.name ~budget ~master_seed ~jobs ~detect:(D.detect cfg)
-    ~run_trial:(D.run_trial cfg)
 
 let replay (module Sc : Scenario.S) ~params ~trial_seed () =
   let module D = Drive (Sc) in
   let cfg = Sc.cfg_of_params params in
-  match D.run_trial cfg ~trial:0 ~trial_seed with
-  | None -> { algo = Sc.name; budget = 1; trials_run = 1; violation = None }
-  | Some cx ->
-    { algo = Sc.name; budget = 1; trials_run = 1; violation = Some cx }
+  let violation = D.run_trial cfg ~trial:0 ~trial_seed in
+  {
+    algo = Sc.name;
+    budget = 1;
+    trials_run = 1;
+    distinct_trials = 1;
+    deduped = 0;
+    violation;
+  }
 
 let preamble (module Sc : Scenario.S) ~params =
   Sc.preamble (Sc.cfg_of_params params)

@@ -37,7 +37,15 @@ type counterexample = {
 type report = {
   algo : string;
   budget : int;        (** trials requested *)
-  trials_run : int;    (** trials executed (stops at first violation) *)
+  trials_run : int;    (** trials covered (stops at first violation) *)
+  distinct_trials : int;
+      (** distinct generated trials among the [trials_run], by
+          generation-stream fingerprint (see {!Mm_rng.Rng.fingerprint}) *)
+  deduped : int;
+      (** [trials_run - distinct_trials]: clean duplicates counted but
+          not re-executed.  Both numbers are computed from the recorded
+          per-trial fingerprints, so they are identical for every
+          [jobs] setting. *)
   violation : counterexample option;
 }
 
@@ -47,12 +55,32 @@ val pp_report : Format.formatter -> report -> unit
 
 (** [sweep (module Sc) ~params ()] runs a [budget]-trial sweep of
     scenario [Sc] (default budget: [Sc.default_budget]) configured from
-    [params] via [Sc.cfg_of_params]. *)
+    [params] via [Sc.cfg_of_params].
+
+    Two throughput mechanisms, both report-invisible by construction:
+    each sweeping domain reuses one simulator arena across its trials
+    (disable with [reuse_arenas:false] — reset is observably identical
+    to fresh creation, see {!Mm_sim.Arena}), and clean trials whose
+    generation fingerprint was already seen clean are counted in
+    [trials_run] but not re-executed ([distinct_trials] / [deduped]
+    report the split).  Violating fingerprints are never memoized, so a
+    duplicate of a violating trial always re-executes.
+
+    [jobs] is a {e maximum} degree of parallelism: the sweep caps the
+    worker-domain count at [Domain.recommended_domain_count ()], because
+    domains beyond the core count only add stop-the-world GC
+    synchronization.  The cap is observably safe (reports are
+    jobs-invariant) and can be overridden through the
+    [MM_CHECK_MAX_DOMAINS] environment variable, which the determinism
+    tests use to exercise the parallel path on single-core hosts.
+
+    @raise Invalid_argument if [jobs < 1]. *)
 val sweep :
   Scenario.t ->
   ?master_seed:int ->          (* default 1 *)
   ?budget:int ->               (* default: the scenario's *)
   ?jobs:int ->                 (* default 1; domains to sweep with *)
+  ?reuse_arenas:bool ->        (* default true *)
   params:Scenario.params ->
   unit ->
   report

@@ -65,7 +65,7 @@ module type S = sig
   val cfg_of_params : params -> cfg
   val preamble : cfg -> string option
   val gen : cfg -> Mm_rng.Rng.t -> trial
-  val execute : cfg -> trial -> outcome
+  val execute : ?arena:Mm_sim.Arena.t -> cfg -> trial -> outcome
 
   val monitors :
     cfg -> trial -> (string * (outcome -> Monitor.verdict)) list

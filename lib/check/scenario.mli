@@ -96,8 +96,11 @@ module type S = sig
       trial seeds stop reproducing. *)
   val gen : cfg -> Mm_rng.Rng.t -> trial
 
-  (** Run the trial.  Must be deterministic in [(cfg, trial)]. *)
-  val execute : cfg -> trial -> outcome
+  (** Run the trial.  Must be deterministic in [(cfg, trial)].  When
+      [arena] is given, the engine is re-seeded in place instead of
+      freshly allocated — observably identical (see {!Mm_sim.Arena}),
+      just cheaper; sweep workers thread one arena per domain. *)
+  val execute : ?arena:Mm_sim.Arena.t -> cfg -> trial -> outcome
 
   (** The named property monitors asserted on this trial.  The list may
       depend on the draw — liveness monitors are typically included

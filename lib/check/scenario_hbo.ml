@@ -119,7 +119,7 @@ let gen (cfg : cfg) rng =
    monitored there, so cap the wasted wall-clock per PCT trial. *)
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 10_000
 
-let execute (cfg : cfg) t =
+let execute ?arena (cfg : cfg) t =
   let n = Graph.order cfg.graph in
   let max_steps = steps cfg ~k:t.k in
   let sched =
@@ -132,7 +132,7 @@ let execute (cfg : cfg) t =
   in
   Hbo.run ~seed:t.engine_seed ~impl:cfg.impl ~max_steps
     ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?partition ?prepare
-    ~sched ~graph:cfg.graph ~inputs:t.inputs ()
+    ?arena ~sched ~graph:cfg.graph ~inputs:t.inputs ()
 
 let monitors (cfg : cfg) t =
   match cfg.stall with

@@ -83,13 +83,13 @@ let gen (cfg : cfg) rng =
   in
   { crashes; variant; engine_seed; nemesis }
 
-let execute (cfg : cfg) t =
+let execute ?arena (cfg : cfg) t =
   let prepare =
     if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
   in
   Omega.run ~seed:t.engine_seed ~trace_capacity:cfg.trace_tail
     ~crashes:t.crashes ~warmup:cfg.warmup ~window:cfg.window ?prepare
-    ~variant:t.variant ~n:cfg.n ()
+    ?arena ~variant:t.variant ~n:cfg.n ()
 
 (* A crashed process can leave a notification unacknowledged forever,
    which the mechanisms may legitimately keep retransmitting — assert

@@ -65,7 +65,7 @@ let gen (cfg : cfg) rng =
 
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
 
-let execute (cfg : cfg) t =
+let execute ?arena (cfg : cfg) t =
   let max_steps = steps cfg ~k:t.k in
   let sched =
     if t.k = 0 then Explore.random_walk ()
@@ -75,7 +75,7 @@ let execute (cfg : cfg) t =
     if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
   in
   Log.run ~seed:t.engine_seed ~max_steps ~trace_capacity:cfg.trace_tail
-    ~crashes:t.crashes ?prepare ~sched ~n:cfg.n ~commands_per_proc:t.commands
+    ~crashes:t.crashes ?prepare ?arena ~sched ~n:cfg.n ~commands_per_proc:t.commands
     ()
 
 (* Safety (slot consistency + prefix agreement) holds on every trial;

@@ -218,7 +218,7 @@ let hbo_process ~n ~nbhd ~objects ~on_decide ~input () =
   loop 1 (propose_r 1 input)
 
 let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
-    ?(trace_capacity = 0) ?(crashes = []) ?partition ?prepare ?sched
+    ?(trace_capacity = 0) ?(crashes = []) ?partition ?prepare ?sched ?arena
     ?(link = Network.Reliable) ?delay ~graph ~inputs () =
   let n = Graph.order graph in
   if Array.length inputs <> n then invalid_arg "Hbo.run: |inputs| <> n";
@@ -227,7 +227,8 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
     inputs;
   let domain = Domain_.uniform_of_graph graph in
   let eng =
-    Engine.create ~seed ?sched ?delay ~trace_capacity ~domain ~link ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?sched ?delay ~trace_capacity ~domain ~link
+      ~n ()
   in
   (match partition with
   | None -> ()

@@ -77,6 +77,7 @@ val run :
   ?partition:int list * int list ->
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
+  ?arena:Mm_sim.Arena.t ->
   ?link:Mm_net.Network.kind ->
   ?delay:Mm_net.Network.delay ->
   graph:Mm_graph.Graph.t ->

@@ -34,11 +34,12 @@ type outcome = {
 }
 
 let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
-    ?(trace_capacity = 0) ?(crashes = []) ?prepare ?sched ~n ~inputs () =
+    ?(trace_capacity = 0) ?(crashes = []) ?prepare ?sched ?arena ~n ~inputs ()
+    =
   if Array.length inputs <> n then invalid_arg "Paxos.run: |inputs| <> n";
   let eng =
-    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
-      ~link:Network.Reliable ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+      ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let everyone_but p = List.filter (fun q -> not (Id.equal q p)) (Id.all n) in

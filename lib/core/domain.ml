@@ -18,19 +18,42 @@ let of_sets n sets =
   in
   { n; member_sets = List.map build sets; host = None }
 
-let uniform_of_graph g =
-  let n = Mm_graph.Graph.order g in
-  let host =
-    Array.init n (fun p ->
-        List.map Id.of_int (Mm_graph.Graph.closed_neighborhood g p))
-  in
-  let member_sets =
-    Array.to_list (Array.map (fun ids -> Id.Set.of_list ids) host)
-  in
-  { n; member_sets; host = Some host }
+(* Check sweeps rebuild the same O(n^2) domain for every trial (the
+   graph or process count is fixed sweep-wide), so the constructors
+   below keep a one-slot cache each.  A domain is immutable once built,
+   which makes sharing one value across concurrent sweep workers safe;
+   the slots are Atomics only so racing stores stay well-defined (last
+   writer wins — it is a cache, not a registry). *)
+let uniform_cache : (Mm_graph.Graph.t * t) option Atomic.t = Atomic.make None
 
-let full n = uniform_of_graph (Mm_graph.Builders.complete n)
-let isolated n = uniform_of_graph (Mm_graph.Builders.edgeless n)
+let uniform_of_graph g =
+  match Atomic.get uniform_cache with
+  | Some (g', t) when g' == g -> t
+  | _ ->
+    let n = Mm_graph.Graph.order g in
+    let host =
+      Array.init n (fun p ->
+          List.map Id.of_int (Mm_graph.Graph.closed_neighborhood g p))
+    in
+    let member_sets =
+      Array.to_list (Array.map (fun ids -> Id.Set.of_list ids) host)
+    in
+    let t = { n; member_sets; host = Some host } in
+    Atomic.set uniform_cache (Some (g, t));
+    t
+
+let cached_by_order cache build n =
+  match Atomic.get cache with
+  | Some (n', t) when n' = n -> t
+  | _ ->
+    let t = uniform_of_graph (build n) in
+    Atomic.set cache (Some (n, t));
+    t
+
+let full_cache : (int * t) option Atomic.t = Atomic.make None
+let full n = cached_by_order full_cache Mm_graph.Builders.complete n
+let isolated_cache : (int * t) option Atomic.t = Atomic.make None
+let isolated n = cached_by_order isolated_cache Mm_graph.Builders.edgeless n
 let order t = t.n
 let sets t = List.map Id.Set.elements t.member_sets
 

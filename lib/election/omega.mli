@@ -69,6 +69,7 @@ val run :
   ?delay:Mm_net.Network.delay ->
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched_base:Mm_sim.Sched.base ->
+  ?arena:Mm_sim.Arena.t ->
   variant:variant ->
   n:int ->
   unit ->

@@ -43,7 +43,7 @@ type tallies = {
 }
 
 type store = {
-  dom : Domain_.t;
+  mutable dom : Domain_.t;
   per_proc : tallies array;
   mutable regs : int;
   failed_hosts : bool array;
@@ -78,6 +78,21 @@ let create dom =
     failed_hosts = Array.make (max n 1) false;
     dropped = 0;
   }
+
+let reset s dom =
+  if Domain_.order dom <> Domain_.order s.dom then
+    invalid_arg "Mem.reset: domain order does not match the store";
+  s.dom <- dom;
+  Array.iter
+    (fun t ->
+      t.t_reads_local <- 0;
+      t.t_reads_remote <- 0;
+      t.t_writes_local <- 0;
+      t.t_writes_remote <- 0)
+    s.per_proc;
+  s.regs <- 0;
+  Array.fill s.failed_hosts 0 (Array.length s.failed_hosts) false;
+  s.dropped <- 0
 
 let fail_host_memory s p = s.failed_hosts.(Id.to_int p) <- true
 let host_memory_failed s p = s.failed_hosts.(Id.to_int p)

@@ -37,6 +37,14 @@ val pp_counters : Format.formatter -> counters -> unit
 (** [create domain] makes an empty store governed by [domain]. *)
 val create : Mm_core.Domain.t -> store
 
+(** [reset store domain] returns the store to the state [create domain]
+    would produce, reusing the existing arrays: counters, register
+    count, failed hosts and dropped-write tallies are zeroed.  Registers
+    allocated before the reset must no longer be used.  [domain] must
+    have the same order as the store's current domain ([Invalid_argument]
+    otherwise) — arena reuse never changes the system size. *)
+val reset : store -> Mm_core.Domain.t -> unit
+
 (** Memory failures (paper §6 future work, citing Afek et al. and
     Jayanti-Chandra-Toueg faulty shared objects): [fail_host_memory
     store p] makes every register hosted at [p] *omission-faulty* from

@@ -71,10 +71,10 @@ let finish_outcome ?wait_reads_local eng mon wait_reads spin_reads reason =
 (* --- Lamport bakery --- *)
 
 let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?prepare ?sched ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ?arena ~n ~entries () =
   let eng =
-    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
-      ~link:Network.Reliable ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+      ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let everyone_but p = List.filter (fun q -> not (Id.equal q p)) (Id.all n) in
@@ -140,10 +140,10 @@ let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
 (* --- m&m ticket lock with message wake-ups --- *)
 
 let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?prepare ?sched ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ?arena ~n ~entries () =
   let eng =
-    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
-      ~link:Network.Reliable ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+      ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let owner0 = Id.of_int 0 in
@@ -228,10 +228,10 @@ let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
 (* --- local-spin ticket lock: the prior-art design point --- *)
 
 let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?prepare ?sched ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ?arena ~n ~entries () =
   let eng =
-    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
-      ~link:Network.Reliable ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+      ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let owner0 = Id.of_int 0 in

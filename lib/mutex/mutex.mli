@@ -46,6 +46,7 @@ val run_bakery :
   ?trace_capacity:int ->
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
+  ?arena:Mm_sim.Arena.t ->
   n:int ->
   entries:int ->
   unit ->
@@ -58,6 +59,7 @@ val run_mm :
   ?trace_capacity:int ->
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
+  ?arena:Mm_sim.Arena.t ->
   n:int ->
   entries:int ->
   unit ->
@@ -81,6 +83,7 @@ val run_local_spin :
   ?trace_capacity:int ->
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
+  ?arena:Mm_sim.Arena.t ->
   n:int ->
   entries:int ->
   unit ->

@@ -36,9 +36,9 @@ type event =
    keeps the heap lazily deduplicated without a decrease-key operation. *)
 type t = {
   n : int;
-  net_kind : kind;
-  net_delay : delay;
-  rng : Rng.t;
+  mutable net_kind : kind;
+  mutable net_delay : delay;
+  mutable rng : Rng.t;
   (* One queue per directed link, indexed src * n + dst, kept ascending in
      (due, uid) at insert time so delivery pops a sorted prefix. *)
   queues : in_flight list ref array;
@@ -70,13 +70,15 @@ let validate_delay = function
   | Uniform (lo, hi) ->
     if lo < 1 || hi < lo then invalid_arg "Network: bad uniform delay bounds"
 
-let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
-  if n < 1 then invalid_arg "Network.create: need n >= 1";
-  (match kind with
+let validate_kind = function
   | Reliable -> ()
   | Fair_lossy p ->
     if p < 0.0 || p >= 1.0 then
-      invalid_arg "Network.create: drop probability must be in [0, 1)");
+      invalid_arg "Network.create: drop probability must be in [0, 1)"
+
+let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
+  if n < 1 then invalid_arg "Network.create: need n >= 1";
+  validate_kind kind;
   validate_delay delay;
   {
     n;
@@ -99,6 +101,32 @@ let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
     in_flight_count = 0;
     next_uid = 0;
   }
+
+(* Return the network to the state [create ~rng ~n ~kind ?delay ()] would
+   produce, reusing every array: queues, wake-ups, mailboxes and
+   adversary state are emptied, stats and uids rewound.  The heap array
+   keeps its grown capacity (its live length is zeroed), which is the
+   point of arena reuse. *)
+let reset t ~rng ~kind ?(delay = Uniform (1, 4)) () =
+  validate_kind kind;
+  validate_delay delay;
+  t.net_kind <- kind;
+  t.net_delay <- delay;
+  t.rng <- rng;
+  Array.iter (fun q -> q := []) t.queues;
+  Array.fill t.wake_due 0 (Array.length t.wake_due) no_wake;
+  t.heap_len <- 0;
+  Array.iter Queue.clear t.mailboxes;
+  Array.fill t.held 0 (Array.length t.held) false;
+  Array.fill t.extra_drop 0 (Array.length t.extra_drop) 0.0;
+  Array.fill t.extra_delay 0 (Array.length t.extra_delay) 0;
+  t.block_fn <- None;
+  t.observer <- None;
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.in_flight_count <- 0;
+  t.next_uid <- 0
 
 let order t = t.n
 let kind t = t.net_kind

@@ -38,6 +38,15 @@ type t
     [delay] defaults to [Uniform (1, 4)]. *)
 val create : rng:Mm_rng.Rng.t -> n:int -> kind:kind -> ?delay:delay -> unit -> t
 
+(** [reset t ~rng ~kind ()] returns the network to the state
+    [create ~rng ~n ~kind ?delay ()] would produce, reusing every
+    internal array (queues, wake-ups, mailboxes, adversary state are
+    emptied; stats, uids, the observer and any block function are
+    cleared).  The link kind and delay policy may differ from the ones
+    the network was created with — sweeps vary them per trial.  Same
+    validation as [create]. *)
+val reset : t -> rng:Mm_rng.Rng.t -> kind:kind -> ?delay:delay -> unit -> unit
+
 val order : t -> int
 val kind : t -> kind
 

@@ -45,3 +45,24 @@ val shuffle : t -> 'a list -> 'a list
 
 (** [shuffle_in_place t a] permutes the array uniformly at random. *)
 val shuffle_in_place : t -> 'a array -> unit
+
+(** {1 Draw-stream fingerprinting}
+
+    A generator can digest every value it emits into a running FNV-1a
+    fingerprint.  The digest covers the {e consumed} values — the
+    bounded results of [int]/[bool]/[float]/[bits64] — not the raw mixer
+    outputs, so two seeds whose draws land on the same decisions
+    fingerprint alike.  Because a scenario's trial generation draws from
+    its generator in a fixed order (the replay contract), the
+    fingerprint of the generation stream identifies the generated trial:
+    equal fingerprints mean byte-identical trials.  The sweep runner
+    uses this to skip re-executing duplicate clean trials. *)
+
+(** [fingerprint_start t] resets the digest and starts folding every
+    subsequent draw (including [split]s) into it.  Fingerprinting is off
+    by default and costs one branch per draw when off. *)
+val fingerprint_start : t -> unit
+
+(** [fingerprint t] is the current digest, a non-negative 63-bit int.
+    Raises [Invalid_argument] if [fingerprint_start] was never called. *)
+val fingerprint : t -> int

@@ -1,0 +1,19 @@
+type t = { mutable engine : Engine.t option }
+
+let create () = { engine = None }
+
+let engine ?arena ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n () =
+  match arena with
+  | None -> Engine.create ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n ()
+  | Some a -> (
+    match a.engine with
+    | Some e when Engine.n e = n ->
+      Engine.reset e ?seed ?delay ?sched ?trace_capacity ~domain ~link ();
+      e
+    | _ ->
+      (* First use, or the system size changed: build fresh and cache. *)
+      let e =
+        Engine.create ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n ()
+      in
+      a.engine <- Some e;
+      e)

@@ -26,22 +26,32 @@ type outcome =
   | Finished_fiber
   | Suspended
 
+(* What a runnable process will do when next scheduled.  [Pend] packs the
+   performed effect with its continuation; the engine interprets the
+   effect at step time ([exec_eff]).  Compared to stashing a ready-made
+   thunk this saves several closure allocations per step — the hot path
+   of every sweep. *)
+type pending =
+  | No_pending
+  | Start of (unit -> outcome)  (* fiber not yet started *)
+  | Pend : 'a Effect.t * ('a, outcome) Effect.Deep.continuation -> pending
+
 type proc = {
   pid : Id.t;
-  mutable pending : (unit -> outcome) option;
+  mutable pending : pending;
   mutable p_status : status;
   mutable steps : int;
-  rng : Rng.t;  (* the process's private coin stream *)
+  mutable rng : Rng.t;  (* the process's private coin stream *)
 }
 
 type t = {
   n_procs : int;
   net : Network.t;
   mem : Mem.store;
-  dom : Mm_core.Domain.t;
-  sched : Sched.t;
-  sched_rng : Rng.t;
-  seed_rng : Rng.t;  (* parent stream for derive_rng *)
+  mutable dom : Mm_core.Domain.t;
+  mutable sched : Sched.t;
+  mutable sched_rng : Rng.t;
+  mutable seed_rng : Rng.t;  (* parent stream for derive_rng *)
   procs : proc array;
   crash_step : int option array;
   (* Frozen processes are slow, not dead: they take no steps while the
@@ -51,36 +61,87 @@ type t = {
   (* Staged actions, ascending in step, fired by the run loop once the
      clock reaches them.  The adversary's timeline hook (Nemesis). *)
   mutable actions : (int * (t -> unit)) list;
-  tr : Trace.t option;
+  mutable tr : Trace.t option;
   view : Sched.view;  (* reused every step; see Sched.view *)
   mutable step : int;
   mutable coins : int;
   mutable sched_log : int list option;  (* reversed; None = not recording *)
 }
 
+let has_pending p =
+  match p.pending with
+  | No_pending -> false
+  | Start _ | Pend _ -> true
+
 let record t pid op =
   match t.tr with
   | None -> ()
   | Some tr -> Trace.record tr { Trace.step = t.step; pid; op }
+
+let install_observer t =
+  (* Link events enter the trace as they happen, so counterexample traces
+     show drops and deliveries interleaved with process steps. *)
+  if t.tr <> None then
+    Network.set_observer t.net (function
+      | Network.Drop { src; dst = _ } -> record t src Trace.Dropped
+      | Network.Deliver { src; dst } -> record t dst (Trace.Delivered src))
+
+(* The one seeding path, shared by [create] and [reset] so the two can
+   never drift: the order of [root] splits — network, scheduler, the
+   per-process parent (drained in pid order), then the derive stream —
+   is part of the replay contract. *)
+let reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity =
+  if Mm_core.Domain.order domain <> t.n_procs then
+    invalid_arg "Engine.reset: domain order does not match n";
+  let root = Rng.create seed in
+  let net_rng = Rng.split root in
+  let sched_rng = Rng.split root in
+  let proc_parent = Rng.split root in
+  Network.reset t.net ~rng:net_rng ~kind:link ?delay ();
+  Mem.reset t.mem domain;
+  t.dom <- domain;
+  t.sched <- (match sched with Some s -> s | None -> Sched.create Sched.Random);
+  t.sched_rng <- sched_rng;
+  Array.iter
+    (fun p ->
+      p.pending <- No_pending;
+      p.p_status <- Unspawned;
+      p.steps <- 0;
+      p.rng <- Rng.split proc_parent)
+    t.procs;
+  t.seed_rng <- Rng.split root;
+  Array.fill t.crash_step 0 t.n_procs None;
+  Array.fill t.frozen 0 t.n_procs false;
+  t.actions <- [];
+  (match t.tr with
+  | Some tr when trace_capacity > 0 && Trace.capacity tr = trace_capacity ->
+    Trace.clear tr
+  | _ ->
+    t.tr <-
+      (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None));
+  t.view.Sched.now <- 0;
+  t.view.Sched.count <- 0;
+  t.step <- 0;
+  t.coins <- 0;
+  t.sched_log <- None;
+  install_observer t
 
 let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
     ~domain ~link ~n () =
   if n < 1 then invalid_arg "Engine.create: need n >= 1";
   if Mm_core.Domain.order domain <> n then
     invalid_arg "Engine.create: domain order does not match n";
-  let root = Rng.create seed in
-  let net_rng = Rng.split root in
-  let sched_rng = Rng.split root in
-  let proc_parent = Rng.split root in
-  let net = Network.create ~rng:net_rng ~n ~kind:link ?delay () in
+  (* Placeholder streams; [reseed] below installs the real ones. *)
+  let placeholder = Rng.create 0 in
+  let net = Network.create ~rng:placeholder ~n ~kind:link ?delay () in
   let procs =
     Array.init n (fun i ->
         {
           pid = Id.of_int i;
-          pending = None;
+          pending = No_pending;
           p_status = Unspawned;
           steps = 0;
-          rng = Rng.split proc_parent;
+          rng = placeholder;
         })
   in
   let t =
@@ -89,14 +150,14 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
       net;
       mem = Mem.create domain;
       dom = domain;
-      sched = (match sched with Some s -> s | None -> Sched.create Sched.Random);
-      sched_rng;
-      seed_rng = Rng.split root;
+      sched = Sched.create Sched.Random;
+      sched_rng = placeholder;
+      seed_rng = placeholder;
       procs;
       crash_step = Array.make n None;
       frozen = Array.make n false;
       actions = [];
-      tr = (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None);
+      tr = None;
       view =
         {
           Sched.now = 0;
@@ -109,13 +170,12 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
       sched_log = None;
     }
   in
-  (* Link events enter the trace as they happen, so counterexample traces
-     show drops and deliveries interleaved with process steps. *)
-  if t.tr <> None then
-    Network.set_observer net (function
-      | Network.Drop { src; dst = _ } -> record t src Trace.Dropped
-      | Network.Deliver { src; dst } -> record t dst (Trace.Delivered src));
+  reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity;
   t
+
+let reset t ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
+    ~domain ~link () =
+  reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity
 
 let n t = t.n_procs
 let store t = t.mem
@@ -144,10 +204,75 @@ let correct t =
       | Ready | Unspawned -> true)
     (Id.all t.n_procs)
 
+let is_proc_effect : type b. b Effect.t -> bool = function
+  | Proc.Yield -> true
+  | Proc.Self -> true
+  | Proc.Send _ -> true
+  | Proc.Receive -> true
+  | Proc.Read_reg _ -> true
+  | Proc.Write_reg _ -> true
+  | Proc.Coin -> true
+  | Proc.Rand_int _ -> true
+  | Proc.My_steps -> true
+  | Proc.Atomic _ -> true
+  | _ -> false
+
+(* Interpret one stashed effect: perform its side effect — this is the
+   atomic step — record the trace event, then resume the fiber, which
+   runs process-local code until its next request. *)
+let exec_eff :
+    type a. t -> proc -> a Effect.t -> (a, outcome) Effect.Deep.continuation
+    -> outcome =
+ fun t p eff k ->
+  let open Effect.Deep in
+  let pid = p.pid in
+  match eff with
+  | Proc.Yield ->
+    record t pid Trace.Yielded;
+    continue k ()
+  | Proc.Self ->
+    record t pid Trace.Yielded;
+    continue k pid
+  | Proc.Send (dst, payload) ->
+    Network.send t.net ~now:t.step ~src:pid ~dst payload;
+    record t pid (Trace.Sent dst);
+    continue k ()
+  | Proc.Receive ->
+    let msgs = Network.drain t.net pid in
+    record t pid (Trace.Received (List.length msgs));
+    continue k msgs
+  | Proc.Read_reg r ->
+    let v = Mem.read r ~by:pid in
+    record t pid (Trace.Read (Mem.name r));
+    continue k v
+  | Proc.Write_reg (r, v) ->
+    Mem.write r ~by:pid v;
+    record t pid (Trace.Wrote (Mem.name r));
+    continue k ()
+  | Proc.Coin ->
+    t.coins <- t.coins + 1;
+    let b = Rng.bool p.rng in
+    record t pid (Trace.Coined b);
+    continue k b
+  | Proc.Rand_int bound ->
+    t.coins <- t.coins + 1;
+    let v = Rng.int p.rng bound in
+    record t pid Trace.Atomic_op;
+    continue k v
+  | Proc.My_steps ->
+    record t pid Trace.Yielded;
+    continue k p.steps
+  | Proc.Atomic f ->
+    let v = f () in
+    record t pid Trace.Atomic_op;
+    continue k v
+  | _ ->
+    (* [spawn]'s effc only stashes the Proc effects above. *)
+    assert false
+
 (* Install the fiber of a process.  Every effect suspends the fiber and
-   stashes a thunk that will (1) perform the side effect of the requested
-   operation — this is the atomic step — and (2) resume the fiber, which
-   then runs process-local code until its next request. *)
+   stashes the effect with its continuation; [exec_eff] interprets it
+   when the scheduler next picks this process. *)
 let spawn t pid main =
   let p = t.procs.(Id.to_int pid) in
   (match p.p_status with
@@ -163,60 +288,16 @@ let spawn t pid main =
       exnc = (fun e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
-          let stash (run_op : unit -> a) (op_trace : unit -> Trace.op) =
+          if is_proc_effect eff then
             Some
               (fun (k : (a, outcome) continuation) ->
-                p.pending <-
-                  Some
-                    (fun () ->
-                      let v = run_op () in
-                      record t pid (op_trace ());
-                      continue k v);
+                p.pending <- Pend (eff, k);
                 Suspended)
-          in
-          match eff with
-          | Proc.Yield -> stash (fun () -> ()) (fun () -> Trace.Yielded)
-          | Proc.Self -> stash (fun () -> pid) (fun () -> Trace.Yielded)
-          | Proc.Send (dst, payload) ->
-            stash
-              (fun () -> Network.send t.net ~now:t.step ~src:pid ~dst payload)
-              (fun () -> Trace.Sent dst)
-          | Proc.Receive ->
-            let got = ref 0 in
-            stash
-              (fun () ->
-                let msgs = Network.drain t.net pid in
-                got := List.length msgs;
-                msgs)
-              (fun () -> Trace.Received !got)
-          | Proc.Read_reg r ->
-            stash (fun () -> Mem.read r ~by:pid) (fun () -> Trace.Read (Mem.name r))
-          | Proc.Write_reg (r, v) ->
-            stash
-              (fun () -> Mem.write r ~by:pid v)
-              (fun () -> Trace.Wrote (Mem.name r))
-          | Proc.Coin ->
-            let result = ref false in
-            stash
-              (fun () ->
-                t.coins <- t.coins + 1;
-                let b = Rng.bool p.rng in
-                result := b;
-                b)
-              (fun () -> Trace.Coined !result)
-          | Proc.Rand_int bound ->
-            stash
-              (fun () ->
-                t.coins <- t.coins + 1;
-                Rng.int p.rng bound)
-              (fun () -> Trace.Atomic_op)
-          | Proc.My_steps -> stash (fun () -> p.steps) (fun () -> Trace.Yielded)
-          | Proc.Atomic f -> stash f (fun () -> Trace.Atomic_op)
-          | _ -> None)
+          else None);
     }
   in
   p.p_status <- Ready;
-  p.pending <- Some (fun () -> match_with main () handler)
+  p.pending <- Start (fun () -> match_with main () handler)
 
 let crash_at t pid step =
   if step < 0 then invalid_arg "Engine.crash_at: negative step";
@@ -252,14 +333,18 @@ let at t ~step f =
   in
   t.actions <- ins t.actions
 
+(* Top-level so the per-step call allocates nothing when no actions are
+   pending (the common case). *)
+let rec fire_due t = function
+  | (s, f) :: tl when s <= t.step ->
+    f t;
+    fire_due t tl
+  | rest -> rest
+
 let fire_actions t =
-  let rec go = function
-    | (s, f) :: tl when s <= t.step ->
-      f t;
-      go tl
-    | rest -> rest
-  in
-  t.actions <- go t.actions
+  match t.actions with
+  | [] -> ()
+  | actions -> t.actions <- fire_due t actions
 
 let apply_crashes t =
   for i = 0 to t.n_procs - 1 do
@@ -269,7 +354,7 @@ let apply_crashes t =
       (match p.p_status with
       | Ready | Unspawned ->
         p.p_status <- Crashed;
-        p.pending <- None;
+        p.pending <- No_pending;
         Sched.note_crash t.sched ~pid:i;
         record t p.pid Trace.Crashed
       | Done | Crashed -> ());
@@ -284,11 +369,10 @@ let refill_runnable t =
   let c = ref 0 in
   for i = 0 to t.n_procs - 1 do
     let p = t.procs.(i) in
-    match p.p_status, p.pending with
-    | Ready, Some _ when not t.frozen.(i) ->
+    if p.p_status = Ready && has_pending p && not t.frozen.(i) then begin
       v.Sched.runnable.(!c) <- i;
       incr c
-    | _ -> ()
+    end
   done;
   v.Sched.count <- !c;
   !c
@@ -301,7 +385,7 @@ let frozen_pending t =
     i < t.n_procs
     &&
     let p = t.procs.(i) in
-    (t.frozen.(i) && p.p_status = Ready && p.pending <> None) || go (i + 1)
+    (t.frozen.(i) && p.p_status = Ready && has_pending p) || go (i + 1)
   in
   go 0
 
@@ -329,15 +413,19 @@ let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
       | Some l -> t.sched_log <- Some (chosen :: l)
       | None -> ());
       let p = t.procs.(chosen) in
-      let thunk =
+      let fin =
         match p.pending with
-        | Some th -> th
-        | None -> assert false
+        | No_pending -> assert false
+        | Start th ->
+          p.pending <- No_pending;
+          th ()
+        | Pend (eff, k) ->
+          p.pending <- No_pending;
+          exec_eff t p eff k
       in
-      p.pending <- None;
-      (match thunk () with
+      (match fin with
       | Finished_fiber -> p.p_status <- Done
-      | Suspended -> assert (p.pending <> None));
+      | Suspended -> assert (has_pending p));
       p.steps <- p.steps + 1;
       t.step <- t.step + 1;
       Sched.note_step t.sched ~pid:chosen ~n:t.n_procs;

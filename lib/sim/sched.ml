@@ -46,14 +46,19 @@ let ensure_counter t pid n =
     c
 
 let note_step t ~pid ~n =
-  List.iter
-    (fun (p, _i) ->
-      if p < n then begin
-        let c = ensure_counter t p n in
-        if p = pid then Array.fill c 0 n 0
-        else if pid < n then c.(pid) <- c.(pid) + 1
-      end)
-    t.timely_list
+  (* Dispatch the empty-timely case before building the iteration
+     closure: this runs on every engine step. *)
+  match t.timely_list with
+  | [] -> ()
+  | timely ->
+    List.iter
+      (fun (p, _i) ->
+        if p < n then begin
+          let c = ensure_counter t p n in
+          if p = pid then Array.fill c 0 n 0
+          else if pid < n then c.(pid) <- c.(pid) + 1
+        end)
+      timely
 
 let note_crash t ~pid =
   t.timely_list <- List.filter (fun (p, _) -> p <> pid) t.timely_list;
@@ -62,38 +67,44 @@ let note_crash t ~pid =
 let most_urgent t view =
   (* A timely p becomes urgent when some other process has taken i-1 steps
      since p last ran: running p now keeps every window of i steps of any
-     q containing a step of p. *)
-  let urgency (p, i) =
-    if not (view_mem view p) then None
-    else
-      match Hashtbl.find_opt t.counters p with
-      | None -> None
-      | Some c ->
-        let worst = Array.fold_left max 0 c in
-        if worst >= i - 1 then Some (p, worst - i) else None
-  in
-  let candidates = List.filter_map urgency t.timely_list in
-  match candidates with
+     q containing a step of p.  The empty-timely case is dispatched
+     before [urgency] is bound: this runs on every step, and the closure
+     would otherwise be allocated just to fold over an empty list. *)
+  match t.timely_list with
   | [] -> None
-  | _ ->
-    let best =
-      List.fold_left
-        (fun (bp, bu) (p, u) -> if u > bu then (p, u) else (bp, bu))
-        (List.hd candidates) (List.tl candidates)
+  | timely -> (
+    let urgency (p, i) =
+      if not (view_mem view p) then None
+      else
+        match Hashtbl.find_opt t.counters p with
+        | None -> None
+        | Some c ->
+          let worst = Array.fold_left max 0 c in
+          if worst >= i - 1 then Some (p, worst - i) else None
     in
-    Some (fst best)
+    let candidates = List.filter_map urgency timely in
+    match candidates with
+    | [] -> None
+    | _ ->
+      let best =
+        List.fold_left
+          (fun (bp, bu) (p, u) -> if u > bu then (p, u) else (bp, bu))
+          (List.hd candidates) (List.tl candidates)
+      in
+      Some (fst best))
+
+(* First runnable pid strictly after [cursor], else wrap to the lowest;
+   entries [0, count) are ascending.  Top-level so the per-step
+   round-robin pick allocates nothing. *)
+let rec rr_after view cursor i =
+  if i >= view.count then view.runnable.(0)
+  else if view.runnable.(i) > cursor then view.runnable.(i)
+  else rr_after view cursor (i + 1)
 
 let base_pick t rng view =
   match t.base with
   | Round_robin ->
-    (* First runnable pid strictly above the cursor, else wrap to the
-       lowest; entries [0, count) are ascending. *)
-    let rec after i =
-      if i >= view.count then view.runnable.(0)
-      else if view.runnable.(i) > t.rr_cursor then view.runnable.(i)
-      else after (i + 1)
-    in
-    let chosen = after 0 in
+    let chosen = rr_after view t.rr_cursor 0 in
     t.rr_cursor <- chosen;
     chosen
   | Random -> view.runnable.(Mm_rng.Rng.int rng view.count)

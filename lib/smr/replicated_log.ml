@@ -242,10 +242,10 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
   main_loop 1
 
 let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
-    ?(crashes = []) ?prepare ?sched ~n ~commands_per_proc () =
+    ?(crashes = []) ?prepare ?sched ?arena ~n ~commands_per_proc () =
   let eng =
-    Engine.create ~seed ?sched ~trace_capacity ~domain:(Domain_.full n)
-      ~link:Network.Reliable ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+      ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
   let sm = { store; n; blocks = Hashtbl.create 32; decisions = Hashtbl.create 32 } in

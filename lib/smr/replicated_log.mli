@@ -59,6 +59,7 @@ val run :
   ?crashes:(int * int) list ->
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
+  ?arena:Mm_sim.Arena.t ->
   n:int ->
   commands_per_proc:int ->
   unit ->

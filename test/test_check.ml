@@ -237,6 +237,44 @@ let test_pool_propagates_exception () =
        false
      with Failure m -> m = "boom")
 
+let test_pool_validates_jobs_and_chunk () =
+  let raises name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  raises "jobs = 0" (fun () ->
+      Mm_check.Pool.find_first ~jobs:0 ~budget:4 (fun _ -> false));
+  raises "jobs negative" (fun () ->
+      Mm_check.Pool.find_first ~jobs:(-3) ~budget:4 (fun _ -> false));
+  raises "chunk = 0" (fun () ->
+      Mm_check.Pool.find_first ~jobs:2 ~chunk:0 ~budget:4 (fun _ -> false));
+  raises "chunk = 0, sequential too" (fun () ->
+      Mm_check.Pool.find_first ~jobs:1 ~chunk:0 ~budget:4 (fun _ -> false));
+  raises "sweep jobs = 0" (fun () ->
+      match Registry.find "abd" with
+      | Some sc ->
+        Runner.sweep sc ~budget:1 ~jobs:0 ~params:Scenario.default_params ()
+      | None -> Alcotest.fail "abd not registered");
+  (* jobs >= 1 with an empty budget is a no-hit, not an error *)
+  Alcotest.(check (option int)) "budget 0" None
+    (Mm_check.Pool.find_first ~jobs:3 ~budget:0 (fun _ -> true))
+
+let test_pool_chunked_claiming_deterministic () =
+  (* Hits at 17 and 63: whatever the chunk size — finer or coarser than
+     the budget, or the adaptive default — real worker domains must
+     report the lowest hit. *)
+  let f i = i = 17 || i = 63 in
+  List.iter
+    (fun (jobs, chunk) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+        (Some 17)
+        (Mm_check.Pool.find_first ~jobs ~chunk ~budget:100 f))
+    [ (2, 1); (2, 7); (4, 16); (8, 64); (3, 200) ]
+
 (* --- Runner: end-to-end sweeps (kept small; see the @check alias) --- *)
 
 let test_hbo_clique_within_bound_clean () =
@@ -454,15 +492,19 @@ let test_smr_violation_replays () =
       }
 
 let test_hbo_jobs_deterministic () =
-  (* The past-the-bound hunt from above: a violation exists, and jobs=4
+  (* The past-the-bound hunt from above: a violation exists, and every
+     jobs setting — exercising different chunk-claiming interleavings —
      must report the identical trial/seed/shrunk config as jobs=1. *)
   let graph = B.disjoint_cliques ~cliques:2 ~k:3 in
   let sweep jobs =
     Runner.check_hbo ~master_seed:1 ~budget:200 ~jobs ~max_crashes:3 ~graph ()
   in
-  let r1 = sweep 1 and r4 = sweep 4 in
+  let r1 = sweep 1 in
   Alcotest.(check bool) "violation found" true (r1.Runner.violation <> None);
-  check_same_report "hbo" r1 r4
+  List.iter
+    (fun jobs ->
+      check_same_report (Printf.sprintf "hbo jobs=%d" jobs) r1 (sweep jobs))
+    [ 2; 4; 8 ]
 
 let test_omega_jobs_deterministic () =
   let sweep jobs =
@@ -476,15 +518,136 @@ let test_abd_jobs_deterministic () =
   check_same_report "abd" (sweep 1) (sweep 4)
 
 let test_registry_jobs_deterministic () =
-  (* Every registered scenario, driven generically: a 2-trial sweep at
-     jobs=1 and jobs=2 must produce byte-identical reports. *)
+  (* Every registered scenario, driven generically: a small sweep at any
+     jobs setting must produce byte-identical reports.  jobs=8 exceeds
+     the budget, so it also exercises the jobs-capped-at-budget path. *)
   List.iter
     (fun ((module S : Scenario.S) as sc) ->
       let sweep jobs =
         Runner.sweep sc ~master_seed:5 ~budget:2 ~jobs ~params:smoke_params ()
       in
-      check_same_report S.name (sweep 1) (sweep 2))
+      let r1 = sweep 1 in
+      List.iter
+        (fun jobs ->
+          check_same_report (Printf.sprintf "%s jobs=%d" S.name jobs) r1
+            (sweep jobs))
+        [ 2; 8 ])
     Registry.all
+
+(* --- Arena reuse: reset must be observably identical to create --- *)
+
+(* A deep trace tail so byte-identity covers the full engine event
+   stream, not just the monitor verdicts. *)
+let arena_params = { smoke_params with Scenario.trace_tail = 400 }
+
+let test_arena_reset_differential () =
+  (* For every registered scenario: execute trials in a warmed arena
+     (reset path) and from scratch (create path) and demand identical
+     traces and monitor verdicts.  The arena is warmed first so every
+     compared execution really goes through [Engine.reset]. *)
+  List.iter
+    (fun (module S : Scenario.S) ->
+      let cfg = S.cfg_of_params arena_params in
+      let arena = Mm_sim.Arena.create () in
+      ignore (S.execute ~arena cfg (S.gen cfg (Rng.create 1000)));
+      for seed = 0 to 4 do
+        let t = S.gen cfg (Rng.create seed) in
+        let fresh = S.execute cfg t in
+        let reused = S.execute ~arena cfg t in
+        let verdicts o =
+          List.map (fun (name, m) -> (name, m o)) (S.monitors cfg t)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d: identical trace" S.name seed)
+          true
+          (S.trace fresh = S.trace reused);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d: identical verdicts" S.name seed)
+          true
+          (verdicts fresh = verdicts reused)
+      done)
+    Registry.all
+
+(* --- Fingerprint dedup: duplicates counted, never re-executed --- *)
+
+(* Quantize the generation stream to 4 distinct draw sequences: the
+   sweep then sees the same few fingerprints over and over, making the
+   dedup accounting observable at a tiny budget.  The wrapper preserves
+   the replay contract — a trial is still a pure function of the rng
+   handed to [gen]. *)
+module Dedup_abd : Scenario.S = struct
+  module A = Mm_check.Scenario_abd
+  include A
+
+  let name = "abd-dedup4"
+  let gen cfg rng = A.gen cfg (Rng.create (Rng.int rng 4))
+end
+
+let dedup_params = { Scenario.default_params with n = 3; max_ops = Some 2 }
+
+let test_dedup_accounting () =
+  let sweep jobs =
+    Runner.sweep
+      (module Dedup_abd)
+      ~master_seed:3 ~budget:64 ~jobs ~params:dedup_params ()
+  in
+  let r = sweep 1 in
+  Alcotest.(check int) "duplicates still counted in trials_run" 64
+    r.Runner.trials_run;
+  Alcotest.(check bool) "clean sweep" true (r.Runner.violation = None);
+  Alcotest.(check bool) "at most 4 distinct" true
+    (r.Runner.distinct_trials <= 4);
+  Alcotest.(check bool) "dedup fired" true (r.Runner.deduped >= 32);
+  Alcotest.(check int) "split adds up" r.Runner.trials_run
+    (r.Runner.distinct_trials + r.Runner.deduped);
+  (* The accounting is derived from the deterministic per-trial
+     fingerprints, so it is jobs-invariant even though which duplicate
+     executions get skipped races across domains. *)
+  List.iter
+    (fun jobs ->
+      check_same_report (Printf.sprintf "dedup jobs=%d" jobs) r (sweep jobs))
+    [ 2; 8 ]
+
+let test_dedup_reuse_off_identical () =
+  (* Arena reuse and dedup are independent mechanisms: turning reuse
+     off must not change the report either. *)
+  let sweep reuse =
+    Runner.sweep
+      (module Dedup_abd)
+      ~master_seed:3 ~budget:16 ~reuse_arenas:reuse ~params:dedup_params ()
+  in
+  check_same_report "reuse on/off" (sweep true) (sweep false)
+
+let test_dedup_never_hides_violation () =
+  (* Starved mutex with quantized generation: a violating fingerprint
+     recurs across trial indices, but a violating fingerprint never
+     enters the clean memo, so no duplicate of it is ever skipped and
+     the lowest violating index is reported at every jobs setting. *)
+  let module V : Scenario.S = struct
+    module M = Mm_check.Scenario_mutex
+    include M
+
+    let name = "mutex-dedup8"
+    let gen cfg rng = M.gen cfg (Rng.create (Rng.int rng 8))
+  end in
+  let params = { Scenario.default_params with n = 4; max_steps = Some 60 } in
+  let sweep jobs =
+    Runner.sweep (module V) ~master_seed:1 ~budget:40 ~jobs ~params ()
+  in
+  let r = sweep 1 in
+  (match r.Runner.violation with
+  | None -> Alcotest.fail "expected a starved-mutex violation"
+  | Some cx ->
+    Alcotest.(check int) "sweep stopped at the violating trial"
+      (cx.Runner.trial + 1) r.Runner.trials_run;
+    Alcotest.(check int) "split covers the trials run" r.Runner.trials_run
+      (r.Runner.distinct_trials + r.Runner.deduped));
+  List.iter
+    (fun jobs ->
+      check_same_report
+        (Printf.sprintf "violation jobs=%d" jobs)
+        r (sweep jobs))
+    [ 2; 8 ]
 
 (* --- Nemesis: staged fault-injection timelines --- *)
 
@@ -659,6 +822,11 @@ let test_omega_nemesis_convergence_violation () =
         (cx.Runner.trace = cx'.Runner.trace))
 
 let () =
+  (* Runner.sweep caps its worker-domain count at the machine's core
+     count; lift the cap so the jobs-determinism tests drive the real
+     parallel claiming path even on a single-core CI host.  Reports
+     must be identical either way — that is what the tests assert. *)
+  Unix.putenv "MM_CHECK_MAX_DOMAINS" "8";
   Alcotest.run "mm_check"
     [
       ( "lin",
@@ -692,6 +860,10 @@ let () =
           Alcotest.test_case "no hit + edges" `Quick test_pool_no_hit_and_edges;
           Alcotest.test_case "exception propagation" `Quick
             test_pool_propagates_exception;
+          Alcotest.test_case "jobs/chunk validation" `Quick
+            test_pool_validates_jobs_and_chunk;
+          Alcotest.test_case "chunked claiming deterministic" `Quick
+            test_pool_chunked_claiming_deterministic;
         ] );
       ( "shrink",
         [
@@ -728,14 +900,28 @@ let () =
         ] );
       ( "jobs",
         [
-          Alcotest.test_case "hbo jobs=1 = jobs=4" `Quick
+          Alcotest.test_case "hbo jobs=1 = jobs=2/4/8" `Quick
             test_hbo_jobs_deterministic;
           Alcotest.test_case "omega jobs=1 = jobs=4" `Quick
             test_omega_jobs_deterministic;
           Alcotest.test_case "abd jobs=1 = jobs=4" `Quick
             test_abd_jobs_deterministic;
-          Alcotest.test_case "every scenario jobs=1 = jobs=2" `Quick
+          Alcotest.test_case "every scenario jobs=1 = jobs=2/8" `Quick
             test_registry_jobs_deterministic;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "reset = fresh, every scenario" `Quick
+            test_arena_reset_differential;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "duplicates counted not re-run" `Quick
+            test_dedup_accounting;
+          Alcotest.test_case "reuse on/off identical" `Quick
+            test_dedup_reuse_off_identical;
+          Alcotest.test_case "violations never deduped" `Quick
+            test_dedup_never_hides_violation;
         ] );
       ( "nemesis",
         [

@@ -82,6 +82,132 @@ let test_pick_members () =
     Alcotest.(check bool) "member" true (List.mem (Rng.pick r xs) xs)
   done
 
+(* Reference boxed-Int64 splitmix64 — the formulation the limb-based
+   production implementation must match bit for bit. *)
+module Ref_rng = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let mix64 z =
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let create seed = { state = mix64 (Int64.of_int seed) }
+
+  let bits64 t =
+    t.state <- Int64.add t.state golden_gamma;
+    mix64 t.state
+
+  let split t =
+    let s = bits64 t in
+    { state = mix64 s }
+
+  let int t bound =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    r mod bound
+
+  let bool t = Int64.logand (bits64 t) 1L = 1L
+
+  let float t =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+    float_of_int r /. 9007199254740992.0
+end
+
+let diff_seeds =
+  [ 0; 1; 2; 42; 0xC0FFEE; -1; -123456789; max_int; min_int; 0x3FFF_FFFF ]
+
+let test_matches_reference_bits () =
+  List.iter
+    (fun seed ->
+      let a = Rng.create seed and b = Ref_rng.create seed in
+      for i = 1 to 200 do
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %d draw %d" seed i)
+          (Ref_rng.bits64 b) (Rng.bits64 a)
+      done)
+    diff_seeds
+
+let test_matches_reference_derived () =
+  List.iter
+    (fun seed ->
+      let a = Rng.create seed and b = Ref_rng.create seed in
+      for _ = 1 to 100 do
+        Alcotest.(check int) "int" (Ref_rng.int b 1000003) (Rng.int a 1000003);
+        Alcotest.(check bool) "bool" (Ref_rng.bool b) (Rng.bool a);
+        Alcotest.(check (float 0.0)) "float" (Ref_rng.float b) (Rng.float a)
+      done)
+    diff_seeds
+
+let test_matches_reference_split () =
+  let a = Rng.create 99 and b = Ref_rng.create 99 in
+  let ca = Rng.split a and cb = Ref_rng.split b in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "child stream" (Ref_rng.bits64 cb) (Rng.bits64 ca);
+    Alcotest.(check int64) "parent stream" (Ref_rng.bits64 b) (Rng.bits64 a)
+  done
+
+let test_fingerprint_deterministic () =
+  let digest seed =
+    let r = Rng.create seed in
+    Rng.fingerprint_start r;
+    ignore (Rng.int r 100);
+    ignore (Rng.bool r);
+    ignore (Rng.split r);
+    ignore (Rng.float r);
+    Rng.fingerprint r
+  in
+  Alcotest.(check int) "same draws, same digest" (digest 5) (digest 5);
+  Alcotest.(check bool) "different seed, different digest" true
+    (digest 5 <> digest 6);
+  Alcotest.(check bool) "digest is non-negative" true (digest 5 >= 0)
+
+let test_fingerprint_sensitive_to_draw_count () =
+  let digest_after n =
+    let r = Rng.create 7 in
+    Rng.fingerprint_start r;
+    for _ = 1 to n do
+      ignore (Rng.bool r)
+    done;
+    Rng.fingerprint r
+  in
+  Alcotest.(check bool) "extra draw changes digest" true
+    (digest_after 3 <> digest_after 4)
+
+let test_fingerprint_covers_values_not_states () =
+  (* The digest folds the bounded results, not the raw mixer outputs:
+     generators in different states that consume identical values must
+     digest alike — sweep-level dedup hinges on exactly this. *)
+  let digest seed =
+    let r = Rng.create seed in
+    Rng.fingerprint_start r;
+    ignore (Rng.int r 1);
+    (* always 0 *)
+    Rng.fingerprint r
+  in
+  Alcotest.(check int) "same values, same digest" (digest 1) (digest 2)
+
+let test_fingerprint_off_by_default () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "off" (Invalid_argument "Rng.fingerprint: fingerprinting is off")
+    (fun () -> ignore (Rng.fingerprint r))
+
+let test_fingerprint_does_not_perturb_stream () =
+  let a = Rng.create 21 and b = Rng.create 21 in
+  Rng.fingerprint_start a;
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 b) (Rng.bits64 a)
+  done
+
 let prop_int_uniformish =
   QCheck.Test.make ~name:"int covers all residues" ~count:50
     QCheck.(int_range 2 20)
@@ -109,6 +235,22 @@ let () =
           Alcotest.test_case "bool balance" `Quick test_bool_balance;
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
           Alcotest.test_case "pick members" `Quick test_pick_members;
+          Alcotest.test_case "matches Int64 reference (bits64)" `Quick
+            test_matches_reference_bits;
+          Alcotest.test_case "matches Int64 reference (int/bool/float)" `Quick
+            test_matches_reference_derived;
+          Alcotest.test_case "matches Int64 reference (split)" `Quick
+            test_matches_reference_split;
+          Alcotest.test_case "fingerprint deterministic" `Quick
+            test_fingerprint_deterministic;
+          Alcotest.test_case "fingerprint counts draws" `Quick
+            test_fingerprint_sensitive_to_draw_count;
+          Alcotest.test_case "fingerprint covers values" `Quick
+            test_fingerprint_covers_values_not_states;
+          Alcotest.test_case "fingerprint off by default" `Quick
+            test_fingerprint_off_by_default;
+          Alcotest.test_case "fingerprint does not perturb stream" `Quick
+            test_fingerprint_does_not_perturb_stream;
           QCheck_alcotest.to_alcotest prop_int_uniformish;
         ] );
     ]

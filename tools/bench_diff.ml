@@ -169,14 +169,20 @@ let parse_json (s : string) : json =
 (* --- bench-specific shape --- *)
 
 (* (kernel, ns_per_run option) in file order; None = bechamel produced
-   no estimate (emitted as null).  Sweep kernels (check/<name>-sweep and
-   check/<name>-nemesis) must additionally carry a "budget" field — the
-   fixed trial count the kernel runs — as a positive integer; any other
-   kernel may carry one too, with the same shape. *)
+   no estimate (emitted as null).  Fixed-budget kernels — the sweep
+   kernels (check/<name>-sweep, check/<name>-nemesis) and the derived
+   throughput rows (arena-reuse speedup, dedup hit rate, GC words per
+   trial, whose "ns_per_run" holds the derived metric) — must
+   additionally carry a "budget" field, the trial count they ran, as a
+   positive integer; any other kernel may carry one too, with the same
+   shape. *)
 let requires_budget kernel =
-  String.starts_with ~prefix:"check/" kernel
+  (String.starts_with ~prefix:"check/" kernel
   && (String.ends_with ~suffix:"-sweep" kernel
-     || String.ends_with ~suffix:"-nemesis" kernel)
+     || String.ends_with ~suffix:"-nemesis" kernel))
+  || String.equal kernel "check/arena-reuse-speedup"
+  || String.equal kernel "check/dedup-hit-rate"
+  || String.equal kernel "gc/minor-words-per-trial"
 let load_bench path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
