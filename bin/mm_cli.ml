@@ -231,6 +231,98 @@ let smr_cmd =
     (Cmd.info "smr" ~doc:"Run the replicated log (multi-decree consensus).")
     Term.(const run $ n_arg 4 $ seed_arg $ cmds_arg $ crashes_arg)
 
+(* --- kv: the sharded service's latency harness --- *)
+
+let kv_cmd =
+  let module Kv = Mm_kv.Kv in
+  let module W = Mm_kv.Workload in
+  let module H = Mm_kv.Histogram in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"S"
+           ~doc:"Shard count (one replicated-log group each).")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"R"
+           ~doc:"Replicas per shard.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 300 & info [ "clients" ] ~docv:"C"
+           ~doc:"Open-loop client population size.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 400 & info [ "ops" ] ~docv:"K"
+           ~doc:"Total requests injected.")
+  in
+  let theta_arg =
+    Arg.(value & opt float 0.9 & info [ "theta" ] ~docv:"T"
+           ~doc:"Zipf skew of the key popularity distribution (0 = uniform).")
+  in
+  let keys_arg =
+    Arg.(value & opt int 128 & info [ "keys" ] ~docv:"K"
+           ~doc:"Key-space size.")
+  in
+  let gap_arg =
+    Arg.(value & opt float 40.0 & info [ "gap" ] ~docv:"G"
+           ~doc:"Mean inter-arrival gap in engine ticks (Poisson arrivals).")
+  in
+  let reads_arg =
+    Arg.(value & opt float 0.8 & info [ "reads" ] ~docv:"F"
+           ~doc:"Fraction of requests that are gets.")
+  in
+  let max_steps_arg =
+    Arg.(value & opt int 600_000 & info [ "max-steps" ] ~docv:"S"
+           ~doc:"Step budget.")
+  in
+  let no_local_reads_arg =
+    Arg.(value & flag & info [ "no-local-reads" ]
+           ~doc:"Disable the \\$(i,5.3) leader fast path; decide gets \
+                 through the log like puts.")
+  in
+  let run shards replicas clients ops theta keys gap reads max_steps
+      no_local_reads seed =
+    let spec =
+      { W.clients; ops; mean_gap = gap; key_space = keys; theta;
+        read_fraction = reads }
+    in
+    let workload = W.gen (Mm_rng.Rng.create seed) spec ~replicas in
+    let o =
+      Kv.run ~seed ~max_steps ~local_reads:(not no_local_reads) ~shards
+        ~replicas ~workload ()
+    in
+    Format.printf
+      "stopped: %a after %d steps; %d/%d completed, consistent: %b, \
+       local-reads: %b@."
+      Engine.pp_stop_reason o.Kv.reason o.Kv.total_steps o.Kv.completed ops
+      o.Kv.consistent o.Kv.local_reads;
+    Format.printf "messages: %d   mem ops: %d   duplicate applies: %d@."
+      o.Kv.net.Net.sent
+      (Mem.total_ops o.Kv.mem_total)
+      o.Kv.duplicate_applies;
+    Format.printf "shard  op   %6s %6s %6s %6s %8s  ops/kstep@." "p50" "p99"
+      "p999" "max" "n";
+    let cell h =
+      let q p = match H.percentile h p with Some v -> v | None -> 0 in
+      Format.printf "%6d %6d %6d %6d %8d" (q 50.0) (q 99.0) (q 99.9)
+        (Option.value (H.max_value h) ~default:0)
+        (H.count h)
+    in
+    for s = 0 to shards - 1 do
+      Format.printf "%5d  get  " s;
+      cell o.Kv.get_hist.(s);
+      Format.printf "  %9.1f@." (Kv.shard_throughput o ~shard:s);
+      Format.printf "%5d  put  " s;
+      cell o.Kv.put_hist.(s);
+      Format.printf "@."
+    done
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:"Run the sharded KV service under open-loop load and report \
+             per-shard latency percentiles (engine ticks).")
+    Term.(const run $ shards_arg $ replicas_arg $ clients_arg $ ops_arg
+          $ theta_arg $ keys_arg $ gap_arg $ reads_arg $ max_steps_arg
+          $ no_local_reads_arg $ seed_arg)
+
 (* --- election --- *)
 
 let election_cmd =
@@ -403,13 +495,49 @@ let check_cmd =
     Arg.(value & flag & info [ "nemesis" ]
            ~doc:"Draw a staged fault-injection timeline per trial                  (partitions, link degradation, freeze/thaw) that always                  heals, and run the graceful-degradation monitors on top                  of the scenario's own.")
   in
+  (* Knobs that are step or trial counts must be strictly positive;
+     reject them at parse time with a clear message instead of letting a
+     0 or negative value surface later as an Invalid_argument trace. *)
+  let pos_int =
+    let parse s =
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> Ok v
+      | Some v ->
+        Error (`Msg (Printf.sprintf "expected a positive integer, got %d" v))
+      | None ->
+        Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+    in
+    Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+  in
   let settle_arg =
-    Arg.(value & opt (some int) None & info [ "settle" ] ~docv:"S"
-           ~doc:"Omega + --nemesis: steps after the last fault clears                  within which leadership must stop changing (default:                  warmup / 4).")
+    Arg.(value & opt (some pos_int) None & info [ "settle" ] ~docv:"S"
+           ~doc:"Omega/kv + --nemesis: steps after the last fault clears                  within which leadership must stop changing (omega;                  default: warmup / 4) or every pre-heal request must                  complete (kv; default: max-steps / 2). Must be positive.")
+  in
+  let chunk_arg =
+    Arg.(value & opt (some pos_int) None & info [ "chunk" ] ~docv:"C"
+           ~doc:"Consecutive trial indices a sweep worker claims per \
+                 atomic operation (default: adaptive). Must be positive; \
+                 report-invisible, like --jobs.")
+  in
+  let shards_arg =
+    Arg.(value & opt (some pos_int) None & info [ "shards" ] ~docv:"S"
+           ~doc:"Kv: shard count, each an independent replicated-log \
+                 group of -n replicas (default: drawn per trial).")
+  in
+  let clients_arg =
+    Arg.(value & opt (some pos_int) None & info [ "clients" ] ~docv:"C"
+           ~doc:"Kv: open-loop client population size (default: drawn \
+                 per trial).")
+  in
+  let no_local_reads_arg =
+    Arg.(value & flag & info [ "no-local-reads" ]
+           ~doc:"Kv: disable the \\$(i,5.3) fast path (leader serving \
+                 gets from its decided-slot registers) and push every \
+                 get through the replicated log.")
   in
   let run (module S : Scenario.S) family n seed budget max_crashes max_steps
       impl variant drop expect_stall replay trace jobs entries commands
-      nemesis settle =
+      nemesis settle chunk shards clients no_local_reads =
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let variant =
       match String.lowercase_ascii variant with
@@ -434,6 +562,9 @@ let check_cmd =
         trace_tail = trace;
         nemesis;
         settle;
+        shards;
+        clients;
+        local_reads = not no_local_reads;
       }
     in
     (match Runner.preamble (module S) ~params with
@@ -443,7 +574,8 @@ let check_cmd =
       match replay with
       | Some trial_seed -> Runner.replay (module S) ~params ~trial_seed ()
       | None ->
-        Runner.sweep (module S) ~master_seed:seed ?budget ~jobs ~params ()
+        Runner.sweep (module S) ~master_seed:seed ?budget ~jobs ?chunk ~params
+          ()
     in
     Format.printf "%a" Runner.pp_report report;
     if report.Runner.violation <> None then exit 1
@@ -464,7 +596,8 @@ let check_cmd =
           $ seed_arg $ budget_arg $ max_crashes_arg $ max_steps_arg
           $ impl_arg $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg
           $ trace_arg $ jobs_arg $ entries_arg $ commands_arg $ nemesis_arg
-          $ settle_arg)
+          $ settle_arg $ chunk_arg $ shards_arg $ clients_arg
+          $ no_local_reads_arg)
 
 (* --- graph analysis --- *)
 
@@ -523,6 +656,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            experiment_cmd; consensus_cmd; paxos_cmd; smr_cmd; election_cmd;
-            mutex_cmd; graph_cmd; check_cmd;
+            experiment_cmd; consensus_cmd; paxos_cmd; smr_cmd; kv_cmd;
+            election_cmd; mutex_cmd; graph_cmd; check_cmd;
           ]))

@@ -278,6 +278,91 @@ let smr_prefix (o : Log.outcome) =
         (Printf.sprintf "p%d and p%d diverge at slot %d of their common prefix"
            a b slot))
 
+let kv_log_consistent (o : Mm_kv.Kv.outcome) =
+  if o.Mm_kv.Kv.consistent then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "two replicas of one shard applied different requests at the same \
+          slot (%d shard(s), %d replicas each)"
+         o.Mm_kv.Kv.shards o.Mm_kv.Kv.replicas)
+
+(* Value-level linearizability of the completed KV history, one Lin
+   instance per key (keys are independent atomic registers).  Incomplete
+   requests never took effect observably — an unapplied put mutated no
+   replica state — so restricting to completed operations is sound.
+   Put values are globally unique (request id + 1), which keeps the
+   Wing–Gong search unambiguous. *)
+let kv_linearizable (o : Mm_kv.Kv.outcome) =
+  let module W = Mm_kv.Workload in
+  let by_key : (int, Lin.event list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (rc : Mm_kv.Kv.op_record) ->
+      if rc.Mm_kv.Kv.completion >= 0 then begin
+        let rq = rc.Mm_kv.Kv.req in
+        let ev =
+          {
+            Lin.proc = rq.W.client;
+            op =
+              (match rq.W.op with
+              | W.Get -> Lin.Read rc.Mm_kv.Kv.result
+              | W.Put v -> Lin.Write v);
+            start_t = rq.W.arrival;
+            finish_t = rc.Mm_kv.Kv.completion;
+          }
+        in
+        Hashtbl.replace by_key rq.W.key
+          (ev :: Option.value ~default:[] (Hashtbl.find_opt by_key rq.W.key))
+      end)
+    o.Mm_kv.Kv.ops;
+  Hashtbl.fold
+    (fun key events acc ->
+      match acc with
+      | Fail _ -> acc
+      | Pass ->
+        (* The checker is bitmask-indexed (<= 62 events); kv trials cap
+           total ops below that, so a key can never overflow it. *)
+        if List.length events <= 62 && not (Lin.check ~init:0 events) then
+          Fail
+            (Printf.sprintf
+               "key %d's completed history (%d op(s)) admits no linearization"
+               key (List.length events))
+        else acc)
+    by_key Pass
+
+let kv_complete (o : Mm_kv.Kv.outcome) =
+  let total = Array.length o.Mm_kv.Kv.ops in
+  if o.Mm_kv.Kv.completed >= total then Pass
+  else
+    Fail
+      (Printf.sprintf "%d of %d request(s) incomplete after %d steps"
+         (total - o.Mm_kv.Kv.completed)
+         total o.Mm_kv.Kv.total_steps)
+
+(* Graceful degradation: every request that arrived before the last
+   fault cleared must complete within [settle] steps of the heal. *)
+let kv_recovers ~heal_by ~settle (o : Mm_kv.Kv.outcome) =
+  let module W = Mm_kv.Workload in
+  let late = ref 0 and worst = ref (-1) in
+  Array.iter
+    (fun (rc : Mm_kv.Kv.op_record) ->
+      if
+        rc.Mm_kv.Kv.req.W.arrival <= heal_by
+        && (rc.Mm_kv.Kv.completion < 0
+           || rc.Mm_kv.Kv.completion > heal_by + settle)
+      then begin
+        incr late;
+        worst := max !worst rc.Mm_kv.Kv.completion
+      end)
+    o.Mm_kv.Kv.ops;
+  if !late = 0 then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "%d request(s) from before the heal (step %d) not complete within \
+          %d step(s) of it (run ended at %d)"
+         !late heal_by settle o.Mm_kv.Kv.total_steps)
+
 let smr_committed (o : Log.outcome) =
   if o.Log.all_committed then Pass
   else

@@ -103,3 +103,22 @@ val smr_prefix : Mm_smr.Replicated_log.outcome -> verdict
 (** Every correct process applied every correct process's commands.
     Only sound on fair, crash-free trials. *)
 val smr_committed : Mm_smr.Replicated_log.outcome -> verdict
+
+(** {2 Sharded KV service ({!Mm_kv.Kv})} *)
+
+(** Within every shard, no slot maps to two different requests. *)
+val kv_log_consistent : Mm_kv.Kv.outcome -> verdict
+
+(** Per-key linearizability of the completed request history (one {!Lin}
+    register per key; unapplied requests took no observable effect, so
+    excluding them is sound). *)
+val kv_linearizable : Mm_kv.Kv.outcome -> verdict
+
+(** Every request completed within the step budget.  Only sound on
+    fair, crash-free, nemesis-free trials. *)
+val kv_complete : Mm_kv.Kv.outcome -> verdict
+
+(** Graceful degradation under a healed adversary: every request that
+    arrived before [heal_by] completes by [heal_by + settle].  Only
+    sound on fair, crash-free trials. *)
+val kv_recovers : heal_by:int -> settle:int -> Mm_kv.Kv.outcome -> verdict

@@ -6,6 +6,7 @@ let all : Scenario.t list =
     (module Scenario_paxos : Scenario.S);
     (module Scenario_mutex : Scenario.S);
     (module Scenario_smr : Scenario.S);
+    (module Scenario_kv : Scenario.S);
   ]
 
 let names = List.map (fun ((module S : Scenario.S)) -> S.name) all

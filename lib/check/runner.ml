@@ -195,8 +195,11 @@ end
    violating trial always re-executes and the lowest-index hit is
    unchanged. *)
 let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
-    ?(reuse_arenas = true) ~params () =
+    ?chunk ?(reuse_arenas = true) ~params () =
   if jobs < 1 then invalid_arg "Runner.sweep: jobs must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Runner.sweep: chunk must be >= 1"
+  | Some _ | None -> ());
   (* [jobs] is a maximum degree of parallelism, not a worker count to
      honor literally: domains beyond the core count only add
      stop-the-world synchronization (each minor collection barriers
@@ -270,7 +273,7 @@ let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
           false
         | Some _ -> true
     in
-    match Pool.find_first_init ~jobs ~init:new_arena ~budget detect with
+    match Pool.find_first_init ~jobs ?chunk ~init:new_arena ~budget detect with
     | None -> finish ~trials_run:budget ~violation:None
     | Some i -> (
       let arena = new_arena () in

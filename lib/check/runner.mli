@@ -74,12 +74,18 @@ val pp_report : Format.formatter -> report -> unit
     [MM_CHECK_MAX_DOMAINS] environment variable, which the determinism
     tests use to exercise the parallel path on single-core hosts.
 
-    @raise Invalid_argument if [jobs < 1]. *)
+    [chunk] is the number of consecutive trial indices a worker claims
+    per atomic operation (see {!Pool.find_first}; default: adaptive).
+    Like [jobs], it is report-invisible: lowest index wins regardless of
+    how trials were batched.
+
+    @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)
 val sweep :
   Scenario.t ->
   ?master_seed:int ->          (* default 1 *)
   ?budget:int ->               (* default: the scenario's *)
   ?jobs:int ->                 (* default 1; domains to sweep with *)
+  ?chunk:int ->                (* default: adaptive; indices per claim *)
   ?reuse_arenas:bool ->        (* default true *)
   params:Scenario.params ->
   unit ->

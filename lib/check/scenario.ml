@@ -14,9 +14,15 @@ type params = {
   window : int option;
   entries : int option;
   commands : int option;
+  (* kv: sharding/load shape; None = drawn per trial.  [local_reads]
+     switches the §5.3 leader-local read path (on by default). *)
+  shards : int option;
+  clients : int option;
+  local_reads : bool;
   trace_tail : int;
   (* Draw a staged fault timeline (Nemesis) per trial, and how many
-     steps after the last fault clears omega may keep re-electing. *)
+     steps after the last fault clears omega (or the kv recovery
+     monitor) may keep converging. *)
   nemesis : bool;
   settle : int option;
 }
@@ -38,6 +44,9 @@ let default_params =
     window = None;
     entries = None;
     commands = None;
+    shards = None;
+    clients = None;
+    local_reads = true;
     trace_tail = 30;
     nemesis = false;
     settle = None;

@@ -43,13 +43,17 @@ type params = {
   window : int option;  (** omega *)
   entries : int option;  (** mutex: CS entries per process (default: drawn) *)
   commands : int option;  (** smr: commands per process (default: drawn) *)
+  shards : int option;  (** kv: shard count (default: drawn per trial) *)
+  clients : int option;  (** kv: open-loop client count (default: drawn) *)
+  local_reads : bool;  (** kv: serve reads at the leader per §5.3 (default on) *)
   trace_tail : int;  (** trailing trace events kept for reports *)
   nemesis : bool;
       (** draw a staged fault timeline ({!Nemesis}) per trial and run
           the graceful-degradation monitors *)
   settle : int option;
-      (** omega: steps after the last fault clears within which the
-          leader must stop changing (nemesis trials only) *)
+      (** omega/kv + --nemesis: steps after the last fault clears within
+          which leadership must stop changing (omega) or every request
+          from before the heal must complete (kv); must be positive *)
 }
 
 (** [n = 6], complete graph family, trusted impl, reliable variant,

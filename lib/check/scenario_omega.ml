@@ -48,6 +48,8 @@ let cfg_of_params (p : Scenario.params) =
     nemesis = p.Scenario.nemesis;
     settle =
       (match p.Scenario.settle with
+      | Some s when s <= 0 ->
+        invalid_arg "omega: --settle must be a positive step count"
       | Some s -> s
       | None -> Option.value p.Scenario.warmup ~default:60_000 / 4);
   }

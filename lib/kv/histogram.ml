@@ -1,0 +1,97 @@
+type t = {
+  mutable counts : int array;
+  mutable used : int; (* counts.(v) is meaningful for v < used *)
+  mutable total : int;
+  mutable sum : int;
+}
+
+let saturation = 1 lsl 22
+
+let create () = { counts = [||]; used = 0; total = 0; sum = 0 }
+
+let ensure t v =
+  if v >= Array.length t.counts then begin
+    let cap = max 16 (Array.length t.counts) in
+    let cap =
+      let c = ref cap in
+      while !c <= v do
+        c := !c * 2
+      done;
+      min !c saturation
+    in
+    let a = Array.make cap 0 in
+    Array.blit t.counts 0 a 0 t.used;
+    t.counts <- a
+  end;
+  if v >= t.used then t.used <- v + 1
+
+let add t v =
+  if v < 0 then invalid_arg "Histogram.add: negative sample";
+  let v = min v (saturation - 1) in
+  ensure t v;
+  t.counts.(v) <- t.counts.(v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v
+
+let count t = t.total
+
+let percentile t p =
+  if not (p > 0.0 && p <= 100.0) then
+    invalid_arg "Histogram.percentile: p must be in (0, 100]";
+  if t.total = 0 then None
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.total))) in
+    let seen = ref 0 in
+    let v = ref 0 in
+    let found = ref None in
+    while !found = None && !v < t.used do
+      seen := !seen + t.counts.(!v);
+      if !seen >= rank then found := Some !v;
+      incr v
+    done;
+    !found
+  end
+
+let mean t =
+  if t.total = 0 then None
+  else Some (float_of_int t.sum /. float_of_int t.total)
+
+let max_value t =
+  if t.total = 0 then None
+  else begin
+    let v = ref (t.used - 1) in
+    while !v > 0 && t.counts.(!v) = 0 do
+      decr v
+    done;
+    Some !v
+  end
+
+let merge a b =
+  let t = create () in
+  let blend src =
+    for v = 0 to src.used - 1 do
+      if src.counts.(v) > 0 then begin
+        ensure t v;
+        t.counts.(v) <- t.counts.(v) + src.counts.(v)
+      end
+    done;
+    t.total <- t.total + src.total;
+    t.sum <- t.sum + src.sum
+  in
+  blend a;
+  blend b;
+  t
+
+let of_list vs =
+  let t = create () in
+  List.iter (add t) vs;
+  t
+
+let pp_summary fmt t =
+  if t.total = 0 then Format.fprintf fmt "n=0"
+  else
+    let q p = Option.value ~default:0 (percentile t p) in
+    Format.fprintf fmt "p50=%d p99=%d p999=%d max=%d n=%d" (q 50.0) (q 99.0)
+      (q 99.9)
+      (Option.value ~default:0 (max_value t))
+      t.total

@@ -1,0 +1,45 @@
+(** Exact integer-valued latency histograms.
+
+    Latencies in this codebase are engine ticks — small non-negative
+    integers — so the histogram keeps one exact count per value (a
+    growable dense array) instead of approximating with buckets.
+    Percentiles are nearest-rank and therefore exact, and {!merge} is
+    associative and commutative (counts add), so per-shard histograms
+    can be combined in any order without changing any reported
+    quantile. *)
+
+type t
+
+(** Fresh empty histogram. *)
+val create : unit -> t
+
+(** [add t v] records one sample.  Values at or above {!saturation} are
+    clamped to [saturation - 1] (they still count, in the top bin).
+    Raises [Invalid_argument] on negative [v]. *)
+val add : t -> int -> unit
+
+(** Values >= this are clamped by {!add}. *)
+val saturation : int
+
+val count : t -> int
+
+(** [percentile t p] is the nearest-rank [p]-th percentile: the smallest
+    recorded value [v] such that at least [ceil (p/100 * count)] samples
+    are [<= v].  [None] when the histogram is empty.  Raises
+    [Invalid_argument] unless [0 < p <= 100]. *)
+val percentile : t -> float -> int option
+
+(** Mean of the recorded (post-clamp) samples; [None] when empty. *)
+val mean : t -> float option
+
+(** Largest recorded (post-clamp) value; [None] when empty. *)
+val max_value : t -> int option
+
+(** [merge a b] is a fresh histogram holding both sample sets; [a] and
+    [b] are unchanged. *)
+val merge : t -> t -> t
+
+val of_list : int list -> t
+
+(** "p50=.. p99=.. p999=.. max=.. n=.." on one line ("n=0" when empty). *)
+val pp_summary : Format.formatter -> t -> unit

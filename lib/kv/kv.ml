@@ -1,0 +1,401 @@
+module Id = Mm_core.Id
+module Domain_ = Mm_core.Domain
+module Network = Mm_net.Network
+module Mem = Mm_mem.Mem
+module Engine = Mm_sim.Engine
+module Proc = Mm_sim.Proc
+module Fd = Mm_election.Register_fd
+module Log = Mm_smr.Replicated_log
+module W = Workload
+
+type Mm_net.Message.payload +=
+  | Kv_forward of int        (* request id, shepherd -> leader hint *)
+  | Kv_learn of int * int    (* (slot, request id), intra-shard broadcast *)
+
+type op_record = {
+  req : W.request;
+  mutable completion : int;
+  mutable result : int;
+}
+
+let latency r = if r.completion < 0 then None else Some (r.completion - r.req.W.arrival)
+
+type outcome = {
+  reason : Engine.stop_reason;
+  spec : W.spec;
+  shards : int;
+  replicas : int;
+  local_reads : bool;
+  ops : op_record array;
+  completed : int;
+  get_hist : Histogram.t array;
+  put_hist : Histogram.t array;
+  logs : (int * int) list array;
+  consistent : bool;
+  duplicate_applies : int;
+  crashed : bool array;
+  total_steps : int;
+  net : Network.stats;
+  mem_total : Mem.counters;
+  trace : Mm_sim.Trace.event list;
+}
+
+(* One shard replica.  [slots]/[alive] are the shard's register groups,
+   [my_ingress] the request ids (workload order, nondecreasing arrival)
+   this replica is the ingress for, [records] the host-global completion
+   board every replica shares through its closure (the engine is
+   single-threaded, so host state needs no synchronization). *)
+let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
+    ~records ~my_ingress ~on_apply ~on_complete me () =
+  let pid = Id.to_int me in
+  let det = Fd.create alive ~me:r in
+  let prop = Log.Proposer.create slots ~me:r in
+  let ingress_ptr = ref 0 in
+  (* Requests we shepherd: log-path ops (puts; gets too without local
+     reads) and local-read gets, both kept until observed complete. *)
+  let my_puts : int Queue.t = Queue.create () in
+  let my_gets : int Queue.t = Queue.create () in
+  let owned_set : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let learn_cache : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let applied : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let state : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let apply_next = ref 0 in
+  let value_of key = Option.value ~default:0 (Hashtbl.find_opt state key) in
+  let done_ id = records.(id).completion >= 0 in
+  let claim id =
+    if (not (done_ id)) && not (Hashtbl.mem owned_set id) then begin
+      Hashtbl.replace owned_set id ();
+      match reqs.(id).W.op with
+      | W.Get when local_reads -> Queue.add id my_gets
+      | _ -> Queue.add id my_puts
+    end
+  in
+  let apply s id =
+    let dup = Hashtbl.mem applied id in
+    if not dup then begin
+      Hashtbl.replace applied id ();
+      let rq = reqs.(id) in
+      let value =
+        match rq.W.op with
+        | W.Put v ->
+          Hashtbl.replace state rq.W.key v;
+          v
+        | W.Get -> value_of rq.W.key
+      in
+      on_complete ~shard id ~now:(Engine.now eng) ~value
+    end;
+    on_apply ~pid ~slot:s ~id ~dup;
+    incr apply_next
+  in
+  (* Advance the applied prefix from the learn cache, reading the
+     decision register only when asked (reading registers every loop
+     would defeat the message wake-up design). *)
+  let drain ~read_register =
+    let progress = ref true in
+    while !progress do
+      let s = !apply_next in
+      match Hashtbl.find_opt learn_cache s with
+      | Some id -> apply s id
+      | None ->
+        if read_register then begin
+          match Log.Slots.read_decided slots s with
+          | Some id -> apply s id
+          | None -> progress := false
+        end
+        else progress := false
+    done
+  in
+  (* §5.3 leader catch-up: read decision registers until one comes back
+     undecided.  On return the leader's state reflects every decision in
+     existence as of that last read — the linearization instant for the
+     local reads served right after. *)
+  let catch_up () =
+    let progress = ref true in
+    while !progress do
+      let s = !apply_next in
+      match Hashtbl.find_opt learn_cache s with
+      | Some id -> apply s id
+      | None -> (
+        match Log.Slots.read_decided slots s with
+        | Some id -> apply s id
+        | None -> progress := false)
+    done
+  in
+  (* Answer every pending local read from the applied state, host-side
+     (zero engine steps), in the same step as catch_up's None read. *)
+  let serve_gets () =
+    let len = Queue.length my_gets in
+    for _ = 1 to len do
+      match Queue.take_opt my_gets with
+      | None -> ()
+      | Some id ->
+        Hashtbl.remove owned_set id;
+        if not (done_ id) then
+          on_complete ~shard id ~now:(Engine.now eng)
+            ~value:(value_of reqs.(id).W.key)
+    done
+  in
+  (* Open-loop ingress: requests whose arrival step has passed enter at
+     this replica.  Host-side polling against the engine clock — no
+     Engine.at scheduling, so thousands of arrivals cost nothing. *)
+  let pull_arrivals () =
+    let now = Engine.now eng in
+    while
+      !ingress_ptr < Array.length my_ingress
+      && reqs.(my_ingress.(!ingress_ptr)).W.arrival <= now
+    do
+      claim my_ingress.(!ingress_ptr);
+      incr ingress_ptr
+    done
+  in
+  let next_put () =
+    let rec pop () =
+      match Queue.take_opt my_puts with
+      | None -> None
+      | Some id ->
+        if done_ id then begin
+          Hashtbl.remove owned_set id;
+          pop ()
+        end
+        else begin
+          Queue.push id my_puts;
+          (* keep until observed complete *)
+          Some id
+        end
+    in
+    pop ()
+  in
+  (* Follower shepherding: periodically re-forward a batch of still-open
+     requests to the current leader hint (at-least-once; apply-time and
+     serve-time dedup absorb the repeats), dropping completed ones. *)
+  let forward_some leader_pid =
+    let budget = ref 16 in
+    let fwd q =
+      let len = Queue.length q in
+      for _ = 1 to len do
+        match Queue.take_opt q with
+        | None -> ()
+        | Some id ->
+          if done_ id then Hashtbl.remove owned_set id
+          else begin
+            Queue.add id q;
+            if !budget > 0 then begin
+              decr budget;
+              Proc.send leader_pid (Kv_forward id)
+            end
+          end
+      done
+    in
+    fwd my_puts;
+    fwd my_gets
+  in
+  let rec main_loop iter =
+    List.iter
+      (fun (_src, payload) ->
+        match payload with
+        | Kv_forward id -> claim id
+        | Kv_learn (s, id) -> Hashtbl.replace learn_cache s id
+        | _ -> ())
+      (Proc.receive ());
+    Fd.step det;
+    drain ~read_register:(iter mod 32 = 0);
+    pull_arrivals ();
+    (if Fd.am_leader det then begin
+       if local_reads then begin
+         catch_up ();
+         serve_gets ()
+       end;
+       match next_put () with
+       | Some id -> (
+         let s = !apply_next in
+         match Log.Proposer.attempt prop ~slot:s id with
+         | Some chosen ->
+           Log.Slots.write_decision slots s chosen;
+           Hashtbl.replace learn_cache s chosen;
+           Array.iteri
+             (fun j q -> if j <> r then Proc.send q (Kv_learn (s, chosen)))
+             peers;
+           drain ~read_register:false
+         | None ->
+           (* Lost the ballot: catch up from the register before
+              retrying at this slot. *)
+           (match Log.Slots.read_decided slots s with
+           | Some id -> Hashtbl.replace learn_cache s id
+           | None -> ());
+           Proc.yield ())
+       | None -> Proc.yield ()
+     end
+     else begin
+       if iter mod 12 = 0 then
+         forward_some peers.(Log.leader_hint det);
+       Proc.yield ()
+     end);
+    main_loop (iter + 1)
+  in
+  main_loop 1
+
+let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
+    ?prepare ?sched ?arena ?(local_reads = true) ~shards ~replicas ~workload ()
+    =
+  if shards < 1 then invalid_arg "Kv.run: shards must be >= 1";
+  if replicas < 1 then invalid_arg "Kv.run: replicas must be >= 1";
+  let n = shards * replicas in
+  let eng =
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+      ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
+  in
+  let store = Engine.store eng in
+  let reqs = workload.W.requests in
+  let records =
+    Array.map (fun rq -> { req = rq; completion = -1; result = 0 }) reqs
+  in
+  let shard_pids s = Array.init replicas (fun r -> Id.of_int ((s * replicas) + r)) in
+  let shard_slots =
+    Array.init shards (fun s ->
+        (Log.Slots.create store ~pids:(shard_pids s)
+           ~prefix:(Printf.sprintf "S%d/" s)
+          : int Log.Slots.t))
+  in
+  let shard_alive =
+    Array.init shards (fun s ->
+        let pids = shard_pids s in
+        Array.init replicas (fun i ->
+            let owner = pids.(i) in
+            let others =
+              Array.to_list pids |> List.filter (fun q -> not (Id.equal q owner))
+            in
+            Mem.alloc store
+              ~name:(Printf.sprintf "S%d/ALIVE[%d]" s i)
+              ~owner ~shared_with:others 0))
+  in
+  (* Route each request to (owning shard, drawn ingress replica). *)
+  let shard_of_key key = key mod shards in
+  let ingress_rev = Array.init shards (fun _ -> Array.make replicas []) in
+  Array.iteri
+    (fun id rq ->
+      let s = shard_of_key rq.W.key in
+      let r = rq.W.ingress mod replicas in
+      ingress_rev.(s).(r) <- id :: ingress_rev.(s).(r))
+    reqs;
+  let ingress =
+    Array.map (Array.map (fun l -> Array.of_list (List.rev l))) ingress_rev
+  in
+  let crashed = Array.make n false in
+  List.iter
+    (fun (pid, step) ->
+      crashed.(pid) <- true;
+      Engine.crash_at eng (Id.of_int pid) step)
+    crashes;
+  let logs = Array.make n [] in
+  let completed = ref 0 in
+  let duplicate_applies = ref 0 in
+  let get_hist = Array.init shards (fun _ -> Histogram.create ()) in
+  let put_hist = Array.init shards (fun _ -> Histogram.create ()) in
+  let on_complete ~shard id ~now ~value =
+    let rc = records.(id) in
+    if rc.completion < 0 then begin
+      rc.completion <- now;
+      rc.result <- value;
+      incr completed;
+      let h =
+        match rc.req.W.op with
+        | W.Get -> get_hist.(shard)
+        | W.Put _ -> put_hist.(shard)
+      in
+      Histogram.add h (now - rc.req.W.arrival)
+    end
+  in
+  let on_apply ~pid ~slot ~id ~dup =
+    logs.(pid) <- (slot, id) :: logs.(pid);
+    if dup then incr duplicate_applies
+  in
+  for s = 0 to shards - 1 do
+    let peers = shard_pids s in
+    for r = 0 to replicas - 1 do
+      let me = peers.(r) in
+      Engine.spawn eng me
+        (replica_process ~eng ~shard:s ~peers ~r ~slots:shard_slots.(s)
+           ~alive:shard_alive.(s) ~local_reads ~reqs ~records
+           ~my_ingress:ingress.(s).(r) ~on_apply ~on_complete me)
+    done
+  done;
+  (match prepare with None -> () | Some f -> f eng);
+  (* Requests whose ingress replica is crash-scheduled may never enter
+     the system; don't wait on them. *)
+  let target = ref 0 in
+  Array.iter
+    (fun (rq : W.request) ->
+      let pid = (shard_of_key rq.W.key * replicas) + (rq.W.ingress mod replicas) in
+      if not crashed.(pid) then incr target)
+    reqs;
+  let everyone_done () = !completed >= !target in
+  let reason = Engine.run eng ~max_steps ~until:everyone_done () in
+  let logs = Array.map List.rev logs in
+  (* Within each shard, no slot may map to two different requests. *)
+  let consistent = ref true in
+  for s = 0 to shards - 1 do
+    let slot_vals : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    for r = 0 to replicas - 1 do
+      List.iter
+        (fun (slot, id) ->
+          match Hashtbl.find_opt slot_vals slot with
+          | None -> Hashtbl.add slot_vals slot id
+          | Some id' -> if id <> id' then consistent := false)
+        logs.((s * replicas) + r)
+    done
+  done;
+  {
+    reason;
+    spec = workload.W.spec;
+    shards;
+    replicas;
+    local_reads;
+    ops = records;
+    completed = !completed;
+    get_hist;
+    put_hist;
+    logs;
+    consistent = !consistent;
+    duplicate_applies = !duplicate_applies;
+    crashed;
+    total_steps = Engine.now eng;
+    net = Network.stats (Engine.network eng);
+    mem_total = Mem.total_counters store;
+    trace =
+      (match Engine.trace eng with
+      | None -> []
+      | Some tr -> Mm_sim.Trace.to_list tr);
+  }
+
+let window_hist o ?shard ?(op = `All) ~from ~until () =
+  let h = Histogram.create () in
+  Array.iter
+    (fun rc ->
+      let rq = rc.req in
+      let in_shard =
+        match shard with None -> true | Some s -> rq.W.key mod o.shards = s
+      in
+      let in_kind =
+        match (op, rq.W.op) with
+        | `All, _ -> true
+        | `Get, W.Get -> true
+        | `Put, W.Put _ -> true
+        | _ -> false
+      in
+      if
+        rc.completion >= 0 && in_shard && in_kind && rq.W.arrival >= from
+        && rq.W.arrival < until
+      then Histogram.add h (rc.completion - rq.W.arrival))
+    o.ops;
+  h
+
+let shard_throughput o ~shard =
+  let done_in_shard =
+    Array.fold_left
+      (fun acc rc ->
+        if rc.completion >= 0 && rc.req.W.key mod o.shards = shard then acc + 1
+        else acc)
+      0 o.ops
+  in
+  if o.total_steps = 0 then 0.0
+  else float_of_int done_in_shard /. (float_of_int o.total_steps /. 1000.0)

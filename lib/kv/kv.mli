@@ -1,0 +1,100 @@
+(** A sharded replicated key-value service on the replicated log.
+
+    Keys are partitioned across [shards] by [key mod shards]; each shard
+    is one independent {!Mm_smr.Replicated_log.Slots} group of
+    [replicas] processes (shard [s]'s replicas are engine pids
+    [s * replicas .. s * replicas + replicas - 1]), led by a
+    register-heartbeat failure detector.  An open-loop client population
+    ({!Workload}) injects requests at a drawn ingress replica of the
+    owning shard; the ingress replica shepherds each request until it
+    completes, re-forwarding it to its current leader hint over
+    messages (the hop partitions and freezes actually delay — the
+    shard's registers survive both).
+
+    Writes always go through the log: the leader decides the request id
+    into the next free slot with a Disk-Paxos ballot, every replica
+    applies the log in slot order, and at-least-once forwarding is
+    deduplicated at apply time (first occurrence mutates the state).
+
+    Reads follow the paper's §5.3 locality rule when [local_reads] is
+    on: the leader catches up by reading decision registers until it
+    sees an undecided slot, then answers every pending read from its
+    applied state within that same step — zero message round-trips and
+    trivially linearizable, since no decision can land between the
+    [None] read and the answers.  With [local_reads] off, reads are
+    decided through the log like writes (the measurable baseline).
+
+    Per-request latency is recorded in engine ticks — completion step
+    minus arrival step, at the first apply (or local serve) anywhere —
+    into per-shard get/put {!Histogram}s. *)
+
+module W := Workload
+
+(** A request plus its mutable measurement slots.  [run] builds a fresh
+    array per execution, so a workload (and hence a checker trial) can
+    be re-executed without carrying state over. *)
+type op_record = {
+  req : W.request;
+  mutable completion : int; (** engine step; -1 while incomplete *)
+  mutable result : int;     (** gets: value returned (0 = never written) *)
+}
+
+val latency : op_record -> int option
+
+type outcome = {
+  reason : Mm_sim.Engine.stop_reason;
+  spec : W.spec;
+  shards : int;
+  replicas : int;
+  local_reads : bool;
+  ops : op_record array;     (** workload order *)
+  completed : int;
+  get_hist : Histogram.t array; (** per shard, completed gets *)
+  put_hist : Histogram.t array; (** per shard, completed puts *)
+  logs : (int * int) list array;
+      (** per engine pid: (slot, request id) applied, in apply order;
+          slot numbering is per shard *)
+  consistent : bool;
+      (** within every shard, no slot maps to two different requests *)
+  duplicate_applies : int;
+  crashed : bool array;
+  total_steps : int;
+  net : Mm_net.Network.stats;
+  mem_total : Mm_mem.Mem.counters;
+  trace : Mm_sim.Trace.event list;
+}
+
+(** [run ~shards ~replicas ~workload ()] drives the workload to
+    completion (or [max_steps]).  [crashes] are engine pids; the [until]
+    predicate only waits for requests whose ingress replica never
+    crashes.  Raises [Invalid_argument] on [shards < 1] or
+    [replicas < 1]. *)
+val run :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?trace_capacity:int ->
+  ?crashes:(int * int) list ->
+  ?prepare:(Mm_sim.Engine.t -> unit) ->
+  ?sched:Mm_sim.Sched.t ->
+  ?arena:Mm_sim.Arena.t ->
+  ?local_reads:bool ->
+  shards:int ->
+  replicas:int ->
+  workload:W.t ->
+  unit ->
+  outcome
+
+(** Merged get+put histogram of completed requests with arrival in
+    [\[from, until)] — optionally one shard, one op kind.  The bench
+    kernels use this to window latency around a nemesis stage. *)
+val window_hist :
+  outcome ->
+  ?shard:int ->
+  ?op:[ `Get | `Put | `All ] ->
+  from:int ->
+  until:int ->
+  unit ->
+  Histogram.t
+
+(** Completed requests of one shard per 1000 steps of the run. *)
+val shard_throughput : outcome -> shard:int -> float

@@ -1,0 +1,44 @@
+(** Open-loop KV client workloads.
+
+    A workload is a pre-drawn, immutable request sequence: an aggregate
+    Poisson arrival process (seeded exponential gaps, so clients do
+    {e not} wait for responses — open loop), Zipf-distributed keys
+    (rank 0 hottest), and a coin per request for read vs write.  Put
+    values are globally unique ([request index + 1], never the initial
+    0), which keeps linearizability checking unambiguous.
+
+    Requests are drawn one at a time in a fixed order from a single rng,
+    so generating the same spec with fewer [ops] yields a prefix of the
+    same sequence — the property trial shrinking relies on. *)
+
+type op =
+  | Get
+  | Put of int
+
+type request = {
+  client : int;
+  seq : int;        (** per-client issue counter *)
+  key : int;        (** Zipf rank in [0, key_space) *)
+  op : op;
+  arrival : int;    (** engine step at which the request enters *)
+  ingress : int;    (** replica index (within its shard) it arrives at *)
+}
+
+type spec = {
+  clients : int;        (** >= 1 *)
+  ops : int;            (** >= 0: total requests across all clients *)
+  mean_gap : float;     (** > 0: mean steps between consecutive arrivals *)
+  key_space : int;      (** >= 1 *)
+  theta : float;        (** >= 0: Zipf exponent; 0 = uniform *)
+  read_fraction : float; (** in [0, 1] *)
+}
+
+type t = {
+  spec : spec;
+  requests : request array; (** in nondecreasing arrival order *)
+}
+
+(** [gen rng spec ~replicas] draws the request sequence.  [replicas] is
+    the per-shard group size ingress indices are drawn from.  Raises
+    [Invalid_argument] on a malformed spec or [replicas < 1]. *)
+val gen : Mm_rng.Rng.t -> spec -> replicas:int -> t

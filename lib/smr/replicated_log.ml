@@ -18,13 +18,142 @@ type Mm_net.Message.payload +=
   | Learn of int * command
 
 (* Per-slot Paxos block in a SWMR register. *)
-type block = {
+type 'v block = {
   mbal : int;
   bal : int;
-  value : command option;
+  value : 'v option;
 }
 
 let empty_block = { mbal = 0; bal = 0; value = None }
+
+(* ------------------------------------------------------------------ *)
+(* Reusable slot machinery: the per-slot register layout and the
+   Disk-Paxos ballot, generalized over the decided value type and over
+   the member pids (a group need not be processes 0..n-1 — the sharded
+   KV service runs one group per shard).  Host-level lazy register
+   tables: conceptually the infinite per-slot arrays pre-exist (as in
+   HBO's RVals/PVals); we materialize on first touch.  The engine is
+   single-threaded, so this is race-free. *)
+
+module Slots = struct
+  type 'v t = {
+    store : Mem.store;
+    pids : Id.t array;
+    prefix : string;
+    blocks : (int, 'v block Mem.reg array) Hashtbl.t;
+    decisions : (int, 'v option Mem.reg) Hashtbl.t;
+  }
+
+  let create store ~pids ~prefix =
+    if Array.length pids = 0 then invalid_arg "Slots.create: empty group";
+    { store; pids; prefix; blocks = Hashtbl.create 32; decisions = Hashtbl.create 32 }
+
+  let group_size t = Array.length t.pids
+
+  let others t owner =
+    Array.to_list t.pids |> List.filter (fun q -> not (Id.equal q owner))
+
+  let blocks t s =
+    match Hashtbl.find_opt t.blocks s with
+    | Some a -> a
+    | None ->
+      let a =
+        Array.init (Array.length t.pids) (fun i ->
+            let owner = t.pids.(i) in
+            Mem.alloc t.store
+              ~name:(Printf.sprintf "%sR[%d][%d]" t.prefix s i)
+              ~owner ~shared_with:(others t owner) empty_block)
+      in
+      Hashtbl.add t.blocks s a;
+      a
+
+  let decision t s =
+    match Hashtbl.find_opt t.decisions s with
+    | Some r -> r
+    | None ->
+      let owner = t.pids.(s mod Array.length t.pids) in
+      let r =
+        Mem.alloc t.store
+          ~name:(Printf.sprintf "%sD[%d]" t.prefix s)
+          ~owner ~shared_with:(others t owner) None
+      in
+      Hashtbl.add t.decisions s r;
+      r
+
+  let read_decided t s = Proc.read (decision t s)
+  let write_decision t s v = Proc.write (decision t s) (Some v)
+
+  let peek_decided t s =
+    (* Host-side: an unmaterialized decision register was never written. *)
+    match Hashtbl.find_opt t.decisions s with
+    | None -> None
+    | Some r -> Mem.peek r
+end
+
+module Proposer = struct
+  type 'v t = {
+    slots : 'v Slots.t;
+    me : int;
+    known : (int, 'v block) Hashtbl.t;
+    next_round : (int, int) Hashtbl.t;
+  }
+
+  let create slots ~me =
+    if me < 0 || me >= Slots.group_size slots then
+      invalid_arg "Proposer.create: me out of range";
+    { slots; me; known = Hashtbl.create 16; next_round = Hashtbl.create 16 }
+
+  let get tbl s d = Option.value ~default:d (Hashtbl.find_opt tbl s)
+
+  (* One Disk-Paxos ballot on slot [slot] proposing [v].  Returns the
+     chosen value on success (which may be an adopted earlier proposal
+     rather than [v]). *)
+  let attempt p ~slot v =
+    let n = Slots.group_size p.slots in
+    let mi = p.me in
+    let blocks = Slots.blocks p.slots slot in
+    let round = get p.next_round slot 1 in
+    Hashtbl.replace p.next_round slot (round + 1);
+    let b = (round * n) + mi + 1 in
+    let k = { (get p.known slot empty_block) with mbal = b } in
+    Hashtbl.replace p.known slot k;
+    Proc.write blocks.(mi) k;
+    let best = ref (k.bal, k.value) in
+    let aborted = ref 0 in
+    for j = 0 to n - 1 do
+      if j <> mi && !aborted = 0 then begin
+        let blk = Proc.read blocks.(j) in
+        if blk.mbal > b then aborted := blk.mbal
+        else if blk.bal > fst !best then best := (blk.bal, blk.value)
+      end
+    done;
+    if !aborted > 0 then begin
+      Hashtbl.replace p.next_round slot (max (round + 1) ((!aborted / n) + 1));
+      None
+    end
+    else begin
+      let v = match snd !best with Some v -> v | None -> v in
+      let k = { mbal = b; bal = b; value = Some v } in
+      Hashtbl.replace p.known slot k;
+      Proc.write blocks.(mi) k;
+      let overtaken = ref 0 in
+      for j = 0 to n - 1 do
+        if j <> mi && !overtaken = 0 then begin
+          let blk = Proc.read blocks.(j) in
+          if blk.mbal > b then overtaken := blk.mbal
+        end
+      done;
+      if !overtaken > 0 then begin
+        Hashtbl.replace p.next_round slot (max (round + 1) ((!overtaken / n) + 1));
+        None
+      end
+      else Some v
+    end
+end
+
+(* The leader hint the log (and the KV service) routes commands to: the
+   failure detector's smallest unsuspected index. *)
+let leader_hint = Fd.leader
 
 type outcome = {
   reason : Engine.stop_reason;
@@ -40,50 +169,10 @@ type outcome = {
   trace : Mm_sim.Trace.event list;
 }
 
-(* Host-level lazy register tables: conceptually the infinite per-slot
-   arrays pre-exist (as in HBO's RVals/PVals); we materialize on first
-   touch.  The engine is single-threaded, so this is race-free. *)
-type slot_memory = {
-  store : Mem.store;
-  n : int;
-  blocks : (int, block Mem.reg array) Hashtbl.t;
-  decisions : (int, command option Mem.reg) Hashtbl.t;
-}
-
-let slot_blocks sm s =
-  match Hashtbl.find_opt sm.blocks s with
-  | Some a -> a
-  | None ->
-    let a =
-      Array.init sm.n (fun i ->
-          let owner = Id.of_int i in
-          let others =
-            List.filter (fun q -> not (Id.equal q owner)) (Id.all sm.n)
-          in
-          Mem.alloc sm.store
-            ~name:(Printf.sprintf "R[%d][%d]" s i)
-            ~owner ~shared_with:others empty_block)
-    in
-    Hashtbl.add sm.blocks s a;
-    a
-
-let slot_decision sm s =
-  match Hashtbl.find_opt sm.decisions s with
-  | Some r -> r
-  | None ->
-    let owner = Id.of_int (s mod sm.n) in
-    let others = List.filter (fun q -> not (Id.equal q owner)) (Id.all sm.n) in
-    let r =
-      Mem.alloc sm.store
-        ~name:(Printf.sprintf "D[%d]" s)
-        ~owner ~shared_with:others None
-    in
-    Hashtbl.add sm.decisions s r;
-    r
-
 let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
   let mi = Id.to_int me in
   let det = Fd.create alive ~me:mi in
+  let prop = Proposer.create sm ~me:mi in
   (* Commands we are responsible for getting committed. *)
   let pending : command Queue.t = Queue.create () in
   List.iter (fun c -> Queue.add c pending) my_commands;
@@ -94,10 +183,6 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
   let applied_cmds : (command, unit) Hashtbl.t = Hashtbl.create 32 in
   let learn_cache : (int, command) Hashtbl.t = Hashtbl.create 32 in
   let apply_next = ref 0 in
-  (* Per-slot proposer state. *)
-  let known : (int, block) Hashtbl.t = Hashtbl.create 16 in
-  let next_round : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  let get tbl s d = Option.value ~default:d (Hashtbl.find_opt tbl s) in
   let is_applied c = Hashtbl.mem applied_cmds c in
   let apply s c =
     let duplicate = is_applied c in
@@ -116,54 +201,12 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
       | Some c -> apply s c
       | None ->
         if read_register then begin
-          match Proc.read (slot_decision sm s) with
+          match Slots.read_decided sm s with
           | Some c -> apply s c
           | None -> progress := false
         end
         else progress := false
     done
-  in
-  (* One Disk-Paxos ballot on slot [s] proposing [cmd].  Returns the
-     chosen command on success. *)
-  let attempt s cmd =
-    let blocks = slot_blocks sm s in
-    let round = get next_round s 1 in
-    Hashtbl.replace next_round s (round + 1);
-    let b = (round * n) + mi + 1 in
-    let k = { (get known s empty_block) with mbal = b } in
-    Hashtbl.replace known s k;
-    Proc.write blocks.(mi) k;
-    let best = ref (k.bal, k.value) in
-    let aborted = ref 0 in
-    for j = 0 to n - 1 do
-      if j <> mi && !aborted = 0 then begin
-        let blk = Proc.read blocks.(j) in
-        if blk.mbal > b then aborted := blk.mbal
-        else if blk.bal > fst !best then best := (blk.bal, blk.value)
-      end
-    done;
-    if !aborted > 0 then begin
-      Hashtbl.replace next_round s (max (round + 1) ((!aborted / n) + 1));
-      None
-    end
-    else begin
-      let v = match snd !best with Some v -> v | None -> cmd in
-      let k = { mbal = b; bal = b; value = Some v } in
-      Hashtbl.replace known s k;
-      Proc.write blocks.(mi) k;
-      let overtaken = ref 0 in
-      for j = 0 to n - 1 do
-        if j <> mi && !overtaken = 0 then begin
-          let blk = Proc.read blocks.(j) in
-          if blk.mbal > b then overtaken := blk.mbal
-        end
-      done;
-      if !overtaken > 0 then begin
-        Hashtbl.replace next_round s (max (round + 1) ((!overtaken / n) + 1));
-        None
-      end
-      else Some v
-    end
   in
   let next_proposal () =
     (* prefer own pending work, then forwarded commands; skip anything
@@ -205,9 +248,9 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
        | None -> Proc.yield ()
        | Some cmd -> (
          let s = !apply_next in
-         match attempt s cmd with
+         match Proposer.attempt prop ~slot:s cmd with
          | Some chosen ->
-           Proc.write (slot_decision sm s) (Some chosen);
+           Slots.write_decision sm s chosen;
            Hashtbl.replace learn_cache s chosen;
            List.iter
              (fun q ->
@@ -217,7 +260,7 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
          | None ->
            (* Lost the ballot: someone else decided or is deciding this
               slot; catch up from the register before retrying. *)
-           (match Proc.read (slot_decision sm s) with
+           (match Slots.read_decided sm s with
            | Some c -> Hashtbl.replace learn_cache s c
            | None -> ());
            Proc.yield ())
@@ -229,7 +272,7 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
        (if iter mod 24 = 0 then
           match Queue.peek_opt pending with
           | Some c when not (is_applied c) ->
-            Proc.send (Id.of_int (Fd.leader det)) (Forward c)
+            Proc.send (Id.of_int (leader_hint det)) (Forward c)
           | Some _ | None -> ());
        Proc.yield ()
      end);
@@ -248,7 +291,9 @@ let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
       ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
-  let sm = { store; n; blocks = Hashtbl.create 32; decisions = Hashtbl.create 32 } in
+  let sm =
+    Slots.create store ~pids:(Array.init n Id.of_int) ~prefix:""
+  in
   let alive = Fd.registers store ~n in
   let crashed = Array.make n false in
   List.iter

@@ -33,6 +33,58 @@ type command = {
 
 val pp_command : Format.formatter -> command -> unit
 
+(** {2 Reusable slot machinery}
+
+    The per-slot register layout and the Disk-Paxos ballot, generalized
+    over the decided value type and over the member pids, so higher
+    layers (the sharded KV service in [Mm_kv]) can run several
+    independent log groups inside one engine.  All [Proc]-touching
+    operations must run in process context; {!Slots.peek_decided} is the
+    host-side exception. *)
+
+module Slots : sig
+  (** One group's per-slot registers: for each slot [s], one proposal
+      block per member ([R\[s\]\[i\]], SWMR, owner [pids.(i)]) and one
+      decision register ([D\[s\]], owner [pids.(s mod n)]).  Registers
+      materialize lazily on first touch; [prefix] keeps groups sharing a
+      store apart. *)
+  type 'v t
+
+  val create :
+    Mm_mem.Mem.store -> pids:Mm_core.Id.t array -> prefix:string -> 'v t
+
+  val group_size : 'v t -> int
+
+  (** [read_decided t s] is the §5.3 local-read primitive: one register
+      read of the decision register — no message round-trips.  A leader
+      that has applied every decided slot serves reads from its own
+      state after one such [None]-returning read. *)
+  val read_decided : 'v t -> int -> 'v option
+
+  val write_decision : 'v t -> int -> 'v -> unit
+
+  (** Host-side decided-slot lookup (no access-control or step
+      accounting; for monitors and tests). *)
+  val peek_decided : 'v t -> int -> 'v option
+end
+
+module Proposer : sig
+  (** Per-member Disk-Paxos proposer state over a {!Slots.t}. *)
+  type 'v t
+
+  val create : 'v Slots.t -> me:int -> 'v t
+
+  (** [attempt p ~slot v] runs one ballot proposing [v] at [slot].
+      [Some chosen] on success — [chosen] may be an adopted earlier
+      proposal rather than [v]; [None] if the ballot was overtaken
+      (retry after catching up from the decision register). *)
+  val attempt : 'v t -> slot:int -> 'v -> 'v option
+end
+
+(** [leader_hint det] is the failure detector's current leader hint (the
+    smallest unsuspected index) — where followers forward commands. *)
+val leader_hint : Mm_election.Register_fd.t -> int
+
 type outcome = {
   reason : Mm_sim.Engine.stop_reason;
   logs : (int * command) list array;

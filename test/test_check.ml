@@ -409,7 +409,7 @@ let smoke_params =
 
 let test_registry_names () =
   Alcotest.(check (list string)) "registration order"
-    [ "hbo"; "omega"; "abd"; "paxos"; "mutex"; "smr" ]
+    [ "hbo"; "omega"; "abd"; "paxos"; "mutex"; "smr"; "kv" ]
     Registry.names;
   List.iter
     (fun name ->
@@ -821,6 +821,59 @@ let test_omega_nemesis_convergence_violation () =
       Alcotest.(check bool) "replayed trace" true
         (cx.Runner.trace = cx'.Runner.trace))
 
+(* --- parameter validation: --settle and --chunk must be positive --- *)
+
+let rejects f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_settle_must_be_positive () =
+  List.iter
+    (fun name ->
+      let (module S : Scenario.S) = scenario name in
+      List.iter
+        (fun bad ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s rejects settle=%d" name bad)
+            true
+            (rejects (fun () ->
+                 S.cfg_of_params
+                   { smoke_params with Scenario.settle = Some bad })))
+        [ 0; -1; -10_000 ];
+      (* a positive settle is accepted *)
+      ignore
+        (S.cfg_of_params { smoke_params with Scenario.settle = Some 100 }))
+    [ "omega"; "kv" ]
+
+let test_chunk_must_be_positive () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep rejects chunk=%d" bad)
+        true
+        (rejects (fun () ->
+             Runner.sweep (scenario "omega") ~budget:1 ~chunk:bad
+               ~params:smoke_params ())))
+    [ 0; -1 ];
+  (* chunk composes with the parallel path without changing the report *)
+  let sweep ?chunk ~jobs () =
+    Runner.sweep (scenario "hbo") ~master_seed:3 ~budget:8 ~jobs ?chunk
+      ~params:smoke_params ()
+  in
+  let base = sweep ~jobs:1 () in
+  List.iter
+    (fun chunk ->
+      let r = sweep ~chunk ~jobs:2 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "chunk=%d report unchanged" chunk)
+        true
+        ( r.Runner.trials_run = base.Runner.trials_run
+        && r.Runner.distinct_trials = base.Runner.distinct_trials
+        && r.Runner.violation = base.Runner.violation ))
+    [ 1; 3; 64 ]
+
 let () =
   (* Runner.sweep caps its worker-domain count at the machine's core
      count; lift the cap so the jobs-determinism tests drive the real
@@ -941,5 +994,12 @@ let () =
             test_partition_timeline_replays_identically;
           Alcotest.test_case "omega convergence violation" `Quick
             test_omega_nemesis_convergence_violation;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "settle must be positive" `Quick
+            test_settle_must_be_positive;
+          Alcotest.test_case "chunk must be positive" `Quick
+            test_chunk_must_be_positive;
         ] );
     ]

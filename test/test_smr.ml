@@ -96,6 +96,118 @@ let test_duplicates_are_deduplicated () =
   let raw = List.length o.Log.logs.(1) in
   Alcotest.(check bool) "dups accounted" true (raw >= List.length distinct)
 
+(* --- the reusable Slots/Proposer machinery --- *)
+
+module Id = Mm_core.Id
+module Domain_ = Mm_core.Domain
+
+let test_slots_decided_read_is_message_free () =
+  (* The §5.3 satellite pin: once a slot is decided, reading it at the
+     leader is one register read — the network counters must not move at
+     all, for the decided slot or for an undecided probe. *)
+  let n = 3 in
+  let eng =
+    Engine.create ~seed:7 ~domain:(Domain_.full n) ~link:Net.Reliable ~n ()
+  in
+  let slots =
+    Log.Slots.create (Engine.store eng) ~pids:(Array.init n Id.of_int)
+      ~prefix:"T/"
+  in
+  Alcotest.(check int) "group size" n (Log.Slots.group_size slots);
+  let ballot = ref None in
+  let decided_read = ref None in
+  let undecided_read = ref (Some 999) in
+  let moved = ref (-1, -1) in
+  Engine.spawn eng (Id.of_int 0) (fun () ->
+      let p = Log.Proposer.create slots ~me:0 in
+      (ballot := Log.Proposer.attempt p ~slot:0 42);
+      (match !ballot with
+      | Some v -> Log.Slots.write_decision slots 0 v
+      | None -> ());
+      let before = Net.stats (Engine.network eng) in
+      decided_read := Log.Slots.read_decided slots 0;
+      undecided_read := Log.Slots.read_decided slots 1;
+      let after = Net.stats (Engine.network eng) in
+      moved :=
+        ( after.Net.sent - before.Net.sent,
+          after.Net.delivered - before.Net.delivered ));
+  ignore (Engine.run eng ~max_steps:5_000 ());
+  Alcotest.(check (option int)) "uncontended ballot decides" (Some 42) !ballot;
+  Alcotest.(check (option int)) "decided-slot read" (Some 42) !decided_read;
+  Alcotest.(check (option int)) "undecided probe" None !undecided_read;
+  Alcotest.(check (pair int int)) "zero messages for both reads" (0, 0) !moved;
+  (* host-side peek agrees, and the whole run was message-free *)
+  Alcotest.(check (option int)) "peek decided" (Some 42)
+    (Log.Slots.peek_decided slots 0);
+  Alcotest.(check (option int)) "peek undecided" None
+    (Log.Slots.peek_decided slots 1);
+  Alcotest.(check int) "no messages anywhere" 0
+    (Net.stats (Engine.network eng)).Net.sent
+
+let test_dueling_proposers_agree () =
+  (* Two proposers race for slot 0 with different values; whoever loses
+     the ballot catches up from the decision register.  Both must end up
+     with the same chosen value. *)
+  for seed = 1 to 10 do
+    let n = 2 in
+    let eng =
+      Engine.create ~seed ~domain:(Domain_.full n) ~link:Net.Reliable ~n ()
+    in
+    let slots =
+      Log.Slots.create (Engine.store eng) ~pids:(Array.init n Id.of_int)
+        ~prefix:"T/"
+    in
+    let out = [| None; None |] in
+    for me = 0 to 1 do
+      Engine.spawn eng (Id.of_int me) (fun () ->
+          let p = Log.Proposer.create slots ~me in
+          let rec go () =
+            match Log.Proposer.attempt p ~slot:0 (100 + me) with
+            | Some v ->
+              Log.Slots.write_decision slots 0 v;
+              out.(me) <- Some v
+            | None -> (
+              match Log.Slots.read_decided slots 0 with
+              | Some v -> out.(me) <- Some v
+              | None -> go ())
+          in
+          go ())
+    done;
+    ignore
+      (Engine.run eng ~max_steps:20_000
+         ~until:(fun () -> out.(0) <> None && out.(1) <> None)
+         ());
+    Alcotest.(check bool)
+      (Printf.sprintf "both decided (seed %d)" seed)
+      true
+      (out.(0) <> None && out.(1) <> None);
+    Alcotest.(check bool)
+      (Printf.sprintf "agreement (seed %d)" seed)
+      true
+      (out.(0) = out.(1))
+  done
+
+let test_slots_groups_are_independent () =
+  (* Two groups sharing one store but distinct prefixes must not see
+     each other's decisions. *)
+  let n = 2 in
+  let eng =
+    Engine.create ~seed:3 ~domain:(Domain_.full n) ~link:Net.Reliable ~n ()
+  in
+  let pids = Array.init n Id.of_int in
+  let a = Log.Slots.create (Engine.store eng) ~pids ~prefix:"A/" in
+  let b = Log.Slots.create (Engine.store eng) ~pids ~prefix:"B/" in
+  Engine.spawn eng (Id.of_int 0) (fun () ->
+      let p = Log.Proposer.create a ~me:0 in
+      match Log.Proposer.attempt p ~slot:0 7 with
+      | Some v -> Log.Slots.write_decision a 0 v
+      | None -> ());
+  ignore (Engine.run eng ~max_steps:5_000 ());
+  Alcotest.(check (option int)) "group A decided" (Some 7)
+    (Log.Slots.peek_decided a 0);
+  Alcotest.(check (option int)) "group B untouched" None
+    (Log.Slots.peek_decided b 0)
+
 let prop_smr_safety =
   QCheck.Test.make ~name:"replicated log: consistency over random runs"
     ~count:25
@@ -123,5 +235,14 @@ let () =
           Alcotest.test_case "n-1 crashes" `Quick test_n_minus_1_crashes;
           Alcotest.test_case "dedup" `Quick test_duplicates_are_deduplicated;
           QCheck_alcotest.to_alcotest prop_smr_safety;
+        ] );
+      ( "slots",
+        [
+          Alcotest.test_case "decided read is message-free" `Quick
+            test_slots_decided_read_is_message_free;
+          Alcotest.test_case "dueling proposers agree" `Quick
+            test_dueling_proposers_agree;
+          Alcotest.test_case "groups independent" `Quick
+            test_slots_groups_are_independent;
         ] );
     ]

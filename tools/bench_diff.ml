@@ -170,9 +170,10 @@ let parse_json (s : string) : json =
 
 (* (kernel, ns_per_run option) in file order; None = bechamel produced
    no estimate (emitted as null).  Fixed-budget kernels — the sweep
-   kernels (check/<name>-sweep, check/<name>-nemesis) and the derived
+   kernels (check/<name>-sweep, check/<name>-nemesis), the derived
    throughput rows (arena-reuse speedup, dedup hit rate, GC words per
-   trial, whose "ns_per_run" holds the derived metric) — must
+   trial, whose "ns_per_run" holds the derived metric), and every kv/*
+   latency row (whose "budget" is the request count driven) — must
    additionally carry a "budget" field, the trial count they ran, as a
    positive integer; any other kernel may carry one too, with the same
    shape. *)
@@ -180,6 +181,7 @@ let requires_budget kernel =
   (String.starts_with ~prefix:"check/" kernel
   && (String.ends_with ~suffix:"-sweep" kernel
      || String.ends_with ~suffix:"-nemesis" kernel))
+  || String.starts_with ~prefix:"kv/" kernel
   || String.equal kernel "check/arena-reuse-speedup"
   || String.equal kernel "check/dedup-hit-rate"
   || String.equal kernel "gc/minor-words-per-trial"
