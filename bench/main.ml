@@ -275,6 +275,62 @@ let gc_row ~smoke =
       budget off_words
       (off_words /. Float.max on_words 1.0) )
 
+(* check/sweep-scaling-j{1,2,4,8}: the same clean fixed-budget hbo sweep
+   at four --jobs settings, timed wall-clock (best-of-repeat), with the
+   whole speedup curve relative to j1 recorded alongside — bench_diff
+   gates the curve (monotone in j, floor on j4), not a single point.
+   Each row carries the requested "jobs", the "domains" that actually
+   ran (the Runner caps workers at the core count, and the pool at the
+   chunk count), the host's "cores" so downstream tooling can judge the
+   curve fairly on small machines, and the per-domain claimed/dedup-hit
+   split (satellite diagnostics; timing-dependent, unlike the report).
+   speedup_j4 on the j4 row is the one-number summary the perf
+   trajectory tracks across PRs. *)
+let scaling_jobs = [ 1; 2; 4; 8 ]
+
+let scaling_rows ~smoke =
+  let budget = if smoke then 8 else 48 in
+  let repeat = if smoke then 1 else 3 in
+  let run jobs =
+    Runner.sweep_stats
+      (module Mm_check.Scenario_hbo)
+      ~master_seed:7 ~budget ~jobs ~params:sweep_params ()
+  in
+  ignore (run 1);
+  (* warm: one-time setup out of the j1 baseline *)
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  let measured =
+    List.map
+      (fun jobs ->
+        let stats = ref [||] in
+        let ns = time_ns ~repeat (fun () -> stats := snd (run jobs)) in
+        (jobs, ns, !stats))
+      scaling_jobs
+  in
+  let ns1 =
+    match measured with (1, ns, _) :: _ -> ns | _ -> assert false
+  in
+  List.map
+    (fun (jobs, ns, stats) ->
+      let per_domain field f =
+        Printf.sprintf ", \"%s\": [%s]" field
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (fun s -> string_of_int (f s)) stats)))
+      in
+      let extras =
+        Printf.sprintf
+          ", \"budget\": %d, \"jobs\": %d, \"domains\": %d, \"cores\": %d, \
+           \"speedup\": %.3f%s%s%s"
+          budget jobs (Array.length stats) cores (ns1 /. ns)
+          (if jobs = 4 then Printf.sprintf ", \"speedup_j4\": %.3f" (ns1 /. ns)
+           else "")
+          (per_domain "claimed_per_domain" (fun s -> s.Runner.claimed))
+          (per_domain "dedup_hits_per_domain" (fun s -> s.Runner.dedup_hits))
+      in
+      (Printf.sprintf "check/sweep-scaling-j%d" jobs, ns, extras))
+    measured
+
 (* kv/latency-p99-partition: one 3-replica shard under open-loop load
    with a hand-authored partition isolating the leader mid-run; the
    latency histogram is windowed into warm / partitioned / healed thirds
@@ -370,6 +426,7 @@ let derived_rows ~smoke () =
     arena_reuse_row ~smoke; dedup_row ~smoke; gc_row ~smoke;
     kv_partition_row ~smoke; kv_local_read_row ~smoke;
   ]
+  @ scaling_rows ~smoke
 
 (* One micro-kernel per experiment table: the time being measured is the
    dominant computational piece that the table's rows are built from. *)

@@ -535,9 +535,16 @@ let check_cmd =
                  gets from its decided-slot registers) and push every \
                  get through the replicated log.")
   in
+  let report_domains_arg =
+    Arg.(value & flag & info [ "report-domains" ]
+           ~doc:"Print per-domain claimed/executed/dedup-hit counts after \
+                 the report, so a scaling regression localizes to a domain. \
+                 Diagnostic only: unlike the report, these counts vary with \
+                 --jobs and scheduling.")
+  in
   let run (module S : Scenario.S) family n seed budget max_crashes max_steps
       impl variant drop expect_stall replay trace jobs entries commands
-      nemesis settle chunk shards clients no_local_reads =
+      nemesis settle chunk shards clients no_local_reads report_domains =
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let variant =
       match String.lowercase_ascii variant with
@@ -570,14 +577,17 @@ let check_cmd =
     (match Runner.preamble (module S) ~params with
     | Some line -> Format.printf "%s@." line
     | None -> ());
-    let report =
+    let report, stats =
       match replay with
-      | Some trial_seed -> Runner.replay (module S) ~params ~trial_seed ()
+      | Some trial_seed ->
+        (Runner.replay (module S) ~params ~trial_seed (), [||])
       | None ->
-        Runner.sweep (module S) ~master_seed:seed ?budget ~jobs ?chunk ~params
-          ()
+        Runner.sweep_stats (module S) ~master_seed:seed ?budget ~jobs ?chunk
+          ~params ()
     in
     Format.printf "%a" Runner.pp_report report;
+    if report_domains && Array.length stats > 0 then
+      Format.printf "%a" Runner.pp_domain_stats stats;
     if report.Runner.violation <> None then exit 1
   in
   let man =
@@ -597,7 +607,7 @@ let check_cmd =
           $ impl_arg $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg
           $ trace_arg $ jobs_arg $ entries_arg $ commands_arg $ nemesis_arg
           $ settle_arg $ chunk_arg $ shards_arg $ clients_arg
-          $ no_local_reads_arg)
+          $ no_local_reads_arg $ report_domains_arg)
 
 (* --- graph analysis --- *)
 

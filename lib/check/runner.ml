@@ -23,6 +23,8 @@ type report = {
   violation : counterexample option;
 }
 
+type domain_stat = { claimed : int; executed : int; dedup_hits : int }
+
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
 
@@ -46,6 +48,15 @@ let pp_counterexample fmt cx =
     List.iter (fun e -> Format.fprintf fmt "    %a@." Trace.pp_event e) trace);
   Format.fprintf fmt "  replay: rerun with --replay %d to reproduce@."
     cx.trial_seed
+
+let pp_domain_stats fmt stats =
+  Format.fprintf fmt "per-domain sweep stats (%d domain(s)):@."
+    (Array.length stats);
+  Array.iteri
+    (fun w s ->
+      Format.fprintf fmt "  d%d: claimed %d  executed %d  dedup-hits %d@." w
+        s.claimed s.executed s.dedup_hits)
+    stats
 
 let pp_report fmt r =
   match r.violation with
@@ -93,41 +104,38 @@ let count_distinct fps trials_run =
   done;
   !d
 
-(* A fixed-capacity lock-free set of fingerprints shared by the sweep
-   workers: open addressing, one CAS per insert, [min_int] = empty slot
-   (fingerprints are non-negative).  Capacity is at least twice the
-   budget, so the load factor never exceeds 1/2 and probes terminate.
-   Membership is advisory — a racing duplicate may slip past and
-   execute its (identical, clean) trial twice, which wastes work but
-   cannot change any reported number. *)
-module Fp_set = struct
-  type t = { slots : int Atomic.t array; mask : int }
+(* The worker-domain minor-heap size for parallel sweeps, in words.  In
+   OCaml 5 every minor collection stops the world across all domains,
+   so a sweeping domain wants its clean trials to fit inside its own
+   minor heap: the default (2^20 words = 8 MiB on 64-bit, 4x the 5.1
+   default) holds a whole default chunk of small trials and several
+   20k-step hbo trials (~240k words each at the ~12 words/step engine
+   floor — see the gc/minor-words-per-trial bench row) between
+   collections.  MM_CHECK_MINOR_HEAP overrides it; anything below the
+   runtime's 64k-word floor falls back to the default. *)
+let minor_heap_words () =
+  let default = 1 lsl 20 in
+  match Sys.getenv_opt "MM_CHECK_MINOR_HEAP" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some w when w >= 1 lsl 16 -> w
+    | Some _ | None -> default)
+  | None -> default
 
-  let create budget =
-    let cap = ref 16 in
-    while !cap < 2 * budget do
-      cap := !cap * 2
-    done;
-    { slots = Array.init !cap (fun _ -> Atomic.make min_int); mask = !cap - 1 }
-
-  let rec mem_at t fp i =
-    match Atomic.get t.slots.(i land t.mask) with
-    | v when v = fp -> true
-    | v when v = min_int -> false
-    | _ -> mem_at t fp (i + 1)
-
-  let mem t fp = mem_at t fp (fp land t.mask)
-
-  let rec add_at t fp i =
-    let slot = t.slots.(i land t.mask) in
-    match Atomic.get slot with
-    | v when v = fp -> ()
-    | v when v = min_int ->
-      if not (Atomic.compare_and_set slot min_int fp) then add_at t fp i
-    | _ -> add_at t fp (i + 1)
-
-  let add t fp = add_at t fp (fp land t.mask)
-end
+(* The domain-local trial state of one sweep worker.  Nothing in here is
+   ever touched by another domain while the pool runs: the dedup memo is
+   private (a duplicate first seen by two different domains executes in
+   both — wasted work, never a wrong number), and the (index,
+   fingerprint) log is merged into the shared per-trial array only after
+   the pool has joined.  Between claiming a chunk and reporting, a
+   worker therefore shares no mutable state with its siblings. *)
+type wctx = {
+  arena : Arena.t option;
+  memo : (int, unit) Hashtbl.t;  (* fingerprints THIS domain saw clean *)
+  mutable logged : (int * int) list;  (* (trial index, fingerprint) *)
+  mutable executed : int;
+  mutable dedup_hits : int;
+}
 
 (* Driving one scenario: a trial is gen + execute + monitors, and a
    violating trial additionally delta-debugs itself through the
@@ -190,11 +198,15 @@ end
    Each worker domain owns one reusable {!Mm_sim.Arena} (unless
    [reuse_arenas] is off), so a sweep allocates one simulator per
    domain instead of one per trial.  Clean trials whose generation
-   fingerprint was already seen clean are counted but not re-executed;
-   violating fingerprints are never memoized, so a duplicate of a
-   violating trial always re-executes and the lowest-index hit is
-   unchanged. *)
-let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
+   fingerprint was already seen clean {e by the same domain} are
+   counted but not re-executed; the dedup tables are domain-private
+   (zero cross-domain traffic on the trial path) and merged after the
+   pool joins, so the reported [distinct]/[deduped] split — recomputed
+   from the merged per-trial fingerprints — is identical at every
+   [jobs] setting.  Violating fingerprints are never memoized, so a
+   duplicate of a violating trial always re-executes and the
+   lowest-index hit is unchanged. *)
+let sweep_stats (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
     ?chunk ?(reuse_arenas = true) ~params () =
   if jobs < 1 then invalid_arg "Runner.sweep: jobs must be >= 1";
   (match chunk with
@@ -228,29 +240,43 @@ let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
       violation;
     }
   in
-  if budget <= 0 then finish ~trials_run:0 ~violation:None
+  if budget <= 0 then (finish ~trials_run:0 ~violation:None, [||])
   else if jobs = 1 then begin
     let arena = new_arena () in
     let memo = Hashtbl.create (2 * budget) in
+    let executed = ref 0 in
+    let dedup_hits = ref 0 in
+    let stat ~trials_run =
+      [| { claimed = trials_run; executed = !executed;
+           dedup_hits = !dedup_hits } |]
+    in
     let rec go i =
-      if i >= budget then finish ~trials_run:budget ~violation:None
+      if i >= budget then
+        (finish ~trials_run:budget ~violation:None, stat ~trials_run:budget)
       else begin
         let trial_seed = trial_seed_of rng in
         let t, fp = D.gen_fp cfg ~trial_seed in
         fps.(i) <- fp;
-        if Hashtbl.mem memo fp then go (i + 1)
-        else
+        if Hashtbl.mem memo fp then begin
+          incr dedup_hits;
+          go (i + 1)
+        end
+        else begin
+          incr executed;
           match D.check ?arena cfg t with
           | None ->
             Hashtbl.add memo fp ();
             go (i + 1)
           | Some _ -> (
             match D.run_trial ?arena cfg ~trial:i ~trial_seed with
-            | Some cx -> finish ~trials_run:(i + 1) ~violation:(Some cx)
+            | Some cx ->
+              ( finish ~trials_run:(i + 1) ~violation:(Some cx),
+                stat ~trials_run:(i + 1) )
             | None ->
               (* A trial is a pure function of its seed, so the detect
                  hit must reproduce. *)
               assert false)
+        end
       end
     in
     go 0
@@ -259,28 +285,77 @@ let sweep (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
     (* Same master stream, pre-drawn: seed i here = seed of trial i in
        the sequential loop above. *)
     let seeds = Array.init budget (fun _ -> trial_seed_of rng) in
-    let clean = Fp_set.create budget in
-    let detect arena i =
+    let minor_words = minor_heap_words () in
+    let saved_minor = (Gc.get ()).Gc.minor_heap_size in
+    let new_ctx _wid =
+      (* Runs inside the worker domain, before its first trial: the
+         domain pre-sizes its own minor heap so clean trials complete
+         without triggering a cross-domain stop-the-world collection. *)
+      Arena.shape_minor_heap ~words:minor_words;
+      {
+        arena = new_arena ();
+        memo = Hashtbl.create 64;
+        logged = [];
+        executed = 0;
+        dedup_hits = 0;
+      }
+    in
+    let detect ctx i =
       let t, fp = D.gen_fp cfg ~trial_seed:seeds.(i) in
-      (* One writer per index (the pool claims each index exactly once);
-         the joins below order these writes before the distinct count. *)
-      fps.(i) <- fp;
-      if Fp_set.mem clean fp then false
-      else
-        match D.check ?arena cfg t with
+      ctx.logged <- (i, fp) :: ctx.logged;
+      if Hashtbl.mem ctx.memo fp then begin
+        ctx.dedup_hits <- ctx.dedup_hits + 1;
+        false
+      end
+      else begin
+        ctx.executed <- ctx.executed + 1;
+        match D.check ?arena:ctx.arena cfg t with
         | None ->
-          Fp_set.add clean fp;
+          Hashtbl.add ctx.memo fp ();
           false
         | Some _ -> true
+      end
     in
-    match Pool.find_first_init ~jobs ?chunk ~init:new_arena ~budget detect with
-    | None -> finish ~trials_run:budget ~violation:None
+    let r =
+      (* The worker-domain Gc shaping leaks into the calling domain
+         (worker 0 is this domain); restore it even if a trial raised. *)
+      Fun.protect
+        ~finally:(fun () ->
+          let g = Gc.get () in
+          if g.Gc.minor_heap_size <> saved_minor then
+            Gc.set { g with Gc.minor_heap_size = saved_minor })
+        (fun () ->
+          Pool.find_first_stats ~jobs ?chunk ~init:new_ctx ~budget detect)
+    in
+    (* Merge the domain-private logs into the per-trial fingerprint
+       array.  Every index at or below the final frontier was evaluated
+       by exactly one worker (the pool invariant), so after this merge
+       [fps.(0 .. trials_run)] is fully populated and [count_distinct]
+       recomputes the distinct/deduped split from scratch — lowest
+       index wins was already settled by the pool, and the numbers come
+       out identical to a sequential sweep by construction. *)
+    Array.iter
+      (fun ctx -> List.iter (fun (i, fp) -> fps.(i) <- fp) ctx.logged)
+      r.Pool.ctxs;
+    let stats =
+      Array.mapi
+        (fun w ctx ->
+          { claimed = r.Pool.claimed.(w); executed = ctx.executed;
+            dedup_hits = ctx.dedup_hits })
+        r.Pool.ctxs
+    in
+    match r.Pool.found with
+    | None -> (finish ~trials_run:budget ~violation:None, stats)
     | Some i -> (
       let arena = new_arena () in
       match D.run_trial ?arena cfg ~trial:i ~trial_seed:seeds.(i) with
-      | Some cx -> finish ~trials_run:(i + 1) ~violation:(Some cx)
+      | Some cx -> (finish ~trials_run:(i + 1) ~violation:(Some cx), stats)
       | None -> assert false)
   end
+
+let sweep sc ?master_seed ?budget ?jobs ?chunk ?reuse_arenas ~params () =
+  fst
+    (sweep_stats sc ?master_seed ?budget ?jobs ?chunk ?reuse_arenas ~params ())
 
 let replay (module Sc : Scenario.S) ~params ~trial_seed () =
   let module D = Drive (Sc) in

@@ -49,7 +49,17 @@ type report = {
   violation : counterexample option;
 }
 
+(** One sweep worker's share of the detection phase: [claimed] trial
+    indices taken off the pool's counter, [executed] trials actually run
+    through the simulator, [dedup_hits] trials skipped because this
+    domain had already seen their fingerprint clean.  Unlike the report,
+    these counts depend on cross-domain timing — they localize a scaling
+    regression to a domain, they are not part of the deterministic
+    result (see [mm check --report-domains]). *)
+type domain_stat = { claimed : int; executed : int; dedup_hits : int }
+
 val pp_report : Format.formatter -> report -> unit
+val pp_domain_stats : Format.formatter -> domain_stat array -> unit
 
 (** {2 The generic engine} *)
 
@@ -57,14 +67,22 @@ val pp_report : Format.formatter -> report -> unit
     scenario [Sc] (default budget: [Sc.default_budget]) configured from
     [params] via [Sc.cfg_of_params].
 
-    Two throughput mechanisms, both report-invisible by construction:
-    each sweeping domain reuses one simulator arena across its trials
-    (disable with [reuse_arenas:false] — reset is observably identical
-    to fresh creation, see {!Mm_sim.Arena}), and clean trials whose
-    generation fingerprint was already seen clean are counted in
-    [trials_run] but not re-executed ([distinct_trials] / [deduped]
-    report the split).  Violating fingerprints are never memoized, so a
-    duplicate of a violating trial always re-executes.
+    The trial hot path is domain-local: between claiming a chunk of
+    trial indices and reporting, a worker domain touches no shared
+    mutable state.  Three report-invisible mechanisms ride on that
+    invariant — each sweeping domain reuses one simulator arena across
+    its trials (disable with [reuse_arenas:false] — reset is observably
+    identical to fresh creation, see {!Mm_sim.Arena}); each domain
+    keeps a {e private} fingerprint-dedup table (clean duplicates are
+    counted in [trials_run] but not re-executed; the
+    [distinct_trials] / [deduped] split is recomputed from the merged
+    per-trial fingerprints after the pool joins, so it is identical at
+    every [jobs] setting); and each worker pre-sizes its own minor heap
+    ({!Mm_sim.Arena.shape_minor_heap}, [MM_CHECK_MINOR_HEAP] overrides
+    the default) so clean trials complete without triggering a
+    cross-domain stop-the-world minor collection.  Violating
+    fingerprints are never memoized, so a duplicate of a violating
+    trial always re-executes.
 
     [jobs] is a {e maximum} degree of parallelism: the sweep caps the
     worker-domain count at [Domain.recommended_domain_count ()], because
@@ -90,6 +108,23 @@ val sweep :
   params:Scenario.params ->
   unit ->
   report
+
+(** {!sweep} plus the per-domain detection-phase accounting: one
+    {!domain_stat} per worker domain that ran (worker 0 is the calling
+    domain; length 1 for a sequential sweep, and possibly fewer than
+    [jobs] — the pool never spawns a domain with no chunk to claim).
+    The violating trial's single-threaded re-run and shrink are not
+    counted.  The report is identical to {!sweep}'s. *)
+val sweep_stats :
+  Scenario.t ->
+  ?master_seed:int ->
+  ?budget:int ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?reuse_arenas:bool ->
+  params:Scenario.params ->
+  unit ->
+  report * domain_stat array
 
 (** [replay (module Sc) ~params ~trial_seed ()] re-runs the single trial
     identified by [trial_seed] (same derivation as inside {!sweep}) and

@@ -2,6 +2,11 @@ type t = { mutable engine : Engine.t option }
 
 let create () = { engine = None }
 
+let shape_minor_heap ~words =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < words then
+    Gc.set { g with Gc.minor_heap_size = words }
+
 let engine ?arena ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n () =
   match arena with
   | None -> Engine.create ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n ()

@@ -1,0 +1,67 @@
+(* scaling_smoke — `dune build @scaling-smoke`: the multicore sweep
+   engine end-to-end at jobs 1/2/4/8.  Harness validation, not a
+   benchmark: MM_CHECK_MAX_DOMAINS lifts the core-count cap so the
+   parallel path runs real worker domains even on a 1-core CI host, and
+   the gate is the determinism contract — every jobs setting must
+   produce the jobs=1 report bit-for-bit — plus the per-domain
+   accounting invariant (claimed partitions the trials run; claimed =
+   executed + dedup hits in every domain). *)
+
+module B = Mm_graph.Builders
+module Scenario = Mm_check.Scenario
+module Runner = Mm_check.Runner
+
+let params =
+  {
+    Scenario.default_params with
+    graph = Some (B.complete 4);
+    n = 4;
+    max_steps = Some 20_000;
+    crash_window = Some 200;
+  }
+
+let jobs_list = [ 1; 2; 4; 8 ]
+
+let () =
+  Unix.putenv "MM_CHECK_MAX_DOMAINS" "8";
+  let failed = ref false in
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let report, stats =
+        Runner.sweep_stats
+          (module Mm_check.Scenario_hbo)
+          ~master_seed:7 ~budget:12 ~jobs ~params ()
+      in
+      Format.printf "jobs=%d:@.%a%a" jobs Runner.pp_report report
+        Runner.pp_domain_stats stats;
+      if report.Runner.violation <> None then begin
+        Format.printf "FAIL: unexpected violation at jobs=%d@." jobs;
+        failed := true
+      end;
+      let claimed =
+        Array.fold_left (fun acc s -> acc + s.Runner.claimed) 0 stats
+      in
+      if claimed <> report.Runner.trials_run then begin
+        Format.printf "FAIL: jobs=%d claimed %d of %d trials@." jobs claimed
+          report.Runner.trials_run;
+        failed := true
+      end;
+      Array.iteri
+        (fun w s ->
+          if s.Runner.claimed <> s.Runner.executed + s.Runner.dedup_hits then begin
+            Format.printf "FAIL: jobs=%d d%d claimed %d <> %d + %d@." jobs w
+              s.Runner.claimed s.Runner.executed s.Runner.dedup_hits;
+            failed := true
+          end)
+        stats;
+      match !reference with
+      | None -> reference := Some report
+      | Some r1 when r1 = report -> ()
+      | Some _ ->
+        Format.printf "FAIL: jobs=%d report differs from jobs=1@." jobs;
+        failed := true)
+    jobs_list;
+  if !failed then exit 1;
+  Format.printf "scaling smoke: %d jobs settings, identical reports@."
+    (List.length jobs_list)

@@ -275,6 +275,62 @@ let test_pool_chunked_claiming_deterministic () =
         (Mm_check.Pool.find_first ~jobs ~chunk ~budget:100 f))
     [ (2, 1); (2, 7); (4, 16); (8, 64); (3, 200) ]
 
+let test_pool_stats_accounting () =
+  (* A clean sweep claims every index exactly once, so the per-worker
+     [claimed] counts partition the budget however the jobs/chunk split
+     interleaves, and on a hit-free run every claimed index was also
+     evaluated. *)
+  List.iter
+    (fun (jobs, chunk) ->
+      let r =
+        Mm_check.Pool.find_first_stats ~jobs ~chunk
+          ~init:(fun wid -> wid)
+          ~budget:100
+          (fun _ _ -> false)
+      in
+      let name = Printf.sprintf "jobs=%d chunk=%d" jobs chunk in
+      Alcotest.(check (option int)) (name ^ ": no hit") None r.Mm_check.Pool.found;
+      Alcotest.(check int)
+        (name ^ ": claimed partitions the budget")
+        100
+        (Array.fold_left ( + ) 0 r.Mm_check.Pool.claimed);
+      Alcotest.(check int)
+        (name ^ ": evaluated = claimed, hit-free")
+        100
+        (Array.fold_left ( + ) 0 r.Mm_check.Pool.evaluated);
+      Alcotest.(check int)
+        (name ^ ": one stat slot per context")
+        (Array.length r.Mm_check.Pool.ctxs)
+        (Array.length r.Mm_check.Pool.claimed))
+    [ (1, 10); (2, 7); (4, 16); (8, 1) ]
+
+let test_pool_jobs_capped_by_chunk_count () =
+  (* Satellite of the domain-local engine: a coarse chunk must collapse
+     the worker count instead of spawning domains with nothing to claim.
+     budget 8 at chunk 64 is a single chunk -> exactly one worker (the
+     calling domain), and the sequential fast path at that. *)
+  let r =
+    Mm_check.Pool.find_first_stats ~jobs:8 ~chunk:64
+      ~init:(fun wid -> wid)
+      ~budget:8
+      (fun _ _ -> false)
+  in
+  Alcotest.(check int) "one chunk -> one worker" 1
+    (Array.length r.Mm_check.Pool.ctxs);
+  Alcotest.(check int) "that worker claimed everything" 8
+    r.Mm_check.Pool.claimed.(0);
+  (* budget 8 at chunk 3 is three chunks -> exactly three workers *)
+  let r =
+    Mm_check.Pool.find_first_stats ~jobs:8 ~chunk:3
+      ~init:(fun wid -> wid)
+      ~budget:8
+      (fun _ _ -> false)
+  in
+  Alcotest.(check int) "three chunks -> three workers" 3
+    (Array.length r.Mm_check.Pool.ctxs);
+  Alcotest.(check int) "still the whole budget" 8
+    (Array.fold_left ( + ) 0 r.Mm_check.Pool.claimed)
+
 (* --- Runner: end-to-end sweeps (kept small; see the @check alias) --- *)
 
 let test_hbo_clique_within_bound_clean () =
@@ -649,12 +705,85 @@ let test_dedup_never_hides_violation () =
         r (sweep jobs))
     [ 2; 8 ]
 
-(* --- Nemesis: staged fault-injection timelines --- *)
-
 let contains_sub s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   go 0
+
+let test_dedup_merge_across_domains () =
+  (* chunk:1 deals consecutive trial indices to different domains, so a
+     quantized fingerprint's first occurrence lands on one domain and
+     its duplicates on others — each private memo sees it "first" at a
+     different index.  The post-join merge recomputes the
+     distinct/deduped split from the per-trial fingerprint array, so the
+     report must still be bit-identical to the sequential sweep. *)
+  let sweep jobs =
+    Runner.sweep
+      (module Dedup_abd)
+      ~master_seed:5 ~budget:48 ~jobs ~chunk:1 ~params:dedup_params ()
+  in
+  let r1 = sweep 1 in
+  Alcotest.(check bool) "duplicates exist to fight over" true
+    (r1.Runner.deduped > 0);
+  List.iter
+    (fun jobs ->
+      check_same_report (Printf.sprintf "merge jobs=%d" jobs) r1 (sweep jobs))
+    [ 2; 4; 8 ]
+
+let test_domain_stats_account_for_trials () =
+  let report, stats =
+    Runner.sweep_stats
+      (module Dedup_abd)
+      ~master_seed:3 ~budget:64 ~jobs:4 ~chunk:4 ~params:dedup_params ()
+  in
+  Alcotest.(check bool) "clean sweep" true (report.Runner.violation = None);
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+  Alcotest.(check int) "claimed partitions trials_run" report.Runner.trials_run
+    (sum (fun s -> s.Runner.claimed));
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "per domain, claimed = executed + dedup hits"
+        s.Runner.claimed
+        (s.Runner.executed + s.Runner.dedup_hits))
+    stats;
+  (* Private memos may re-execute a duplicate once per domain, but every
+     distinct trial executes somewhere. *)
+  Alcotest.(check bool) "executions cover the distinct trials" true
+    (sum (fun s -> s.Runner.executed) >= report.Runner.distinct_trials);
+  let rendered = Format.asprintf "%a" Runner.pp_domain_stats stats in
+  Alcotest.(check bool) "pp names domain 0" true
+    (contains_sub rendered "d0:");
+  (* A sequential sweep reports exactly one row, with nothing deduped
+     away from it. *)
+  let seq_report, seq = Runner.sweep_stats
+      (module Dedup_abd)
+      ~master_seed:3 ~budget:64 ~params:dedup_params ()
+  in
+  Alcotest.(check int) "sequential: one row" 1 (Array.length seq);
+  Alcotest.(check int) "sequential: row covers the sweep"
+    seq_report.Runner.trials_run seq.(0).Runner.claimed;
+  Alcotest.(check int) "sequential: dedup hits = deduped"
+    seq_report.Runner.deduped seq.(0).Runner.dedup_hits
+
+let test_minor_heap_restored_after_parallel_sweep () =
+  (* Workers pre-size their minor heap (MM_CHECK_MINOR_HEAP override);
+     worker 0 is the calling domain, so the sweep must restore the main
+     domain's setting on the way out. *)
+  Unix.putenv "MM_CHECK_MINOR_HEAP" (string_of_int (1 lsl 18));
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MM_CHECK_MINOR_HEAP" "")
+    (fun () ->
+      let before = (Gc.get ()).Gc.minor_heap_size in
+      let report =
+        Runner.sweep
+          (module Dedup_abd)
+          ~master_seed:2 ~budget:8 ~jobs:4 ~chunk:1 ~params:dedup_params ()
+      in
+      Alcotest.(check int) "sweep ran" 8 report.Runner.trials_run;
+      Alcotest.(check int) "main domain's minor heap restored" before
+        (Gc.get ()).Gc.minor_heap_size)
+
+(* --- Nemesis: staged fault-injection timelines --- *)
 
 let test_nemesis_gen_well_formed () =
   for seed = 0 to 49 do
@@ -917,6 +1046,10 @@ let () =
             test_pool_validates_jobs_and_chunk;
           Alcotest.test_case "chunked claiming deterministic" `Quick
             test_pool_chunked_claiming_deterministic;
+          Alcotest.test_case "stats accounting" `Quick
+            test_pool_stats_accounting;
+          Alcotest.test_case "jobs capped by chunk count" `Quick
+            test_pool_jobs_capped_by_chunk_count;
         ] );
       ( "shrink",
         [
@@ -975,6 +1108,12 @@ let () =
             test_dedup_reuse_off_identical;
           Alcotest.test_case "violations never deduped" `Quick
             test_dedup_never_hides_violation;
+          Alcotest.test_case "merge across domains" `Quick
+            test_dedup_merge_across_domains;
+          Alcotest.test_case "domain stats account for trials" `Quick
+            test_domain_stats_account_for_trials;
+          Alcotest.test_case "minor heap restored" `Quick
+            test_minor_heap_restored_after_parallel_sweep;
         ] );
       ( "nemesis",
         [

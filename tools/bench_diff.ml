@@ -8,6 +8,16 @@
                                         grew by more than P% (default 20)
                                         is a regression (exit 1 if any)
 
+   --check also gates the parallel-sweep scaling *curve*, not just
+   single wall-clock points: every check/sweep-scaling-jN row must
+   carry jobs/cores/speedup (and the j4 row a speedup_j4 summary), and
+   on full-scale recordings (budget >= 16; the @bench-smoke rows are
+   too noisy to gate) the speedups must be monotone non-decreasing in
+   j up to the recording host's core count (10% tolerance) with a
+   floor on speedup_j4 — 2.5x when the host has >= 4 cores, else a
+   no-collapse floor of 0.5x (a 1-core host caps every sweep at one
+   domain, so its whole curve is legitimately flat).
+
    No external JSON dependency: the parser below handles the full JSON
    grammar the bench emits (arrays, objects, strings, numbers, null). *)
 
@@ -181,10 +191,15 @@ let requires_budget kernel =
   (String.starts_with ~prefix:"check/" kernel
   && (String.ends_with ~suffix:"-sweep" kernel
      || String.ends_with ~suffix:"-nemesis" kernel))
+  || String.starts_with ~prefix:"check/sweep-scaling-" kernel
   || String.starts_with ~prefix:"kv/" kernel
   || String.equal kernel "check/arena-reuse-speedup"
   || String.equal kernel "check/dedup-hit-rate"
   || String.equal kernel "gc/minor-words-per-trial"
+
+(* (kernel, ns_per_run option, all fields) in file order; [diff] only
+   compares the first two, [check] digs into the fields of the scaling
+   rows. *)
 let load_bench path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -209,12 +224,82 @@ let load_bench path =
           | Some (Num b) when b > 0.0 && Float.is_integer b -> ()
           | Some _ -> raise (Bad "budget must be a positive integer"));
           match (name, List.assoc_opt "ns_per_run" fields) with
-          | Some k, Some (Num ns) -> (k, Some ns)
-          | Some k, Some Null -> (k, None)
+          | Some k, Some (Num ns) -> (k, Some ns, fields)
+          | Some k, Some Null -> (k, None, fields)
           | _ -> raise (Bad "entry must have kernel:string, ns_per_run:number|null"))
         | _ -> raise (Bad "array entries must be objects"))
       items
   | _ -> raise (Bad "top level must be an array")
+
+(* --- scaling-curve validation (check/sweep-scaling-jN rows) --- *)
+
+let num_field fields key kernel =
+  match List.assoc_opt key fields with
+  | Some (Num v) -> v
+  | _ ->
+    raise (Bad (Printf.sprintf "kernel %S must carry a numeric %S" kernel key))
+
+(* The speedup curve only gates full-scale recordings: the @bench-smoke
+   rows run tiny budgets whose wall clocks are noise-dominated. *)
+let scaling_gate_budget = 16.0
+
+let validate_scaling entries =
+  let scaling =
+    List.filter_map
+      (fun (k, _, fields) ->
+        if String.starts_with ~prefix:"check/sweep-scaling-" k then
+          Some (k, fields)
+        else None)
+      entries
+  in
+  if scaling <> [] then begin
+    let rows =
+      List.map
+        (fun (k, fields) ->
+          let jobs = num_field fields "jobs" k in
+          let cores = num_field fields "cores" k in
+          let speedup = num_field fields "speedup" k in
+          let budget = num_field fields "budget" k in
+          if jobs = 4.0 then
+            ignore (num_field fields "speedup_j4" k);
+          (k, jobs, cores, speedup, budget))
+        scaling
+      |> List.sort (fun (_, ja, _, _, _) (_, jb, _, _, _) ->
+             Float.compare ja jb)
+    in
+    let full_scale =
+      List.for_all (fun (_, _, _, _, b) -> b >= scaling_gate_budget) rows
+    in
+    if full_scale then begin
+      let rec pairs = function
+        | (ka, _, cores, sa, _) :: ((_, jb, _, sb, _) :: _ as rest) ->
+          (* only gate the region where the host can actually scale *)
+          if jb <= cores && sb < 0.9 *. sa then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "scaling curve collapses: %S speedup %.2f but j=%.0f \
+                     drops to %.2f on a %.0f-core host"
+                    ka sa jb sb cores));
+          pairs rest
+        | _ -> ()
+      in
+      pairs rows;
+      List.iter
+        (fun (k, jobs, cores, speedup, _) ->
+          if jobs = 4.0 then begin
+            let floor = if cores >= 4.0 then 2.5 else 0.5 in
+            if speedup < floor then
+              raise
+                (Bad
+                   (Printf.sprintf
+                      "kernel %S: speedup %.2f below the %.1fx floor for a \
+                       %.0f-core host"
+                      k speedup floor cores))
+          end)
+        rows
+    end
+  end
 
 let check path =
   match load_bench path with
@@ -224,21 +309,25 @@ let check path =
   | entries ->
     let dup =
       List.find_opt
-        (fun (k, _) ->
-          List.length (List.filter (fun (k', _) -> String.equal k k') entries)
+        (fun (k, _, _) ->
+          List.length
+            (List.filter (fun (k', _, _) -> String.equal k k') entries)
           > 1)
         entries
     in
     (match dup with
-    | Some (k, _) ->
+    | Some (k, _, _) ->
       Printf.eprintf "%s: duplicate kernel %S\n" path k;
       exit 1
     | None -> ());
+    validate_scaling entries;
     Printf.printf "%s: ok, %d kernel(s)\n" path (List.length entries);
     0
 
 let diff ~threshold old_path new_path =
-  let old_b = load_bench old_path and new_b = load_bench new_path in
+  let drop_fields = List.map (fun (k, ns, _) -> (k, ns)) in
+  let old_b = load_bench old_path |> drop_fields
+  and new_b = load_bench new_path |> drop_fields in
   let regressions = ref 0 in
   Printf.printf "%-32s %14s %14s %9s\n" "kernel" "old ns/run" "new ns/run" "delta";
   Printf.printf "%-32s %14s %14s %9s\n" (String.make 32 '-')
