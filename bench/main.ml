@@ -90,6 +90,53 @@ let hbo_sweep_kernel jobs () =
     (Runner.check_hbo ~master_seed:7 ~budget:24 ~jobs ~max_steps:20_000
        ~graph:(B.complete 4) ())
 
+(* mem/backend-overhead-*: the raw per-op cost of each register backend,
+   read and write separately — one shared register over 4 processes,
+   [mem_ops] ops per run straight against the store (no engine).  The
+   native rows are the m&m baseline; the emulated/native ratio prices
+   the ABD quorum-round accounting on the register hot path. *)
+let mem_ops = 1_000
+
+let mem_backend_kernel backend op () =
+  let n = 4 in
+  let store = Mm_mem.Mem.create ~backend (Domain_.full n) in
+  let members = List.tl (Id.all n) in
+  let r =
+    Mm_mem.Mem.alloc store ~name:"B" ~owner:(Id.of_int 0)
+      ~shared_with:members 0
+  in
+  let by = Id.of_int 1 in
+  match op with
+  | `Read -> for _ = 1 to mem_ops do ignore (Mm_mem.Mem.read r ~by) done
+  | `Write -> for i = 1 to mem_ops do Mm_mem.Mem.write r ~by i done
+
+let mem_backend_kernels =
+  List.concat_map
+    (fun (bname, backend) ->
+      List.map
+        (fun (oname, op) ->
+          ( Printf.sprintf "mem/backend-overhead-%s-%s" bname oname,
+            mem_backend_kernel backend op ))
+        [ ("read", `Read); ("write", `Write) ])
+    Mm_mem.Mem.Backend.all
+
+(* check/hbo-sweep-emulated: the hbo wallclock sweep on the emulated
+   backend — the end-to-end price of swapping every register for an ABD
+   round, against check/hbo-sweep-wallclock-j1. *)
+let hbo_sweep_emulated_kernel () =
+  let params =
+    {
+      Mm_check.Scenario.default_params with
+      graph = Some (B.complete 4);
+      backend = Mm_mem.Mem.Backend.Emulated;
+      max_steps = Some 20_000;
+    }
+  in
+  ignore
+    (Runner.sweep
+       (module Mm_check.Scenario_hbo)
+       ~master_seed:7 ~budget:24 ~jobs:1 ~params ())
+
 (* check/<scenario>-sweep: a fixed-budget sweep of every registered
    scenario through the generic engine, on one shared small
    configuration.  These kernels' JSON rows also carry the trial budget
@@ -138,6 +185,8 @@ let kernel_budgets =
   List.map
     (fun (name, _) -> (name, sweep_budget))
     (sweep_kernels @ nemesis_kernels)
+  (* mem/* rows carry their op count so tooling can derive ns/op. *)
+  @ List.map (fun (name, _) -> (name, mem_ops)) mem_backend_kernels
 
 (* ------------------------------------------------------------------ *)
 (* Derived perf rows: measured directly rather than through bechamel,
@@ -515,8 +564,9 @@ let kernels =
     ("net/tick-saturated", net_tick_kernel);
     ("check/hbo-sweep-wallclock-j1", hbo_sweep_kernel 1);
     ("check/hbo-sweep-wallclock-j4", hbo_sweep_kernel 4);
+    ("check/hbo-sweep-emulated", hbo_sweep_emulated_kernel);
   ]
-  @ sweep_kernels @ nemesis_kernels
+  @ mem_backend_kernels @ sweep_kernels @ nemesis_kernels
 
 let tests =
   List.map

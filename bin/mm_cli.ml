@@ -452,7 +452,25 @@ let check_cmd =
            ~doc:"Crash budget per trial. Default: the Thm 4.3 bound of the \
                  graph for hbo (sweeps stay inside the tolerance envelope; \
                  raise it to hunt for stalls), n-2 for omega, n-1 for \
-                 paxos/smr.")
+                 paxos/smr; under --backend emulated, defaults are capped \
+                 to a minority (explicit values are not — that is how you \
+                 probe past the emulation's resilience bound).")
+  in
+  (* Backend choices come straight from Mem.Backend.all, the single
+     source of truth: adding a backend there updates the flag, its
+     --help text and every scenario at once. *)
+  let backend_arg =
+    let doc =
+      Printf.sprintf
+        "Memory backend every scenario runs on: %s. \\$(b,native) is the \
+         paper's crash-surviving m&m registers; \\$(b,emulated) realises \
+         each register as an ABD quorum round over the network — register \
+         ops cost messages, locality is forfeited, and crash tolerance \
+         drops to a minority."
+        (Arg.doc_alts_enum ~quoted:true Mem.Backend.all)
+    in
+    Arg.(value & opt (enum Mem.Backend.all) Mem.Backend.Native
+         & info [ "backend" ] ~docv:"BACKEND" ~doc)
   in
   let max_steps_arg =
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"S"
@@ -543,8 +561,9 @@ let check_cmd =
                  --jobs and scheduling.")
   in
   let run (module S : Scenario.S) family n seed budget max_crashes max_steps
-      impl variant drop expect_stall replay trace jobs entries commands
-      nemesis settle chunk shards clients no_local_reads report_domains =
+      backend impl variant drop expect_stall replay trace jobs entries
+      commands nemesis settle chunk shards clients no_local_reads
+      report_domains =
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let variant =
       match String.lowercase_ascii variant with
@@ -558,6 +577,7 @@ let check_cmd =
         graph = Some (make_graph family n seed);
         family;
         n;
+        backend;
         impl;
         variant;
         drop;
@@ -604,10 +624,11 @@ let check_cmd =
              replayable shrunk counterexample (exit 1) on violation.")
     Term.(const run $ scenario_arg $ family_arg "complete" $ n_arg 6
           $ seed_arg $ budget_arg $ max_crashes_arg $ max_steps_arg
-          $ impl_arg $ variant_arg $ drop_arg $ expect_stall_arg $ replay_arg
-          $ trace_arg $ jobs_arg $ entries_arg $ commands_arg $ nemesis_arg
-          $ settle_arg $ chunk_arg $ shards_arg $ clients_arg
-          $ no_local_reads_arg $ report_domains_arg)
+          $ backend_arg $ impl_arg $ variant_arg $ drop_arg
+          $ expect_stall_arg $ replay_arg $ trace_arg $ jobs_arg
+          $ entries_arg $ commands_arg $ nemesis_arg $ settle_arg
+          $ chunk_arg $ shards_arg $ clients_arg $ no_local_reads_arg
+          $ report_domains_arg)
 
 (* --- graph analysis --- *)
 

@@ -61,6 +61,7 @@ val run :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?delay:Mm_net.Network.delay ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   n:int ->
   scripts:op list array ->
   unit ->

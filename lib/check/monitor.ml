@@ -140,6 +140,57 @@ let omega_silent (o : Omega.outcome) =
           promise silence)"
          sent)
 
+(* Resilience bound of ABD-emulated registers (arXiv 1906.00298,
+   arXiv 2012.10846): the emulation stays correct and wait-free while a
+   majority of hosts are up, and loses wait-freedom exactly when a
+   majority has crashed.  [blocked]/[crashed] project the scenario's
+   outcome; [order] is the system size n.  Two distinct failures:
+
+   - ops blocked although a majority survived — the emulation violated
+     its own bound, an implementation bug;
+   - ops blocked after a majority crash — correct per the papers, but a
+     liveness loss the native backend does not have.  Reported as a
+     failure so sweeps that exceed the bound surface a replayable
+     counterexample distinguishing the backends. *)
+let emulated_resilience ~order ~blocked ~crashed o =
+  let b = blocked o in
+  if b = 0 then Pass
+  else begin
+    let cr : bool array = crashed o in
+    let down = Array.fold_left (fun a c -> if c then a + 1 else a) 0 cr in
+    let live = order - down in
+    if 2 * live > order then
+      Fail
+        (Printf.sprintf
+           "%d emulated register op(s) blocked although %d/%d hosts are up \
+            — the ABD emulation must be wait-free below the minority \
+            bound (arXiv 1906.00298): backend bug"
+           b live order)
+    else
+      Fail
+        (Printf.sprintf
+           "%d emulated register op(s) blocked: %d/%d hosts up, no \
+            majority quorum — wait-freedom lost at the f < n/2 bound of \
+            the register emulation (arXiv 1906.00298, 2012.10846); \
+            native m&m registers tolerate this crash set"
+           b live order)
+  end
+
+(* Under the emulated backend Thm 5.1/5.2 silence becomes silence
+   modulo emulation traffic: every message in the window must be
+   accounted to register quorum rounds, nothing else. *)
+let omega_silent_emulated (o : Omega.outcome) =
+  let sent = o.Omega.window_net.Mm_net.Network.sent in
+  let emu = o.Omega.window_emu_msgs in
+  if sent = emu then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "%d message(s) sent inside the steady-state window but only %d \
+          accounted to emulated register rounds (Thm 5.1/5.2 promise \
+          protocol silence)"
+         sent emu)
+
 let abd_complete (o : Abd.outcome) =
   if o.Abd.pending = 0 then Pass
   else

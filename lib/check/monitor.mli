@@ -20,6 +20,24 @@ val is_pass : verdict -> bool
 val first_failure :
   (string * ('o -> verdict)) list -> 'o -> (string * string) option
 
+(** {2 Backend-generic monitors} *)
+
+(** Resilience bound of ABD-emulated registers (arXiv 1906.00298,
+    arXiv 2012.10846), generic over the scenario outcome: [blocked]
+    projects the store's blocked-op count, [crashed] the crash vector,
+    [order] is n.  Passes when no op blocked.  Fails when ops blocked
+    below the minority bound (emulation bug), and fails — with a
+    diagnosis naming the bound and noting native registers tolerate the
+    crash set — when a majority crash cost the emulation its
+    wait-freedom.  List it before termination-style monitors so the
+    backend-specific diagnosis wins. *)
+val emulated_resilience :
+  order:int ->
+  blocked:('o -> int) ->
+  crashed:('o -> bool array) ->
+  'o ->
+  verdict
+
 (** {2 Per-step monitors (over recorded trace events)} *)
 
 (** [no_sends_after ~step events] fails if any [Sent] event is recorded
@@ -50,6 +68,12 @@ val omega_stable : Mm_election.Omega.outcome -> verdict
 
 (** No messages sent inside the steady-state window. *)
 val omega_silent : Mm_election.Omega.outcome -> verdict
+
+(** Silence modulo emulation: every message inside the steady-state
+    window is accounted to an emulated register quorum round.  Replaces
+    {!omega_silent} when the scenario sweeps the emulated backend (the
+    protocol is still silent; its registers are not). *)
+val omega_silent_emulated : Mm_election.Omega.outcome -> verdict
 
 (** Graceful degradation under a healed adversary: every fault cleared
     by [heal_by], so a correct leader must be agreed and leadership must

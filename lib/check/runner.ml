@@ -146,11 +146,11 @@ module Drive (Sc : Scenario.S) = struct
      fingerprints mean byte-identical draw streams, hence identical
      trials, hence identical outcomes — the soundness premise of the
      dedup memo. *)
-  let gen_fp cfg ~trial_seed =
+  let gen_fp cfg ~salt ~trial_seed =
     let rng = Rng.create trial_seed in
     Rng.fingerprint_start rng;
     let t = Sc.gen cfg rng in
-    (t, Rng.fingerprint rng)
+    (t, Rng.fingerprint rng lxor salt)
 
   let check ?arena cfg t =
     let o = Sc.execute ?arena cfg t in
@@ -225,6 +225,14 @@ let sweep_stats (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
   let module D = Drive (Sc) in
   let budget = Option.value budget ~default:Sc.default_budget in
   let cfg = Sc.cfg_of_params params in
+  (* The backend is resolved into [cfg], never drawn, so a native trial
+     and its emulated twin share a draw stream.  Salting the generation
+     fingerprint with the backend keeps their fingerprints disjoint —
+     dedup can never conflate trials across backends (native sweeps keep
+     their historical fingerprints: the native salt is 0). *)
+  let fp_salt =
+    Mm_mem.Mem.Backend.tag params.Scenario.backend * 0x2545F4914F6CDD1D
+  in
   let algo = Sc.name in
   let new_arena () = if reuse_arenas then Some (Arena.create ()) else None in
   let rng = Rng.create master_seed in
@@ -255,7 +263,7 @@ let sweep_stats (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
         (finish ~trials_run:budget ~violation:None, stat ~trials_run:budget)
       else begin
         let trial_seed = trial_seed_of rng in
-        let t, fp = D.gen_fp cfg ~trial_seed in
+        let t, fp = D.gen_fp cfg ~salt:fp_salt ~trial_seed in
         fps.(i) <- fp;
         if Hashtbl.mem memo fp then begin
           incr dedup_hits;
@@ -301,7 +309,7 @@ let sweep_stats (module Sc : Scenario.S) ?(master_seed = 1) ?budget ?(jobs = 1)
       }
     in
     let detect ctx i =
-      let t, fp = D.gen_fp cfg ~trial_seed:seeds.(i) in
+      let t, fp = D.gen_fp cfg ~salt:fp_salt ~trial_seed:seeds.(i) in
       ctx.logged <- (i, fp) :: ctx.logged;
       if Hashtbl.mem ctx.memo fp then begin
         ctx.dedup_hits <- ctx.dedup_hits + 1;

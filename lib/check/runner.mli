@@ -40,7 +40,9 @@ type report = {
   trials_run : int;    (** trials covered (stops at first violation) *)
   distinct_trials : int;
       (** distinct generated trials among the [trials_run], by
-          generation-stream fingerprint (see {!Mm_rng.Rng.fingerprint}) *)
+          generation-stream fingerprint (see {!Mm_rng.Rng.fingerprint})
+          salted with the memory backend — a native trial and its
+          emulated twin share a draw stream but never a fingerprint *)
   deduped : int;
       (** [trials_run - distinct_trials]: clean duplicates counted but
           not re-executed.  Both numbers are computed from the recorded

@@ -2,6 +2,8 @@ type params = {
   graph : Mm_graph.Graph.t option;
   family : string;
   n : int;
+  (* How the store realises registers; part of every config fingerprint. *)
+  backend : Mm_mem.Mem.Backend.t;
   impl : Mm_consensus.Hbo.impl;
   variant : Mm_election.Omega.variant;
   drop : float;
@@ -32,6 +34,7 @@ let default_params =
     graph = None;
     family = "complete";
     n = 6;
+    backend = Mm_mem.Mem.Backend.Native;
     impl = Mm_consensus.Hbo.Trusted;
     variant = Mm_election.Omega.Reliable;
     drop = 0.3;
@@ -51,6 +54,15 @@ let default_params =
     nemesis = false;
     settle = None;
   }
+
+(* Default crash budget per backend.  Emulated registers only stay
+   wait-free below a minority of crashes (arXiv 1906.00298), so default
+   sweeps cap the crash draw there — an explicit --crashes override is
+   how one deliberately probes past the bound. *)
+let cap_crashes backend ~n ~native_default =
+  match backend with
+  | Mm_mem.Mem.Backend.Native -> native_default
+  | Mm_mem.Mem.Backend.Emulated -> min native_default (max 0 ((n - 1) / 2))
 
 let fmt_crashes = function
   | [] -> "none"

@@ -31,6 +31,11 @@ type params = {
       (** shared-memory graph (hbo); default: complete on [n] *)
   family : string;  (** display name of the graph family *)
   n : int;  (** number of processes (scenarios without a graph) *)
+  backend : Mm_mem.Mem.Backend.t;
+      (** how the store realises registers (native m&m vs ABD-emulated);
+          every scenario threads it into the engine, salts its config
+          fingerprint with it, and — under [Emulated] — runs the
+          resilience-bound monitors *)
   impl : Mm_consensus.Hbo.impl;  (** hbo consensus-object implementation *)
   variant : Mm_election.Omega.variant;  (** omega notification mechanism *)
   drop : float;  (** max drop probability for omega's lossy variant *)
@@ -59,6 +64,15 @@ type params = {
 (** [n = 6], complete graph family, trusted impl, reliable variant,
     [drop = 0.3], 30 trailing trace events, everything else default. *)
 val default_params : params
+
+(** [cap_crashes backend ~n ~native_default] is the default crash
+    budget for a scenario: [native_default] under [Native], capped to a
+    minority ([(n-1)/2]) under [Emulated] so default sweeps stay inside
+    the emulation's wait-freedom bound.  Explicit [--crashes] overrides
+    bypass this — that is how a sweep deliberately probes past the
+    bound. *)
+val cap_crashes :
+  Mm_mem.Mem.Backend.t -> n:int -> native_default:int -> int
 
 (** {2 Shared formatting helpers} *)
 

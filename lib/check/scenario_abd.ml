@@ -8,6 +8,7 @@ let default_budget = 200
 
 type cfg = {
   n : int;
+  backend : Mm_mem.Mem.Backend.t;
   max_ops : int;
   max_steps : int;
   trace_tail : int;
@@ -44,6 +45,7 @@ let cfg_of_params (p : Scenario.params) =
   let max_ops = max 1 (min max_ops (62 / max 1 p.Scenario.n)) in
   {
     n = p.Scenario.n;
+    backend = p.Scenario.backend;
     max_ops;
     max_steps = Option.value p.Scenario.max_steps ~default:200_000;
     trace_tail = p.Scenario.trace_tail;
@@ -88,7 +90,7 @@ let execute ?arena (cfg : cfg) t =
     if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
   in
   Abd.run ~seed:t.engine_seed ~max_steps:cfg.max_steps
-    ~trace_capacity:cfg.trace_tail ?prepare ?arena ~delay:t.delay ~n:cfg.n
+    ~trace_capacity:cfg.trace_tail ?prepare ?arena ~backend:cfg.backend ~delay:t.delay ~n:cfg.n
     ~scripts:t.scripts ()
 
 let monitors _cfg _t =
@@ -101,7 +103,8 @@ let monitors _cfg _t =
 let config (cfg : cfg) t =
   (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
    else [])
-  @ Config.str "delay" (delay_desc t.delay)
+  @ Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend)
+  :: Config.str "delay" (delay_desc t.delay)
   :: List.mapi
        (fun i ops -> Config.str (Printf.sprintf "p%d" i) (fmt_script ops))
        (Array.to_list t.scripts)

@@ -21,6 +21,7 @@ type cfg = {
   graph : Graph.t;
   family : string;
   impl : Hbo.impl;
+  backend : Mm_mem.Mem.Backend.t;
   max_crashes : int;
   crash_window : int;
   max_steps : int;
@@ -64,7 +65,9 @@ let cfg_of_params (p : Scenario.params) =
   let max_crashes =
     match p.Scenario.max_crashes with
     | Some m -> m
-    | None -> default_max_crashes graph
+    | None ->
+      Scenario.cap_crashes p.Scenario.backend ~n:(Graph.order graph)
+        ~native_default:(default_max_crashes graph)
   in
   let stall =
     if p.Scenario.expect_stall then Some (stall_scenario graph) else None
@@ -73,6 +76,7 @@ let cfg_of_params (p : Scenario.params) =
     graph;
     family = p.Scenario.family;
     impl = p.Scenario.impl;
+    backend = p.Scenario.backend;
     max_crashes;
     crash_window = Option.value p.Scenario.crash_window ~default:200;
     max_steps = Option.value p.Scenario.max_steps ~default:60_000;
@@ -132,9 +136,25 @@ let execute ?arena (cfg : cfg) t =
   in
   Hbo.run ~seed:t.engine_seed ~impl:cfg.impl ~max_steps
     ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?partition ?prepare
-    ?arena ~sched ~graph:cfg.graph ~inputs:t.inputs ()
+    ?arena ~backend:cfg.backend ~sched ~graph:cfg.graph ~inputs:t.inputs ()
+
+(* The resilience-bound monitor leads under the emulated backend so a
+   majority-crash trial is diagnosed against the emulation's bound, not
+   as a generic termination failure. *)
+let emulated_monitors (cfg : cfg) =
+  match cfg.backend with
+  | Mm_mem.Mem.Backend.Native -> []
+  | Mm_mem.Mem.Backend.Emulated ->
+    [
+      ( "emulated-resilience",
+        Monitor.emulated_resilience ~order:(Graph.order cfg.graph)
+          ~blocked:(fun (o : outcome) -> o.Hbo.mem_blocked)
+          ~crashed:(fun (o : outcome) -> o.Hbo.crashed) );
+    ]
 
 let monitors (cfg : cfg) t =
+  emulated_monitors cfg
+  @
   match cfg.stall with
   | Some _ ->
     [
@@ -157,6 +177,7 @@ let config (cfg : cfg) t =
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "scheduler" (Scenario.sched_desc t.k);
     Config.str "impl" (impl_desc cfg.impl);
+    Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
   @ (if cfg.nemesis then
        [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]

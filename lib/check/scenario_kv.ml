@@ -8,6 +8,7 @@ let default_budget = 40
 
 type cfg = {
   replicas : int; (* per shard *)
+  backend : Mm_mem.Mem.Backend.t;
   shards : int option; (* None: drawn per trial *)
   clients : int option;
   ops : int option;
@@ -43,12 +44,20 @@ let cfg_of_params (p : Scenario.params) =
   let max_steps = Option.value p.Scenario.max_steps ~default:400_000 in
   {
     replicas = p.Scenario.n;
+    backend = p.Scenario.backend;
     shards = p.Scenario.shards;
     clients = p.Scenario.clients;
     ops = p.Scenario.max_ops;
     local_reads = p.Scenario.local_reads;
     max_crashes =
-      Option.value p.Scenario.max_crashes ~default:(max 0 (p.Scenario.n - 1));
+      (* The total host count is shards x replicas, drawn per trial;
+         capping at a replica-count minority is therefore conservative
+         for every drawn shard count. *)
+      (match p.Scenario.max_crashes with
+      | Some m -> m
+      | None ->
+        Scenario.cap_crashes p.Scenario.backend ~n:p.Scenario.n
+          ~native_default:(max 0 (p.Scenario.n - 1)));
     crash_window = Option.value p.Scenario.crash_window ~default:2_000;
     max_steps;
     settle =
@@ -160,14 +169,24 @@ let execute ?arena (cfg : cfg) t =
     if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
   in
   Kv.run ~seed:t.engine_seed ~max_steps ~trace_capacity:cfg.trace_tail
-    ~crashes:t.crashes ?prepare ?arena ~sched ~local_reads:cfg.local_reads
-    ~shards:t.shards ~replicas:cfg.replicas ~workload:t.workload ()
+    ~crashes:t.crashes ?prepare ?arena ~backend:cfg.backend ~sched
+    ~local_reads:cfg.local_reads ~shards:t.shards ~replicas:cfg.replicas
+    ~workload:t.workload ()
 
 (* Safety (per-shard slot consistency + per-key linearizability) holds
    on every trial; completion needs a fair schedule and no faults, and
    post-heal recovery a fair schedule and no crashes. *)
 let monitors (cfg : cfg) t =
-  ("kv-log-consistent", Monitor.kv_log_consistent)
+  (match cfg.backend with
+  | Mm_mem.Mem.Backend.Native -> []
+  | Mm_mem.Mem.Backend.Emulated ->
+    [
+      ( "emulated-resilience",
+        Monitor.emulated_resilience ~order:(t.shards * cfg.replicas)
+          ~blocked:(fun (o : outcome) -> o.Kv.mem_blocked)
+          ~crashed:(fun (o : outcome) -> o.Kv.crashed) );
+    ])
+  @ ("kv-log-consistent", Monitor.kv_log_consistent)
   :: ("kv-linearizable", Monitor.kv_linearizable)
   ::
   (if t.k = 0 && t.crashes = [] && t.nemesis = [] then
@@ -193,6 +212,7 @@ let config (cfg : cfg) t =
     Config.bool "local-reads" cfg.local_reads;
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "scheduler" (Scenario.sched_desc t.k);
+    Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
   @
   if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]

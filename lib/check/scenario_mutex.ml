@@ -7,6 +7,7 @@ let default_budget = 100
 
 type cfg = {
   n : int;
+  backend : Mm_mem.Mem.Backend.t;
   entries : int option; (* None: drawn per trial *)
   max_steps : int;
   trace_tail : int;
@@ -35,6 +36,7 @@ let algo_desc = function
 let cfg_of_params (p : Scenario.params) =
   {
     n = p.Scenario.n;
+    backend = p.Scenario.backend;
     entries = p.Scenario.entries;
     max_steps = Option.value p.Scenario.max_steps ~default:200_000;
     trace_tail = p.Scenario.trace_tail;
@@ -85,14 +87,26 @@ let execute ?arena (cfg : cfg) t =
     if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
   in
   run ~seed:t.engine_seed ~max_steps ~cs_work:t.cs_work
-    ~trace_capacity:cfg.trace_tail ?prepare ?arena ~sched ~n:cfg.n
-    ~entries:t.entries ()
+    ~trace_capacity:cfg.trace_tail ?prepare ?arena ~backend:cfg.backend
+    ~sched ~n:cfg.n ~entries:t.entries ()
 
 (* Exclusion is asserted always; the §1 no-spin invariant only applies
    to the m&m lock (the spinning locks spin by design); progress needs
    a fair schedule. *)
-let monitors _cfg t =
-  ("mutex-exclusion", Monitor.mutex_exclusion)
+(* Mutex draws no crashes, so under the emulated backend the
+   resilience monitor is a pure accounting guard: any blocked op with
+   every host up is an emulation bug. *)
+let monitors (cfg : cfg) t =
+  (match cfg.backend with
+  | Mm_mem.Mem.Backend.Native -> []
+  | Mm_mem.Mem.Backend.Emulated ->
+    [
+      ( "emulated-resilience",
+        Monitor.emulated_resilience ~order:cfg.n
+          ~blocked:(fun (o : outcome) -> o.Mutex.mem_blocked)
+          ~crashed:(fun (_ : outcome) -> Array.make cfg.n false) );
+    ])
+  @ ("mutex-exclusion", Monitor.mutex_exclusion)
   :: ((if t.algo = Mm then [ ("mutex-no-spin", Monitor.mutex_no_spin) ]
        else [])
      @
@@ -106,6 +120,7 @@ let config (cfg : cfg) t =
     Config.int "entries" t.entries;
     Config.int "cs-work" t.cs_work;
     Config.str "scheduler" (Scenario.sched_desc t.k);
+    Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
   @
   if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]

@@ -8,6 +8,7 @@ let default_budget = 50
 type cfg = {
   n : int;
   variant : Omega.variant; (* lossy carries the MAX drop probability *)
+  backend : Mm_mem.Mem.Backend.t;
   max_crashes : int;
   crash_window : int;
   warmup : int;
@@ -39,8 +40,13 @@ let cfg_of_params (p : Scenario.params) =
   {
     n = p.Scenario.n;
     variant;
+    backend = p.Scenario.backend;
     max_crashes =
-      Option.value p.Scenario.max_crashes ~default:(max 0 (p.Scenario.n - 2));
+      (match p.Scenario.max_crashes with
+      | Some m -> m
+      | None ->
+        Scenario.cap_crashes p.Scenario.backend ~n:p.Scenario.n
+          ~native_default:(max 0 (p.Scenario.n - 2)));
     crash_window = Option.value p.Scenario.crash_window ~default:20_000;
     warmup = Option.value p.Scenario.warmup ~default:60_000;
     window = Option.value p.Scenario.window ~default:10_000;
@@ -91,7 +97,7 @@ let execute ?arena (cfg : cfg) t =
   in
   Omega.run ~seed:t.engine_seed ~trace_capacity:cfg.trace_tail
     ~crashes:t.crashes ~warmup:cfg.warmup ~window:cfg.window ?prepare
-    ?arena ~variant:t.variant ~n:cfg.n ()
+    ?arena ~backend:cfg.backend ~variant:t.variant ~n:cfg.n ()
 
 (* A crashed process can leave a notification unacknowledged forever,
    which the mechanisms may legitimately keep retransmitting — assert
@@ -105,21 +111,40 @@ let monitors (cfg : cfg) t =
       (Nemesis.heal_step t.nemesis)
       (List.fold_left (fun acc (_, s) -> max acc s) 0 t.crashes)
   in
-  ("omega-stable", Monitor.omega_stable)
-  :: ((if t.nemesis <> [] then
-         [
-           ( "nemesis-convergence",
-             Monitor.omega_converges ~heal_by ~settle:cfg.settle );
-         ]
+  (match cfg.backend with
+  | Mm_mem.Mem.Backend.Native -> []
+  | Mm_mem.Mem.Backend.Emulated ->
+    [
+      ( "emulated-resilience",
+        Monitor.emulated_resilience ~order:cfg.n
+          ~blocked:(fun (o : outcome) -> o.Omega.mem_blocked)
+          ~crashed:(fun (o : outcome) -> o.Omega.crashed) );
+    ])
+  @ ("omega-stable", Monitor.omega_stable)
+    :: ((if t.nemesis <> [] then
+           [
+             ( "nemesis-convergence",
+               Monitor.omega_converges ~heal_by ~settle:cfg.settle );
+           ]
+         else [])
+       @
+       if t.crashes = [] then
+         (* The steady state is register traffic only: plain silence
+            under native registers, silence modulo quorum rounds under
+            the emulation (every window message must be accounted to a
+            register op). *)
+         match cfg.backend with
+         | Mm_mem.Mem.Backend.Native ->
+           [ ("omega-silent", Monitor.omega_silent) ]
+         | Mm_mem.Mem.Backend.Emulated ->
+           [ ("omega-silent-emulated", Monitor.omega_silent_emulated) ]
        else [])
-     @
-     if t.crashes = [] then [ ("omega-silent", Monitor.omega_silent) ]
-     else [])
 
 let config (cfg : cfg) t =
   [
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "variant" (variant_desc t.variant);
+    Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
     Config.int "warmup" cfg.warmup;
     Config.int "window" cfg.window;
   ]

@@ -7,6 +7,7 @@ let default_budget = 100
 
 type cfg = {
   n : int;
+  backend : Mm_mem.Mem.Backend.t;
   max_crashes : int;
   crash_window : int;
   max_steps : int;
@@ -34,8 +35,13 @@ let oracle_desc = function
 let cfg_of_params (p : Scenario.params) =
   {
     n = p.Scenario.n;
+    backend = p.Scenario.backend;
     max_crashes =
-      Option.value p.Scenario.max_crashes ~default:(max 0 (p.Scenario.n - 1));
+      (match p.Scenario.max_crashes with
+      | Some m -> m
+      | None ->
+        Scenario.cap_crashes p.Scenario.backend ~n:p.Scenario.n
+          ~native_default:(max 0 (p.Scenario.n - 1)));
     crash_window = Option.value p.Scenario.crash_window ~default:2_000;
     max_steps = Option.value p.Scenario.max_steps ~default:200_000;
     trace_tail = p.Scenario.trace_tail;
@@ -85,14 +91,23 @@ let execute ?arena (cfg : cfg) t =
     if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
   in
   Paxos.run ~seed:t.engine_seed ~oracle:t.oracle ~max_steps
-    ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?prepare ?arena ~sched
-    ~n:cfg.n ~inputs:t.inputs ()
+    ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?prepare ?arena
+    ~backend:cfg.backend ~sched ~n:cfg.n ~inputs:t.inputs ()
 
 (* Safety holds on every trial — dueling Anarchy leaders included.
    Termination needs a fair schedule, no crashes (a dead Static leader
    never proposes) and a stabilizing oracle. *)
-let monitors _cfg t =
-  ("paxos-agreement", Monitor.paxos_agreement)
+let monitors (cfg : cfg) t =
+  (match cfg.backend with
+  | Mm_mem.Mem.Backend.Native -> []
+  | Mm_mem.Mem.Backend.Emulated ->
+    [
+      ( "emulated-resilience",
+        Monitor.emulated_resilience ~order:cfg.n
+          ~blocked:(fun (o : outcome) -> o.Paxos.mem_blocked)
+          ~crashed:(fun (o : outcome) -> o.Paxos.crashed) );
+    ])
+  @ ("paxos-agreement", Monitor.paxos_agreement)
   :: ("paxos-validity", Monitor.paxos_validity ~inputs:t.inputs)
   ::
   (if t.k = 0 && t.crashes = [] && t.oracle <> Paxos.Anarchy then
@@ -106,6 +121,7 @@ let config (cfg : cfg) t =
     Config.str "oracle" (oracle_desc t.oracle);
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "scheduler" (Scenario.sched_desc t.k);
+    Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
   @
   if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]

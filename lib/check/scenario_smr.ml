@@ -7,6 +7,7 @@ let default_budget = 40
 
 type cfg = {
   n : int;
+  backend : Mm_mem.Mem.Backend.t;
   commands : int option; (* None: drawn per trial *)
   max_crashes : int;
   crash_window : int;
@@ -29,9 +30,14 @@ type outcome = Log.outcome
 let cfg_of_params (p : Scenario.params) =
   {
     n = p.Scenario.n;
+    backend = p.Scenario.backend;
     commands = p.Scenario.commands;
     max_crashes =
-      Option.value p.Scenario.max_crashes ~default:(max 0 (p.Scenario.n - 1));
+      (match p.Scenario.max_crashes with
+      | Some m -> m
+      | None ->
+        Scenario.cap_crashes p.Scenario.backend ~n:p.Scenario.n
+          ~native_default:(max 0 (p.Scenario.n - 1)));
     crash_window = Option.value p.Scenario.crash_window ~default:2_000;
     max_steps = Option.value p.Scenario.max_steps ~default:400_000;
     trace_tail = p.Scenario.trace_tail;
@@ -75,14 +81,23 @@ let execute ?arena (cfg : cfg) t =
     if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
   in
   Log.run ~seed:t.engine_seed ~max_steps ~trace_capacity:cfg.trace_tail
-    ~crashes:t.crashes ?prepare ?arena ~sched ~n:cfg.n ~commands_per_proc:t.commands
-    ()
+    ~crashes:t.crashes ?prepare ?arena ~backend:cfg.backend ~sched ~n:cfg.n
+    ~commands_per_proc:t.commands ()
 
 (* Safety (slot consistency + prefix agreement) holds on every trial;
    full commitment needs a fair schedule and no crashes (recovery after
    a leader crash can outlast any fixed sweep budget). *)
-let monitors _cfg t =
-  ("smr-consistent", Monitor.smr_consistent)
+let monitors (cfg : cfg) t =
+  (match cfg.backend with
+  | Mm_mem.Mem.Backend.Native -> []
+  | Mm_mem.Mem.Backend.Emulated ->
+    [
+      ( "emulated-resilience",
+        Monitor.emulated_resilience ~order:cfg.n
+          ~blocked:(fun (o : outcome) -> o.Log.mem_blocked)
+          ~crashed:(fun (o : outcome) -> o.Log.crashed) );
+    ])
+  @ ("smr-consistent", Monitor.smr_consistent)
   :: ("smr-prefix", Monitor.smr_prefix)
   ::
   (if t.k = 0 && t.crashes = [] then
@@ -94,6 +109,7 @@ let config (cfg : cfg) t =
     Config.int "commands" t.commands;
     Config.str "crashes" (Scenario.fmt_crashes t.crashes);
     Config.str "scheduler" (Scenario.sched_desc t.k);
+    Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
   @
   if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]

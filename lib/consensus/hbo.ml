@@ -34,6 +34,7 @@ type outcome = {
   total_steps : int;
   net : Network.stats;
   mem_total : Mem.counters;
+  mem_blocked : int;
   registers : int;
   coin_flips : int;
   trace : Mm_sim.Trace.event list;
@@ -219,7 +220,7 @@ let hbo_process ~n ~nbhd ~objects ~on_decide ~input () =
 
 let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
     ?(trace_capacity = 0) ?(crashes = []) ?partition ?prepare ?sched ?arena
-    ?(link = Network.Reliable) ?delay ~graph ~inputs () =
+    ?backend ?(link = Network.Reliable) ?delay ~graph ~inputs () =
   let n = Graph.order graph in
   if Array.length inputs <> n then invalid_arg "Hbo.run: |inputs| <> n";
   Array.iter
@@ -227,8 +228,8 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
     inputs;
   let domain = Domain_.uniform_of_graph graph in
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ?sched ?delay ~trace_capacity ~domain ~link
-      ~n ()
+    Mm_sim.Arena.engine ?arena ~seed ?sched ?delay ~trace_capacity ?backend
+      ~domain ~link ~n ()
   in
   (match partition with
   | None -> ()
@@ -276,6 +277,7 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
     total_steps = Engine.now eng;
     net = Network.stats (Engine.network eng);
     mem_total = Mem.total_counters store;
+    mem_blocked = Mem.blocked_ops store;
     registers = Mem.reg_count store;
     coin_flips = Engine.coin_flips eng;
     trace =

@@ -44,6 +44,7 @@ type outcome = {
   total_steps : int;
   net : Mm_net.Network.stats;
   mem_total : Mm_mem.Mem.counters;
+  mem_blocked : int;  (** emulated register ops refused for lack of quorum *)
   registers : int;                  (** registers allocated *)
   coin_flips : int;
   trace : Mm_sim.Trace.event list;
@@ -78,6 +79,7 @@ val run :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   ?link:Mm_net.Network.kind ->
   ?delay:Mm_net.Network.delay ->
   graph:Mm_graph.Graph.t ->

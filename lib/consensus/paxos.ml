@@ -30,15 +30,16 @@ type outcome = {
   total_steps : int;
   net : Network.stats;
   mem_total : Mem.counters;
+  mem_blocked : int;
   trace : Mm_sim.Trace.event list;
 }
 
 let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
-    ?(trace_capacity = 0) ?(crashes = []) ?prepare ?sched ?arena ~n ~inputs ()
-    =
+    ?(trace_capacity = 0) ?(crashes = []) ?prepare ?sched ?arena ?backend ~n
+    ~inputs () =
   if Array.length inputs <> n then invalid_arg "Paxos.run: |inputs| <> n";
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity ?backend
       ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
@@ -178,6 +179,7 @@ let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
     total_steps = Engine.now eng;
     net = Network.stats (Engine.network eng);
     mem_total = Mem.total_counters store;
+    mem_blocked = Mem.blocked_ops store;
     trace =
       (match Engine.trace eng with
       | None -> []

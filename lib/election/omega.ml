@@ -29,6 +29,8 @@ type outcome = {
   total_changes : int;
   window_net : Network.stats;
   window_mem : Mem.counters array;
+  window_emu_msgs : int;
+  mem_blocked : int;
   crashed : bool array;
   steps : int;
   window_start : int;
@@ -124,7 +126,7 @@ let omega_process ~n ~eta ~mech ~state_regs ~report me () =
 let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
     ?(crashes = []) ?(memory_failures = []) ?(warmup = 60_000)
     ?(window = 20_000) ?delay ?prepare ?(sched_base = Sched.Random) ?arena
-    ~variant ~n () =
+    ?backend ~variant ~n () =
   let link, mech_of =
     match variant with
     | Reliable ->
@@ -145,7 +147,7 @@ let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
   in
   let sched = Sched.create ~timely sched_base in
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ~sched ?delay ~trace_capacity
+    Mm_sim.Arena.engine ?arena ~seed ~sched ?delay ~trace_capacity ?backend
       ~domain:(Domain_.full n) ~link ~n ()
   in
   let store = Engine.store eng in
@@ -195,6 +197,7 @@ let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
   if remaining > 0 then ignore (Engine.run eng ~max_steps:remaining ());
   let net_snap = Network.snapshot (Engine.network eng) in
   let mem_snap = Mem.snapshot store in
+  let emu_snap = Mem.emulated_msgs store in
   let reason = Engine.run eng ~max_steps:window () in
   {
     reason;
@@ -211,6 +214,8 @@ let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
     total_changes = !total_changes;
     window_net = Network.diff_since (Engine.network eng) net_snap;
     window_mem = Mem.diff_since store mem_snap;
+    window_emu_msgs = Mem.emulated_msgs store - emu_snap;
+    mem_blocked = Mem.blocked_ops store;
     crashed;
     steps = Engine.now eng;
     window_start = warmup;

@@ -33,6 +33,11 @@ type outcome = {
       (** message traffic inside the steady-state window *)
   window_mem : Mm_mem.Mem.counters array;
       (** per-process register activity inside the window *)
+  window_emu_msgs : int;
+      (** messages the emulated register backend charged inside the
+          window (0 under the native backend) *)
+  mem_blocked : int;
+      (** emulated register ops refused for lack of quorum, whole run *)
   crashed : bool array;
   steps : int;
   window_start : int;  (** global step at which the window opened *)
@@ -70,6 +75,7 @@ val run :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched_base:Mm_sim.Sched.base ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   variant:variant ->
   n:int ->
   unit ->

@@ -37,6 +37,7 @@ type outcome = {
   total_steps : int;
   net : Network.stats;
   mem_total : Mem.counters;
+  mem_blocked : int;
   trace : Mm_sim.Trace.event list;
 }
 
@@ -235,13 +236,14 @@ let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
   main_loop 1
 
 let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
-    ?prepare ?sched ?arena ?(local_reads = true) ~shards ~replicas ~workload ()
+    ?prepare ?sched ?arena ?backend ?(local_reads = true) ~shards ~replicas
+    ~workload ()
     =
   if shards < 1 then invalid_arg "Kv.run: shards must be >= 1";
   if replicas < 1 then invalid_arg "Kv.run: replicas must be >= 1";
   let n = shards * replicas in
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity ?backend
       ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
@@ -361,6 +363,7 @@ let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
     total_steps = Engine.now eng;
     net = Network.stats (Engine.network eng);
     mem_total = Mem.total_counters store;
+    mem_blocked = Mem.blocked_ops store;
     trace =
       (match Engine.trace eng with
       | None -> []

@@ -61,6 +61,9 @@ type outcome = {
   total_steps : int;
   net : Mm_net.Network.stats;
   mem_total : Mm_mem.Mem.counters;
+  mem_blocked : int;
+      (** emulated register ops refused for lack of quorum (0 under the
+          native backend) *)
   trace : Mm_sim.Trace.event list;
 }
 
@@ -77,6 +80,7 @@ val run :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   ?local_reads:bool ->
   shards:int ->
   replicas:int ->

@@ -1,6 +1,28 @@
 module Id = Mm_core.Id
 module Domain_ = Mm_core.Domain
 
+module Backend = struct
+  type t =
+    | Native
+    | Emulated
+
+  let all = [ ("native", Native); ("emulated", Emulated) ]
+  let name = function Native -> "native" | Emulated -> "emulated"
+
+  let of_string s =
+    match List.assoc_opt s all with
+    | Some b -> b
+    | None -> invalid_arg (Printf.sprintf "Mem.Backend.of_string: %S" s)
+
+  let tag = function Native -> 0 | Emulated -> 1
+  let pp fmt b = Format.pp_print_string fmt (name b)
+end
+
+(* One emulated register op is a full two-phase ABD round started by the
+   invoker: each phase broadcasts to all n replica hosts and collects the
+   [live] replies that can still arrive. *)
+let emulated_round_msgs ~n ~live = 2 * (n + live)
+
 type counters = {
   reads_local : int;
   reads_remote : int;
@@ -44,10 +66,21 @@ type tallies = {
 
 type store = {
   mutable dom : Domain_.t;
+  mutable backend : Backend.t;
   per_proc : tallies array;
   mutable regs : int;
   failed_hosts : bool array;
+  crashed_hosts : bool array;
   mutable dropped : int;
+  (* Replica availability, maintained for both backends but consulted
+     only by [Emulated]: [live] hosts have not crashed, [healthy] hosts
+     have neither crashed nor had their memory failed. *)
+  mutable live : int;
+  mutable healthy : int;
+  mutable blocked : int;
+  mutable emu_msgs : int;
+  mutable emu_min_live : int;
+  mutable transport : sent:int -> delivered:int -> unit;
 }
 
 type 'a reg = {
@@ -62,10 +95,16 @@ type 'a reg = {
 
 exception Access_violation of { reg : string; by : Id.t }
 
-let create dom =
+exception
+  Unavailable of { reg : string; by : Id.t; live : int; order : int }
+
+let no_transport ~sent:_ ~delivered:_ = ()
+
+let create ?(backend = Backend.Native) dom =
   let n = Domain_.order dom in
   {
     dom;
+    backend;
     per_proc =
       Array.init (max n 1) (fun _ ->
           {
@@ -76,13 +115,22 @@ let create dom =
           });
     regs = 0;
     failed_hosts = Array.make (max n 1) false;
+    crashed_hosts = Array.make (max n 1) false;
     dropped = 0;
+    live = n;
+    healthy = n;
+    blocked = 0;
+    emu_msgs = 0;
+    emu_min_live = n;
+    transport = no_transport;
   }
 
-let reset s dom =
+let reset ?(backend = Backend.Native) s dom =
   if Domain_.order dom <> Domain_.order s.dom then
     invalid_arg "Mem.reset: domain order does not match the store";
+  let n = Domain_.order dom in
   s.dom <- dom;
+  s.backend <- backend;
   Array.iter
     (fun t ->
       t.t_reads_local <- 0;
@@ -92,11 +140,40 @@ let reset s dom =
     s.per_proc;
   s.regs <- 0;
   Array.fill s.failed_hosts 0 (Array.length s.failed_hosts) false;
-  s.dropped <- 0
+  Array.fill s.crashed_hosts 0 (Array.length s.crashed_hosts) false;
+  s.dropped <- 0;
+  s.live <- n;
+  s.healthy <- n;
+  s.blocked <- 0;
+  s.emu_msgs <- 0;
+  s.emu_min_live <- n;
+  s.transport <- no_transport
 
-let fail_host_memory s p = s.failed_hosts.(Id.to_int p) <- true
+let backend s = s.backend
+let set_transport s f = s.transport <- f
+
+let fail_host_memory s p =
+  let i = Id.to_int p in
+  if not s.failed_hosts.(i) then begin
+    s.failed_hosts.(i) <- true;
+    if not s.crashed_hosts.(i) then s.healthy <- s.healthy - 1
+  end
+
 let host_memory_failed s p = s.failed_hosts.(Id.to_int p)
+
+let note_crash s p =
+  let i = Id.to_int p in
+  if not s.crashed_hosts.(i) then begin
+    s.crashed_hosts.(i) <- true;
+    s.live <- s.live - 1;
+    if not s.failed_hosts.(i) then s.healthy <- s.healthy - 1
+  end
+
 let dropped_writes s = s.dropped
+let blocked_ops s = s.blocked
+let emulated_msgs s = s.emu_msgs
+let emulated_min_live s = s.emu_min_live
+let live_hosts s = s.live
 
 let domain s = s.dom
 
@@ -126,23 +203,57 @@ let check r by =
   if i >= Array.length r.allowed || not r.allowed.(i) then
     raise (Access_violation { reg = r.reg_name; by })
 
+(* One ABD round for an emulated register op.  Liveness needs a majority
+   of replica hosts up (ABD's f < n/2): without one the round can never
+   collect its quorum, so the op blocks — wait-freedom is lost exactly
+   at the bound of arXiv 1906.00298 / 2012.10846.  The raise happens
+   before any accounting so a blocked op moves no counters. *)
+let emulated_round s r ~by =
+  let n = Domain_.order s.dom in
+  if 2 * s.live <= n then begin
+    s.blocked <- s.blocked + 1;
+    raise (Unavailable { reg = r.reg_name; by; live = s.live; order = n })
+  end;
+  if s.live < s.emu_min_live then s.emu_min_live <- s.live;
+  let msgs = emulated_round_msgs ~n ~live:s.live in
+  s.emu_msgs <- s.emu_msgs + msgs;
+  s.transport ~sent:msgs ~delivered:msgs
+
 let read r ~by =
   check r by;
   let t = r.tally.(Id.to_int by) in
-  if Id.equal by r.reg_owner then t.t_reads_local <- t.t_reads_local + 1
-  else t.t_reads_remote <- t.t_reads_remote + 1;
+  (match r.home.backend with
+  | Backend.Native ->
+    if Id.equal by r.reg_owner then t.t_reads_local <- t.t_reads_local + 1
+    else t.t_reads_remote <- t.t_reads_remote + 1
+  | Backend.Emulated ->
+    emulated_round r.home r ~by;
+    (* Every emulated op is a quorum exchange: §5.3 locality is
+       forfeited, even for the nominal owner. *)
+    t.t_reads_remote <- t.t_reads_remote + 1);
   r.value
 
 let write r ~by v =
   check r by;
+  let s = r.home in
   let t = r.tally.(Id.to_int by) in
-  if Id.equal by r.reg_owner then t.t_writes_local <- t.t_writes_local + 1
-  else t.t_writes_remote <- t.t_writes_remote + 1;
-  (* Omission-faulty host memory: the write op completes but the stored
-     value never changes. *)
-  if r.home.failed_hosts.(Id.to_int r.reg_owner) then
-    r.home.dropped <- r.home.dropped + 1
-  else r.value <- v
+  match s.backend with
+  | Backend.Native ->
+    if Id.equal by r.reg_owner then t.t_writes_local <- t.t_writes_local + 1
+    else t.t_writes_remote <- t.t_writes_remote + 1;
+    (* Omission-faulty host memory: the write op completes but the stored
+       value never changes. *)
+    if s.failed_hosts.(Id.to_int r.reg_owner) then s.dropped <- s.dropped + 1
+    else r.value <- v
+  | Backend.Emulated ->
+    emulated_round s r ~by;
+    t.t_writes_remote <- t.t_writes_remote + 1;
+    (* Replication masks a minority of omission-faulty replicas: the
+       write sticks as long as a majority of hosts are both live and
+       memory-healthy (contrast Native, where failing the one owner
+       host drops every write). *)
+    if 2 * s.healthy <= Domain_.order s.dom then s.dropped <- s.dropped + 1
+    else r.value <- v
 
 let peek r = r.value
 let name r = r.reg_name

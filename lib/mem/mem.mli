@@ -6,12 +6,53 @@
     S ∈ S contains that set, and every access is checked against the
     register's member set ([Access_violation] otherwise).  Registers are
     atomic — in the simulator each read or write is one indivisible
-    scheduler step — and they survive process crashes, as the paper
-    assumes of RDMA-registered memory.
+    scheduler step.
 
-    Following §5.3 (locality), each register has an owner — the process
-    on whose host it physically lives — and the store counts local
-    accesses (by the owner) separately from remote ones, per process. *)
+    How a register is {e realised} is the store's backend:
+
+    - {!Backend.Native} — the paper's base model: RDMA-registered memory
+      on the owner's host.  Registers survive process crashes, accesses
+      move no network traffic, and §5.3 locality applies (the owner's
+      accesses are counted local, everyone else's remote).
+    - {!Backend.Emulated} — a pure message-passing system pretending to
+      have registers: each read or write is a two-phase ABD quorum round
+      over the network (cf. lib/abd, and arXiv 1906.00298 /
+      arXiv 2012.10846 on register emulations in m&m systems).  Register
+      ops move the network counters, every access counts remote (no
+      locality to exploit), crash tolerance drops to a minority: once a
+      majority of hosts have crashed an op cannot assemble its quorum
+      and raises {!Unavailable} — wait-freedom is lost exactly at the
+      papers' resilience bound.
+
+    Both backends present the same register API, so algorithms written
+    against it run unchanged under either — that contrast (hybrid m&m
+    vs pure message passing) is the point of the interface. *)
+
+module Backend : sig
+  type t =
+    | Native    (** crash-surviving registers on the owner's host (§3) *)
+    | Emulated  (** ABD quorum emulation over the network *)
+
+  (** All backends with their CLI names — the single source of truth
+      for [mm --backend], bench kernels and test matrices. *)
+  val all : (string * t) list
+
+  val name : t -> string
+
+  (** Inverse of {!name}.  Raises [Invalid_argument] on unknown names. *)
+  val of_string : string -> t
+
+  (** Small stable integer distinguishing backends, for salting config
+      fingerprints so sweep dedup never conflates them. *)
+  val tag : t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Messages one emulated register op injects: two phases, each a
+    broadcast to all [n] replica hosts plus replies from the [live]
+    ones.  Exposed so tests and monitors can pin the exact accounting. *)
+val emulated_round_msgs : n:int -> live:int -> int
 
 type store
 
@@ -19,6 +60,17 @@ type store
 type 'a reg
 
 exception Access_violation of { reg : string; by : Mm_core.Id.t }
+
+(** An emulated-register op could not assemble a majority quorum
+    ([2 * live <= order]).  Never raised by the [Native] backend.  The
+    engine turns this into a retry — the op blocks rather than fails. *)
+exception
+  Unavailable of {
+    reg : string;
+    by : Mm_core.Id.t;
+    live : int;
+    order : int;
+  }
 
 (** Per-process access counters (local = by the register's owner). *)
 type counters = {
@@ -34,32 +86,69 @@ val sub_counters : counters -> counters -> counters
 val total_ops : counters -> int
 val pp_counters : Format.formatter -> counters -> unit
 
-(** [create domain] makes an empty store governed by [domain]. *)
-val create : Mm_core.Domain.t -> store
+(** [create domain] makes an empty store governed by [domain], realised
+    by [backend] (default [Native]). *)
+val create : ?backend:Backend.t -> Mm_core.Domain.t -> store
 
 (** [reset store domain] returns the store to the state [create domain]
     would produce, reusing the existing arrays: counters, register
-    count, failed hosts and dropped-write tallies are zeroed.  Registers
+    count, failed/crashed hosts, dropped-write/blocked-op tallies and
+    the transport hook are all reset, and the backend is switched to
+    [backend] (default [Native] — same default as [create]).  Registers
     allocated before the reset must no longer be used.  [domain] must
     have the same order as the store's current domain ([Invalid_argument]
     otherwise) — arena reuse never changes the system size. *)
-val reset : store -> Mm_core.Domain.t -> unit
+val reset : ?backend:Backend.t -> store -> Mm_core.Domain.t -> unit
+
+(** The backend this store currently realises registers with. *)
+val backend : store -> Backend.t
+
+(** [set_transport store f] installs the hook the [Emulated] backend
+    charges its quorum traffic to ([f ~sent ~delivered], once per op
+    with the round's message count).  The engine points this at its
+    network's stats so emulated register ops are visible exactly where
+    real protocol messages are.  Reset clears it to a no-op. *)
+val set_transport : store -> (sent:int -> delivered:int -> unit) -> unit
+
+(** [note_crash store p] records that host [p] crashed, shrinking the
+    replica quorum the [Emulated] backend can assemble.  Idempotent.
+    Under [Native] this only maintains bookkeeping — native registers
+    survive crashes by assumption (§3). *)
+val note_crash : store -> Mm_core.Id.t -> unit
 
 (** Memory failures (paper §6 future work, citing Afek et al. and
     Jayanti-Chandra-Toueg faulty shared objects): [fail_host_memory
     store p] makes every register hosted at [p] *omission-faulty* from
-    now on — writes (by anyone) are silently discarded while reads keep
-    returning the last value written before the failure.  This models a
-    host whose memory module wedged read-only: the paper's base model
-    (§3) assumes this never happens; the E14 experiment shows which
-    algorithms tolerate it anyway.  Idempotent. *)
+    now on.  Under [Native], writes (by anyone, to registers owned by
+    [p]) are silently discarded while reads keep returning the last
+    value written before the failure.  Under [Emulated], [p] is one
+    replica among [n], so the failure is masked until a majority of
+    hosts are crashed or memory-failed — only then do writes drop.
+    Idempotent. *)
 val fail_host_memory : store -> Mm_core.Id.t -> unit
 
 (** Has this host's memory been failed? *)
 val host_memory_failed : store -> Mm_core.Id.t -> bool
 
-(** Writes dropped because the target register's host memory had failed. *)
+(** Writes dropped because the target register's host memory had failed
+    (Native) or a majority of replicas were unhealthy (Emulated). *)
 val dropped_writes : store -> int
+
+(** Ops the [Emulated] backend refused for lack of a live majority
+    (each retry counts).  Always 0 under [Native]: the count going
+    positive is the observable loss of wait-freedom. *)
+val blocked_ops : store -> int
+
+(** Total messages charged by the [Emulated] backend (0 under Native). *)
+val emulated_msgs : store -> int
+
+(** Smallest live-host count observed by a completed emulated round
+    (order of the store when no round has run) — witnesses how close
+    the run came to the resilience bound. *)
+val emulated_min_live : store -> int
+
+(** Hosts not yet crashed. *)
+val live_hosts : store -> int
 
 val domain : store -> Mm_core.Domain.t
 
@@ -75,11 +164,15 @@ val alloc :
   'a reg
 
 (** [read reg ~by] returns the current value.
-    Raises [Access_violation] when [by] is not a member. *)
+    Raises [Access_violation] when [by] is not a member, and
+    [Unavailable] when the backend is [Emulated] and a majority of
+    hosts have crashed. *)
 val read : 'a reg -> by:Mm_core.Id.t -> 'a
 
 (** [write reg ~by v] stores [v].
-    Raises [Access_violation] when [by] is not a member. *)
+    Raises [Access_violation] when [by] is not a member, and
+    [Unavailable] when the backend is [Emulated] and a majority of
+    hosts have crashed. *)
 val write : 'a reg -> by:Mm_core.Id.t -> 'a -> unit
 
 (** [peek reg] reads without access checks or accounting — for test

@@ -17,6 +17,7 @@ type outcome = {
   messages_sent : int;
   steps : int;
   mem_total : Mem.counters;
+  mem_blocked : int;
   trace : Mm_sim.Trace.event list;
 }
 
@@ -62,6 +63,7 @@ let finish_outcome ?wait_reads_local eng mon wait_reads spin_reads reason =
     messages_sent = (Network.stats (Engine.network eng)).Network.sent;
     steps = Engine.now eng;
     mem_total = Mem.total_counters (Engine.store eng);
+    mem_blocked = Mem.blocked_ops (Engine.store eng);
     trace =
       (match Engine.trace eng with
       | None -> []
@@ -71,9 +73,9 @@ let finish_outcome ?wait_reads_local eng mon wait_reads spin_reads reason =
 (* --- Lamport bakery --- *)
 
 let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?prepare ?sched ?arena ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ?arena ?backend ~n ~entries () =
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity ?backend
       ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
@@ -140,9 +142,9 @@ let run_bakery ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
 (* --- m&m ticket lock with message wake-ups --- *)
 
 let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?prepare ?sched ?arena ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ?arena ?backend ~n ~entries () =
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity ?backend
       ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
@@ -228,9 +230,9 @@ let run_mm ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
 (* --- local-spin ticket lock: the prior-art design point --- *)
 
 let run_local_spin ?(seed = 1) ?(max_steps = 5_000_000) ?(cs_work = 4)
-    ?(trace_capacity = 0) ?prepare ?sched ?arena ~n ~entries () =
+    ?(trace_capacity = 0) ?prepare ?sched ?arena ?backend ~n ~entries () =
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity ?backend
       ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in

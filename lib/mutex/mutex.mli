@@ -32,6 +32,9 @@ type outcome = {
   messages_sent : int;
   steps : int;
   mem_total : Mm_mem.Mem.counters;
+  mem_blocked : int;
+      (** emulated register ops refused for lack of quorum (0 under the
+          native backend) *)
   trace : Mm_sim.Trace.event list;
       (** trailing engine trace (empty unless [trace_capacity] > 0) *)
 }
@@ -47,6 +50,7 @@ val run_bakery :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   n:int ->
   entries:int ->
   unit ->
@@ -60,6 +64,7 @@ val run_mm :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   n:int ->
   entries:int ->
   unit ->
@@ -84,6 +89,7 @@ val run_local_spin :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   n:int ->
   entries:int ->
   unit ->

@@ -348,6 +348,11 @@ let restore t =
 
 let set_observer t f = t.observer <- Some f
 
+let account t ~sent ~delivered =
+  if sent < 0 || delivered < 0 then invalid_arg "Network.account: negative";
+  t.sent <- t.sent + sent;
+  t.delivered <- t.delivered + delivered
+
 let stats t =
   {
     sent = t.sent;

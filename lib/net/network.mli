@@ -119,6 +119,14 @@ type event =
     At most one observer; a second call replaces the first. *)
 val set_observer : t -> (event -> unit) -> unit
 
+(** [account t ~sent ~delivered] charges externally generated traffic
+    to the stats, without touching any queue.  Used by the emulated
+    register backend ({!Mm_mem.Mem.Backend.Emulated}) to make quorum
+    rounds visible in the same counters as real protocol messages.
+    Callers pass [sent = delivered] so [in_flight] stays consistent.
+    Raises [Invalid_argument] on negative amounts. *)
+val account : t -> sent:int -> delivered:int -> unit
+
 val stats : t -> stats
 
 (** Stats over a window: [snapshot] then later [diff_since] gives the

@@ -7,18 +7,26 @@ let shape_minor_heap ~words =
   if g.Gc.minor_heap_size < words then
     Gc.set { g with Gc.minor_heap_size = words }
 
-let engine ?arena ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n () =
+let engine ?arena ?seed ?delay ?sched ?trace_capacity ?backend ~domain ~link
+    ~n () =
   match arena with
-  | None -> Engine.create ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n ()
+  | None ->
+    Engine.create ?seed ?delay ?sched ?trace_capacity ?backend ~domain ~link
+      ~n ()
   | Some a -> (
     match a.engine with
     | Some e when Engine.n e = n ->
-      Engine.reset e ?seed ?delay ?sched ?trace_capacity ~domain ~link ();
+      (* Reset re-initialises the backend state in place (quorum
+         counters, transport hook), so trials of different backends can
+         share one arena without bleed. *)
+      Engine.reset e ?seed ?delay ?sched ?trace_capacity ?backend ~domain
+        ~link ();
       e
     | _ ->
       (* First use, or the system size changed: build fresh and cache. *)
       let e =
-        Engine.create ?seed ?delay ?sched ?trace_capacity ~domain ~link ~n ()
+        Engine.create ?seed ?delay ?sched ?trace_capacity ?backend ~domain
+          ~link ~n ()
       in
       a.engine <- Some e;
       e)

@@ -24,6 +24,7 @@ val engine :
   ?delay:Mm_net.Network.delay ->
   ?sched:Sched.t ->
   ?trace_capacity:int ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   domain:Mm_core.Domain.t ->
   link:Mm_net.Network.kind ->
   n:int ->

@@ -66,6 +66,10 @@ type t = {
   mutable step : int;
   mutable coins : int;
   mutable sched_log : int list option;  (* reversed; None = not recording *)
+  (* Charges emulated-register quorum rounds to [net]'s stats.  Built
+     once in [create]; [reseed] re-installs it because [Mem.reset]
+     clears the store's hook (reset IS create). *)
+  transport : sent:int -> delivered:int -> unit;
 }
 
 let has_pending p =
@@ -90,7 +94,7 @@ let install_observer t =
    never drift: the order of [root] splits — network, scheduler, the
    per-process parent (drained in pid order), then the derive stream —
    is part of the replay contract. *)
-let reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity =
+let reseed t ~seed ~delay ~sched ~backend ~domain ~link ~trace_capacity =
   if Mm_core.Domain.order domain <> t.n_procs then
     invalid_arg "Engine.reset: domain order does not match n";
   let root = Rng.create seed in
@@ -98,7 +102,8 @@ let reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity =
   let sched_rng = Rng.split root in
   let proc_parent = Rng.split root in
   Network.reset t.net ~rng:net_rng ~kind:link ?delay ();
-  Mem.reset t.mem domain;
+  Mem.reset ~backend t.mem domain;
+  Mem.set_transport t.mem t.transport;
   t.dom <- domain;
   t.sched <- (match sched with Some s -> s | None -> Sched.create Sched.Random);
   t.sched_rng <- sched_rng;
@@ -127,7 +132,7 @@ let reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity =
   install_observer t
 
 let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
-    ~domain ~link ~n () =
+    ?(backend = Mem.Backend.Native) ~domain ~link ~n () =
   if n < 1 then invalid_arg "Engine.create: need n >= 1";
   if Mm_core.Domain.order domain <> n then
     invalid_arg "Engine.create: domain order does not match n";
@@ -168,17 +173,19 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
       step = 0;
       coins = 0;
       sched_log = None;
+      transport = (fun ~sent ~delivered -> Network.account net ~sent ~delivered);
     }
   in
-  reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity;
+  reseed t ~seed ~delay ~sched ~backend ~domain ~link ~trace_capacity;
   t
 
 let reset t ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
-    ~domain ~link () =
-  reseed t ~seed ~delay ~sched ~domain ~link ~trace_capacity
+    ?(backend = Mem.Backend.Native) ~domain ~link () =
+  reseed t ~seed ~delay ~sched ~backend ~domain ~link ~trace_capacity
 
 let n t = t.n_procs
 let store t = t.mem
+let backend t = Mem.backend t.mem
 let network t = t.net
 let domain t = t.dom
 let now t = t.step
@@ -241,14 +248,27 @@ let exec_eff :
     let msgs = Network.drain t.net pid in
     record t pid (Trace.Received (List.length msgs));
     continue k msgs
-  | Proc.Read_reg r ->
-    let v = Mem.read r ~by:pid in
-    record t pid (Trace.Read (Mem.name r));
-    continue k v
-  | Proc.Write_reg (r, v) ->
-    Mem.write r ~by:pid v;
-    record t pid (Trace.Wrote (Mem.name r));
-    continue k ()
+  | Proc.Read_reg r -> (
+    match Mem.read r ~by:pid with
+    | v ->
+      record t pid (Trace.Read (Mem.name r));
+      continue k v
+    | exception Mem.Unavailable _ ->
+      (* No quorum: the op blocks instead of failing.  Re-stash the
+         same effect so the process retries when next scheduled —
+         availability is store-global, so the retry is exact. *)
+      p.pending <- Pend (eff, k);
+      record t pid (Trace.Blocked (Mem.name r));
+      Suspended)
+  | Proc.Write_reg (r, v) -> (
+    match Mem.write r ~by:pid v with
+    | () ->
+      record t pid (Trace.Wrote (Mem.name r));
+      continue k ()
+    | exception Mem.Unavailable _ ->
+      p.pending <- Pend (eff, k);
+      record t pid (Trace.Blocked (Mem.name r));
+      Suspended)
   | Proc.Coin ->
     t.coins <- t.coins + 1;
     let b = Rng.bool p.rng in
@@ -262,10 +282,18 @@ let exec_eff :
   | Proc.My_steps ->
     record t pid Trace.Yielded;
     continue k p.steps
-  | Proc.Atomic f ->
-    let v = f () in
-    record t pid Trace.Atomic_op;
-    continue k v
+  | Proc.Atomic f -> (
+    (* Safe to retry on Unavailable: availability cannot change inside
+       one step, and every atomic block's first register touch raises
+       before any mutation. *)
+    match f () with
+    | v ->
+      record t pid Trace.Atomic_op;
+      continue k v
+    | exception Mem.Unavailable { reg; _ } ->
+      p.pending <- Pend (eff, k);
+      record t pid (Trace.Blocked reg);
+      Suspended)
   | _ ->
     (* [spawn]'s effc only stashes the Proc effects above. *)
     assert false
@@ -356,6 +384,7 @@ let apply_crashes t =
         p.p_status <- Crashed;
         p.pending <- No_pending;
         Sched.note_crash t.sched ~pid:i;
+        Mem.note_crash t.mem p.pid;
         record t p.pid Trace.Crashed
       | Done | Crashed -> ());
       t.crash_step.(i) <- None

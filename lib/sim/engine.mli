@@ -25,12 +25,20 @@ val pp_stop_reason : Format.formatter -> stop_reason -> unit
     - [delay] is the link delay policy (default [Uniform (1, 4)]).
     - [sched] is the scheduling policy (default seeded [Random]).
     - [trace_capacity], when positive, enables trace recording of the
-      last that-many steps. *)
+      last that-many steps.
+    - [backend] selects how the store realises registers (default
+      [Native]; see {!Mm_mem.Mem.Backend}).  Under [Emulated], register
+      ops are charged to the network stats, crashes shrink the quorum
+      (the engine notifies the store on every crash), and an op without
+      a live majority blocks: the process stays runnable and retries
+      the same access each time it is scheduled, visible as
+      [Trace.Blocked] events and {!Mm_mem.Mem.blocked_ops}. *)
 val create :
   ?seed:int ->
   ?delay:Mm_net.Network.delay ->
   ?sched:Sched.t ->
   ?trace_capacity:int ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   domain:Mm_core.Domain.t ->
   link:Mm_net.Network.kind ->
   n:int ->
@@ -53,6 +61,7 @@ val reset :
   ?delay:Mm_net.Network.delay ->
   ?sched:Sched.t ->
   ?trace_capacity:int ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   domain:Mm_core.Domain.t ->
   link:Mm_net.Network.kind ->
   unit ->
@@ -60,6 +69,9 @@ val reset :
 
 val n : t -> int
 val store : t -> Mm_mem.Mem.store
+
+(** The store's current register backend. *)
+val backend : t -> Mm_mem.Mem.Backend.t
 val network : t -> Mm_net.Network.t
 val domain : t -> Mm_core.Domain.t
 

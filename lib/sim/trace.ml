@@ -6,6 +6,7 @@ type op =
   | Wrote of string
   | Coined of bool
   | Atomic_op
+  | Blocked of string
   | Crashed
   | Finished
   | Dropped
@@ -57,6 +58,7 @@ let pp_op fmt = function
   | Wrote r -> Format.fprintf fmt "write %s" r
   | Coined b -> Format.fprintf fmt "coin %b" b
   | Atomic_op -> Format.fprintf fmt "atomic"
+  | Blocked r -> Format.fprintf fmt "blocked %s" r
   | Crashed -> Format.fprintf fmt "CRASH"
   | Finished -> Format.fprintf fmt "done"
   | Dropped -> Format.fprintf fmt "drop"

@@ -11,6 +11,7 @@ type op =
   | Wrote of string
   | Coined of bool
   | Atomic_op
+  | Blocked of string  (** emulated register op waiting for a quorum *)
   | Crashed
   | Finished
   | Dropped                     (** the link dropped a message this process sent *)

@@ -166,6 +166,7 @@ type outcome = {
   total_steps : int;
   net : Network.stats;
   mem_total : Mem.counters;
+  mem_blocked : int;
   trace : Mm_sim.Trace.event list;
 }
 
@@ -285,9 +286,9 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
   main_loop 1
 
 let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
-    ?(crashes = []) ?prepare ?sched ?arena ~n ~commands_per_proc () =
+    ?(crashes = []) ?prepare ?sched ?arena ?backend ~n ~commands_per_proc () =
   let eng =
-    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity
+    Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity ?backend
       ~domain:(Domain_.full n) ~link:Network.Reliable ~n ()
   in
   let store = Engine.store eng in
@@ -361,6 +362,7 @@ let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
     total_steps = Engine.now eng;
     net = Network.stats (Engine.network eng);
     mem_total = Mem.total_counters store;
+    mem_blocked = Mem.blocked_ops store;
     trace =
       (match Engine.trace eng with
       | None -> []

@@ -100,6 +100,9 @@ type outcome = {
   total_steps : int;
   net : Mm_net.Network.stats;
   mem_total : Mm_mem.Mem.counters;
+  mem_blocked : int;
+      (** emulated register ops refused for lack of quorum (0 under the
+          native backend) *)
   trace : Mm_sim.Trace.event list;
       (** trailing engine trace (empty unless [trace_capacity] > 0) *)
 }
@@ -112,6 +115,7 @@ val run :
   ?prepare:(Mm_sim.Engine.t -> unit) ->
   ?sched:Mm_sim.Sched.t ->
   ?arena:Mm_sim.Arena.t ->
+  ?backend:Mm_mem.Mem.Backend.t ->
   n:int ->
   commands_per_proc:int ->
   unit ->

@@ -1,0 +1,39 @@
+(* backend_smoke — `dune build @backend-smoke`: a 1-trial sweep of every
+   registered scenario on every memory backend.  Harness validation for
+   the Scenario x backend matrix: adding a scenario to Registry.all or a
+   backend to Mem.Backend.all is enough to put the new row/column under
+   the alias.  Budgets are the bare minimum that exercises the backend
+   through gen/execute/monitors end-to-end — the real hunts live in
+   test_check and `mm check`. *)
+
+module B = Mm_graph.Builders
+module Mem = Mm_mem.Mem
+module Scenario = Mm_check.Scenario
+module Registry = Mm_check.Registry
+module Runner = Mm_check.Runner
+
+let params backend =
+  {
+    Scenario.default_params with
+    graph = Some (B.complete 4);
+    n = 4;
+    backend;
+    max_steps = Some 150_000;
+    crash_window = Some 5_000;
+    warmup = Some 40_000;
+    window = Some 8_000;
+  }
+
+let () =
+  let failed = ref false in
+  List.iter
+    (fun (bname, backend) ->
+      let params = params backend in
+      List.iter
+        (fun ((module S : Scenario.S) as sc) ->
+          let r = Runner.sweep sc ~master_seed:1 ~budget:1 ~params () in
+          Format.printf "[%s] %a" bname Runner.pp_report r;
+          if r.Runner.violation <> None then failed := true)
+        Registry.all)
+    Mem.Backend.all;
+  if !failed then exit 1

@@ -624,6 +624,200 @@ let test_arena_reset_differential () =
       done)
     Registry.all
 
+(* --- Memory backends: the Scenario x backend matrix --- *)
+
+let emulated_params =
+  { smoke_params with Scenario.backend = Mm_mem.Mem.Backend.Emulated }
+
+let test_cap_crashes () =
+  let cap = Scenario.cap_crashes in
+  Alcotest.(check int) "native uncapped" 3
+    (cap Mm_mem.Mem.Backend.Native ~n:4 ~native_default:3);
+  Alcotest.(check int) "emulated n=4 capped to 1" 1
+    (cap Mm_mem.Mem.Backend.Emulated ~n:4 ~native_default:3);
+  Alcotest.(check int) "emulated n=5 capped to 2" 2
+    (cap Mm_mem.Mem.Backend.Emulated ~n:5 ~native_default:4);
+  Alcotest.(check int) "emulated never negative" 0
+    (cap Mm_mem.Mem.Backend.Emulated ~n:1 ~native_default:0);
+  Alcotest.(check int) "smaller native default wins" 1
+    (cap Mm_mem.Mem.Backend.Emulated ~n:9 ~native_default:1)
+
+let test_registry_emulated_sweeps_clean () =
+  (* Every registered scenario sweeps clean on the emulated backend with
+     its default (minority-capped) crash budget: zero new algorithm
+     code, same monitors plus the resilience bound. *)
+  List.iter
+    (fun (module S : Scenario.S) ->
+      clean_sweep S.name ~budget:2 ~params:emulated_params)
+    Registry.all
+
+let test_registry_emulated_jobs_deterministic () =
+  (* The backend threads through the parallel sweep unchanged: reports
+     stay bit-identical at every jobs setting. *)
+  List.iter
+    (fun ((module S : Scenario.S) as sc) ->
+      let sweep jobs =
+        Runner.sweep sc ~master_seed:5 ~budget:2 ~jobs ~params:emulated_params
+          ()
+      in
+      let r1 = sweep 1 in
+      List.iter
+        (fun jobs ->
+          check_same_report
+            (Printf.sprintf "%s emulated jobs=%d" S.name jobs)
+            r1 (sweep jobs))
+        [ 2; 8 ])
+    Registry.all
+
+let test_arena_backend_reset_differential () =
+  (* Reset-is-create must hold per backend AND across backends: a trial
+     executed in an arena last used by the OTHER backend must be
+     byte-identical to a fresh execution — no emulation state (crash
+     vectors, transport closures, message tallies) bleeds through an
+     arena reset.  This is exactly the sweep situation when the same
+     worker arena serves native and emulated sweeps back to back. *)
+  let params_of backend = { arena_params with Scenario.backend } in
+  List.iter
+    (fun (module S : Scenario.S) ->
+      let arena = Mm_sim.Arena.create () in
+      List.iter
+        (fun (backend, warm_backend) ->
+          let warm_cfg = S.cfg_of_params (params_of warm_backend) in
+          ignore (S.execute ~arena warm_cfg (S.gen warm_cfg (Rng.create 999)));
+          let cfg = S.cfg_of_params (params_of backend) in
+          for seed = 0 to 2 do
+            let t = S.gen cfg (Rng.create seed) in
+            let fresh = S.execute cfg t in
+            let reused = S.execute ~arena cfg t in
+            let verdicts o =
+              List.map (fun (name, m) -> (name, m o)) (S.monitors cfg t)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %s-after-%s seed %d: identical trace"
+                 S.name
+                 (Mm_mem.Mem.Backend.name backend)
+                 (Mm_mem.Mem.Backend.name warm_backend)
+                 seed)
+              true
+              (S.trace fresh = S.trace reused);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %s-after-%s seed %d: identical verdicts"
+                 S.name
+                 (Mm_mem.Mem.Backend.name backend)
+                 (Mm_mem.Mem.Backend.name warm_backend)
+                 seed)
+              true
+              (verdicts fresh = verdicts reused)
+          done)
+        Mm_mem.Mem.Backend.
+          [ (Emulated, Native); (Native, Emulated); (Emulated, Emulated) ])
+    Registry.all
+
+let test_backend_net_delta () =
+  (* Native register ops move no network counters; every emulated op is
+     exactly one ABD quorum round of 2*(n + live) messages, visible in
+     the engine's Network.stats. *)
+  let module Mem = Mm_mem.Mem in
+  let run backend =
+    let n = 3 in
+    let eng =
+      Engine.create ~seed:1 ~backend ~domain:(Mm_core.Domain.full n)
+        ~link:Net.Reliable ~n ()
+    in
+    let r =
+      Mem.alloc (Engine.store eng) ~name:"x" ~owner:(Id.of_int 0)
+        ~shared_with:[ Id.of_int 1; Id.of_int 2 ]
+        0
+    in
+    Engine.spawn eng (Id.of_int 1) (fun () ->
+        Proc.write r 5;
+        ignore (Proc.read r));
+    ignore (Engine.run eng ());
+    Net.stats (Engine.network eng)
+  in
+  let nat = run Mem.Backend.Native in
+  Alcotest.(check int) "native: zero sends" 0 nat.Net.sent;
+  let emu = run Mem.Backend.Emulated in
+  (* two ops, all 3 hosts live: 2 * (2 * (3 + 3)) *)
+  Alcotest.(check int) "emulated: one round per op" 24 emu.Net.sent;
+  Alcotest.(check int) "emulated: rounds complete" 24 emu.Net.delivered
+
+let test_backend_fingerprints_disjoint () =
+  (* Same params, same master seed, opposite backends: the generation
+     draw streams coincide, so only the backend salt keeps the dedup
+     fingerprints (and hence any cross-backend comparison) apart.  The
+     reports themselves must still be clean and structurally equal. *)
+  let sweep backend =
+    Runner.sweep (scenario "mutex") ~master_seed:3 ~budget:4
+      ~params:{ smoke_params with Scenario.backend } ()
+  in
+  let nat = sweep Mm_mem.Mem.Backend.Native in
+  let emu = sweep Mm_mem.Mem.Backend.Emulated in
+  Alcotest.(check bool) "native clean" true (nat.Runner.violation = None);
+  Alcotest.(check bool) "emulated clean" true (emu.Runner.violation = None);
+  Alcotest.(check int) "same distinct count" nat.Runner.distinct_trials
+    emu.Runner.distinct_trials
+
+let test_backend_distinguishes () =
+  (* The acceptance demo as a pinned test: one crash set (2 of 4, past
+     the minority bound but within the complete graph's Thm 4.3 bound
+     f* = 2), two backends.  Native rides it out; emulated loses
+     wait-freedom, the resilience monitor names the bound, and the
+     reported seed replays to the identical counterexample. *)
+  let params backend =
+    {
+      Scenario.default_params with
+      graph = Some (B.complete 4);
+      n = 4;
+      backend;
+      max_crashes = Some 2;
+    }
+  in
+  let nat =
+    Runner.sweep (scenario "hbo") ~master_seed:1 ~budget:12
+      ~params:(params Mm_mem.Mem.Backend.Native)
+      ()
+  in
+  (match nat.Runner.violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "native should tolerate 2 crashes on K4: %s (%s)"
+      cx.Runner.property cx.Runner.detail);
+  let emu_params = params Mm_mem.Mem.Backend.Emulated in
+  let emu =
+    Runner.sweep (scenario "hbo") ~master_seed:1 ~budget:12 ~params:emu_params
+      ()
+  in
+  match emu.Runner.violation with
+  | None ->
+    Alcotest.fail
+      "emulated should lose wait-freedom once a majority can crash"
+  | Some cx -> (
+    Alcotest.(check string) "the resilience monitor fires first"
+      "emulated-resilience" cx.Runner.property;
+    Alcotest.(check bool) "diagnosis names the bound" true
+      (let re = "no majority quorum" in
+       let len = String.length re in
+       let s = cx.Runner.detail in
+       let rec find i =
+         i + len <= String.length s
+         && (String.equal (String.sub s i len) re || find (i + 1))
+       in
+       find 0);
+    let replayed =
+      Runner.replay (scenario "hbo") ~params:emu_params
+        ~trial_seed:cx.Runner.trial_seed ()
+    in
+    match replayed.Runner.violation with
+    | None -> Alcotest.fail "replay lost the emulated violation"
+    | Some cx' ->
+      Alcotest.(check string) "replayed property" cx.Runner.property
+        cx'.Runner.property;
+      Alcotest.(check string) "replayed detail" cx.Runner.detail
+        cx'.Runner.detail;
+      Alcotest.(check bool) "replayed trace identical" true
+        (cx.Runner.trace = cx'.Runner.trace))
+
 (* --- Fingerprint dedup: duplicates counted, never re-executed --- *)
 
 (* Quantize the generation stream to 4 distinct draw sequences: the
@@ -1099,6 +1293,23 @@ let () =
         [
           Alcotest.test_case "reset = fresh, every scenario" `Quick
             test_arena_reset_differential;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "default crash budgets capped" `Quick
+            test_cap_crashes;
+          Alcotest.test_case "every scenario sweeps clean emulated" `Quick
+            test_registry_emulated_sweeps_clean;
+          Alcotest.test_case "emulated jobs=1 = jobs=2/8" `Quick
+            test_registry_emulated_jobs_deterministic;
+          Alcotest.test_case "arena reset across backends" `Quick
+            test_arena_backend_reset_differential;
+          Alcotest.test_case "net delta: native 0, emulated one round" `Quick
+            test_backend_net_delta;
+          Alcotest.test_case "fingerprints disjoint across backends" `Quick
+            test_backend_fingerprints_disjoint;
+          Alcotest.test_case "native tolerates what emulated cannot" `Quick
+            test_backend_distinguishes;
         ] );
       ( "dedup",
         [

@@ -109,6 +109,175 @@ let test_memory_failure () =
   let c1 = Mem.counters_of store (id 1) in
   Alcotest.(check int) "write op counted" 1 c1.Mem.writes_remote
 
+(* --- backends: native pin + ABD-emulation semantics --- *)
+
+(* The default store IS the native backend, and native ops never touch
+   the emulation machinery: same values, same counters, zero emulated
+   messages, zero blocked ops, and the message transport is never
+   invoked.  This pins the backend refactor to the pre-refactor
+   behavior. *)
+let test_native_differential () =
+  let run store =
+    let r =
+      Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1; id 2 ] 0
+    in
+    Mem.write r ~by:(id 0) 1;
+    Mem.write r ~by:(id 1) 2;
+    ignore (Mem.read r ~by:(id 2));
+    ignore (Mem.read r ~by:(id 0));
+    (Mem.read r ~by:(id 1), Mem.total_counters store)
+  in
+  let dflt = Mem.create (Domain.full 3) in
+  let native = Mem.create ~backend:Mem.Backend.Native (Domain.full 3) in
+  let calls = ref 0 in
+  Mem.set_transport native (fun ~sent:_ ~delivered:_ -> incr calls);
+  let v1, c1 = run dflt in
+  let v2, c2 = run native in
+  Alcotest.(check int) "same value" v1 v2;
+  Alcotest.(check bool) "same counters" true (c1 = c2);
+  Alcotest.(check int) "native: transport never called" 0 !calls;
+  Alcotest.(check int) "native: no emulated msgs" 0 (Mem.emulated_msgs native);
+  Alcotest.(check int) "native: nothing blocked" 0 (Mem.blocked_ops native)
+
+(* Every emulated op is one ABD quorum round: 2*(n + live) messages,
+   pushed through the installed transport, and tallied remote — the
+   §5.3 locality the native backend gives away is forfeited. *)
+let test_emulated_accounting () =
+  let n = 4 in
+  let store = Mem.create ~backend:Mem.Backend.Emulated (Domain.full n) in
+  let sent = ref 0 and delivered = ref 0 in
+  Mem.set_transport store (fun ~sent:s ~delivered:d ->
+      sent := !sent + s;
+      delivered := !delivered + d);
+  let r =
+    Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1; id 2; id 3 ] 0
+  in
+  Mem.write r ~by:(id 0) 7;
+  ignore (Mem.read r ~by:(id 0));
+  (* owner or not, all live: each op costs 2*(4+4) = 16 messages *)
+  Alcotest.(check int) "two rounds" 32 (Mem.emulated_msgs store);
+  Alcotest.(check int) "transport sent" 32 !sent;
+  Alcotest.(check int) "transport delivered" 32 !delivered;
+  let c0 = Mem.counters_of store (id 0) in
+  Alcotest.(check int) "owner write is remote" 1 c0.Mem.writes_remote;
+  Alcotest.(check int) "owner read is remote" 1 c0.Mem.reads_remote;
+  Alcotest.(check int) "no local ops" 0
+    (c0.Mem.reads_local + c0.Mem.writes_local);
+  (* a crash shrinks the round: live = 3, so 2*(4+3) = 14 more *)
+  Mem.note_crash store (id 3);
+  ignore (Mem.read r ~by:(id 1));
+  Alcotest.(check int) "smaller round" (32 + 14) (Mem.emulated_msgs store);
+  Alcotest.(check int) "min live seen" 3 (Mem.emulated_min_live store)
+
+(* At the f < n/2 bound the emulation loses wait-freedom: ops raise
+   [Unavailable], count as blocked, and move no other counter.  Native
+   registers sail through the same crash set. *)
+let test_emulated_unavailable () =
+  let n = 4 in
+  let store = Mem.create ~backend:Mem.Backend.Emulated (Domain.full n) in
+  let r =
+    Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1; id 2; id 3 ] 5
+  in
+  Mem.note_crash store (id 2);
+  Mem.note_crash store (id 3);
+  Mem.note_crash store (id 3);
+  (* idempotent *)
+  Alcotest.(check int) "live" 2 (Mem.live_hosts store);
+  let msgs_before = Mem.emulated_msgs store in
+  Alcotest.(check bool) "read blocks" true
+    (try
+       ignore (Mem.read r ~by:(id 0));
+       false
+     with Mem.Unavailable _ -> true);
+  Alcotest.(check bool) "write blocks" true
+    (try
+       Mem.write r ~by:(id 1) 9;
+       false
+     with Mem.Unavailable _ -> true);
+  Alcotest.(check int) "blocked counted" 2 (Mem.blocked_ops store);
+  Alcotest.(check int) "no messages moved" msgs_before
+    (Mem.emulated_msgs store);
+  Alcotest.(check int) "no ops tallied" 0
+    (Mem.total_ops (Mem.total_counters store));
+  (* the native twin tolerates the same crash set *)
+  let nat = Mem.create ~backend:Mem.Backend.Native (Domain.full n) in
+  let rn =
+    Mem.alloc nat ~name:"x" ~owner:(id 0) ~shared_with:[ id 1; id 2; id 3 ] 5
+  in
+  Mem.note_crash nat (id 2);
+  Mem.note_crash nat (id 3);
+  Mem.write rn ~by:(id 0) 9;
+  Alcotest.(check int) "native still serves" 9 (Mem.read rn ~by:(id 1))
+
+(* Replication masks a minority of memory failures: under the native
+   backend, failing the one owner host silently drops every write; the
+   emulated register keeps accepting them until a majority of memories
+   are gone. *)
+let test_emulated_masks_memory_failure () =
+  let n = 4 in
+  let mk backend =
+    let store = Mem.create ~backend (Domain.full n) in
+    let r =
+      Mem.alloc store ~name:"x" ~owner:(id 0)
+        ~shared_with:[ id 1; id 2; id 3 ] 5
+    in
+    (store, r)
+  in
+  let nat, rn = mk Mem.Backend.Native in
+  Mem.fail_host_memory nat (id 0);
+  Mem.write rn ~by:(id 1) 9;
+  Alcotest.(check int) "native: owner loss drops the write" 5 (Mem.peek rn);
+  Alcotest.(check int) "native: drop counted" 1 (Mem.dropped_writes nat);
+  let emu, re = mk Mem.Backend.Emulated in
+  Mem.fail_host_memory emu (id 0);
+  Mem.write re ~by:(id 1) 9;
+  Alcotest.(check int) "emulated: minority loss masked" 9 (Mem.peek re);
+  Alcotest.(check int) "emulated: no drop" 0 (Mem.dropped_writes emu);
+  Mem.fail_host_memory emu (id 1);
+  Mem.write re ~by:(id 2) 11;
+  Alcotest.(check int) "emulated: majority loss drops" 9 (Mem.peek re);
+  Alcotest.(check int) "emulated: drop counted" 1 (Mem.dropped_writes emu)
+
+(* [reset] re-initialises everything backend-shaped in place: the
+   backend itself, crash/health tracking, emulation counters and the
+   transport closure. *)
+let test_reset_switches_backend () =
+  let store = Mem.create ~backend:Mem.Backend.Emulated (Domain.full 2) in
+  let calls = ref 0 in
+  Mem.set_transport store (fun ~sent:_ ~delivered:_ -> incr calls);
+  let r = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1 ] 0 in
+  Mem.write r ~by:(id 0) 1;
+  Mem.note_crash store (id 1);
+  Alcotest.(check bool) "emu ran" true (Mem.emulated_msgs store > 0);
+  Mem.reset store (Domain.full 2);
+  Alcotest.(check bool) "backend back to native" true
+    (Mem.backend store = Mem.Backend.Native);
+  Alcotest.(check int) "live restored" 2 (Mem.live_hosts store);
+  Alcotest.(check int) "emu msgs cleared" 0 (Mem.emulated_msgs store);
+  Alcotest.(check int) "blocked cleared" 0 (Mem.blocked_ops store);
+  let r' = Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1 ] 0 in
+  let before = !calls in
+  Mem.write r' ~by:(id 0) 1;
+  Alcotest.(check int) "transport uninstalled" before !calls;
+  Mem.reset ~backend:Mem.Backend.Emulated store (Domain.full 2);
+  Alcotest.(check bool) "backend emulated again" true
+    (Mem.backend store = Mem.Backend.Emulated)
+
+let test_backend_names () =
+  List.iter
+    (fun (name, b) ->
+      Alcotest.(check string) "name round-trips" name (Mem.Backend.name b);
+      Alcotest.(check bool) "of_string round-trips" true
+        (Mem.Backend.of_string name = b))
+    Mem.Backend.all;
+  Alcotest.(check bool) "tags distinct" true
+    (Mem.Backend.tag Mem.Backend.Native <> Mem.Backend.tag Mem.Backend.Emulated);
+  Alcotest.(check bool) "unknown rejected" true
+    (try
+       ignore (Mem.Backend.of_string "quorumless");
+       false
+     with Invalid_argument _ -> true)
+
 let prop_last_write_wins =
   QCheck.Test.make ~name:"register holds last written value" ~count:100
     QCheck.(list (pair (int_range 0 1) int))
@@ -136,5 +305,19 @@ let () =
           Alcotest.test_case "counters arithmetic" `Quick test_counters_arith;
           Alcotest.test_case "memory failure" `Quick test_memory_failure;
           QCheck_alcotest.to_alcotest prop_last_write_wins;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "native differential" `Quick
+            test_native_differential;
+          Alcotest.test_case "emulated accounting" `Quick
+            test_emulated_accounting;
+          Alcotest.test_case "emulated unavailable" `Quick
+            test_emulated_unavailable;
+          Alcotest.test_case "emulated masks memory failure" `Quick
+            test_emulated_masks_memory_failure;
+          Alcotest.test_case "reset switches backend" `Quick
+            test_reset_switches_backend;
+          Alcotest.test_case "backend names" `Quick test_backend_names;
         ] );
     ]
