@@ -181,10 +181,28 @@ let nemesis_kernels =
                ~params:nemesis_params ()) ))
     Mm_check.Registry.all
 
+(* check/smr-restart-sweep: the smr sweep kernel with crash-recovery
+   restart windows drawn per trial — the cost of the restart machinery
+   (timeline draw, guarded crash/revive [Engine.at] pairs, log rebuild
+   from the slot registers on recovery) relative to check/smr-sweep. *)
+let restart_sweep_params =
+  { sweep_params with Mm_check.Scenario.restarts = true }
+
+let restart_kernels =
+  [
+    ( "check/smr-restart-sweep",
+      fun () ->
+        ignore
+          (Runner.sweep
+             (module Mm_check.Scenario_smr)
+             ~master_seed:7 ~budget:sweep_budget ~jobs:1
+             ~params:restart_sweep_params ()) );
+  ]
+
 let kernel_budgets =
   List.map
     (fun (name, _) -> (name, sweep_budget))
-    (sweep_kernels @ nemesis_kernels)
+    (sweep_kernels @ nemesis_kernels @ restart_kernels)
   (* mem/* rows carry their op count so tooling can derive ns/op. *)
   @ List.map (fun (name, _) -> (name, mem_ops)) mem_backend_kernels
 
@@ -452,6 +470,46 @@ let kv_partition_row ~smoke =
        \"completed\": %d"
       spec.Kv_wl.ops p99_warm p99_part o.Kv.completed )
 
+(* kv/failover-p99: the partition row's crash-recovery sibling.  The
+   shard leader is crashed and rebooted through its recovery closure for
+   the third quarter of the arrival span, with per-op client deadlines
+   armed; the rebooted replica rebuilds its log from the crash-surviving
+   slot registers and re-claims the requests it was shepherding.
+   ns_per_run is the healed-window p99 (ticks) — a regression means the
+   service stops recovering its tail after a failover; "p99_warm" and
+   "p99_failover" expose the spike itself, "timeouts" the requests the
+   client gave up on. *)
+let kv_failover_row ~smoke =
+  let gap = 120 in
+  let spec = kv_spec ~smoke ~gap:(float_of_int gap) in
+  let span = spec.Kv_wl.ops * gap in
+  let timeline =
+    [
+      {
+        Nemesis.at = span / 2;
+        duration = span / 4;
+        fault = Nemesis.Restart [ 0 ];
+      };
+    ]
+  in
+  let workload = Kv_wl.gen (Mm_rng.Rng.create 11) spec ~replicas:3 in
+  let o =
+    Kv.run ~seed:11 ~max_steps:(20 * span) ~prepare:(Nemesis.install timeline)
+      ~op_timeout:(2 * span) ~shards:1 ~replicas:3 ~workload ()
+  in
+  let window ~from ~until = Kv.window_hist o ~from ~until () in
+  let p99_warm =
+    kv_q (window ~from:(span / 4) ~until:((span / 2) - (10 * gap))) 99.0
+  in
+  let p99_fail = kv_q (window ~from:(span / 2) ~until:(3 * span / 4)) 99.0 in
+  let p99_healed = kv_q (window ~from:(3 * span / 4) ~until:max_int) 99.0 in
+  ( "kv/failover-p99",
+    p99_healed,
+    Printf.sprintf
+      ", \"budget\": %d, \"p99_warm\": %.1f, \"p99_failover\": %.1f, \
+       \"timeouts\": %d, \"completed\": %d"
+      spec.Kv_wl.ops p99_warm p99_fail o.Kv.timeouts o.Kv.completed )
+
 let kv_local_read_row ~smoke =
   let spec = kv_spec ~smoke ~gap:40.0 in
   let span = spec.Kv_wl.ops * 40 in
@@ -473,7 +531,8 @@ let kv_local_read_row ~smoke =
 let derived_rows ~smoke () =
   [
     arena_reuse_row ~smoke; dedup_row ~smoke; gc_row ~smoke;
-    kv_partition_row ~smoke; kv_local_read_row ~smoke;
+    kv_partition_row ~smoke; kv_failover_row ~smoke;
+    kv_local_read_row ~smoke;
   ]
   @ scaling_rows ~smoke
 
@@ -566,7 +625,7 @@ let kernels =
     ("check/hbo-sweep-wallclock-j4", hbo_sweep_kernel 4);
     ("check/hbo-sweep-emulated", hbo_sweep_emulated_kernel);
   ]
-  @ mem_backend_kernels @ sweep_kernels @ nemesis_kernels
+  @ mem_backend_kernels @ sweep_kernels @ nemesis_kernels @ restart_kernels
 
 let tests =
   List.map

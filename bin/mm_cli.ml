@@ -278,40 +278,70 @@ let kv_cmd =
            ~doc:"Disable the \\$(i,5.3) leader fast path; decide gets \
                  through the log like puts.")
   in
+  let timeout_arg =
+    Arg.(value & opt (some int) None & info [ "timeout" ] ~docv:"D"
+           ~doc:"Per-op client deadline in engine ticks: a request not \
+                 completed within D ticks of its arrival counts as a \
+                 timeout, drops out of the latency histograms, and its \
+                 client gives up (the op may still take effect — \
+                 at-least-once).")
+  in
   let run shards replicas clients ops theta keys gap reads max_steps
-      no_local_reads seed =
+      no_local_reads timeout seed =
     let spec =
       { W.clients; ops; mean_gap = gap; key_space = keys; theta;
         read_fraction = reads }
     in
     let workload = W.gen (Mm_rng.Rng.create seed) spec ~replicas in
     let o =
-      Kv.run ~seed ~max_steps ~local_reads:(not no_local_reads) ~shards
-        ~replicas ~workload ()
+      Kv.run ~seed ~max_steps ?op_timeout:timeout
+        ~local_reads:(not no_local_reads) ~shards ~replicas ~workload ()
     in
     Format.printf
       "stopped: %a after %d steps; %d/%d completed, consistent: %b, \
        local-reads: %b@."
       Engine.pp_stop_reason o.Kv.reason o.Kv.total_steps o.Kv.completed ops
       o.Kv.consistent o.Kv.local_reads;
+    (match o.Kv.op_timeout with
+    | Some d ->
+      Format.printf "timeouts: %d/%d (%.2f%%) at deadline %d ticks@."
+        o.Kv.timeouts ops
+        (100.0 *. float_of_int o.Kv.timeouts /. float_of_int (max 1 ops))
+        d
+    | None -> ());
     Format.printf "messages: %d   mem ops: %d   duplicate applies: %d@."
       o.Kv.net.Net.sent
       (Mem.total_ops o.Kv.mem_total)
       o.Kv.duplicate_applies;
-    Format.printf "shard  op   %6s %6s %6s %6s %8s  ops/kstep@." "p50" "p99"
-      "p999" "max" "n";
-    let cell h =
+    Format.printf "shard  op   %6s %6s %6s %6s %8s %6s  ops/kstep@." "p50"
+      "p99" "p999" "max" "n" "t/o";
+    (* Expired ops never reach the histograms, so the timeout column is
+       counted from the op records directly. *)
+    let expired_in s want_get =
+      Array.fold_left
+        (fun acc (rc : Kv.op_record) ->
+          let is_get =
+            match rc.Kv.req.W.op with W.Get -> true | W.Put _ -> false
+          in
+          if
+            rc.Kv.expired && is_get = want_get
+            && rc.Kv.req.W.key mod shards = s
+          then acc + 1
+          else acc)
+        0 o.Kv.ops
+    in
+    let cell h ~timeouts =
       let q p = match H.percentile h p with Some v -> v | None -> 0 in
-      Format.printf "%6d %6d %6d %6d %8d" (q 50.0) (q 99.0) (q 99.9)
+      Format.printf "%6d %6d %6d %6d %8d %6d" (q 50.0) (q 99.0) (q 99.9)
         (Option.value (H.max_value h) ~default:0)
-        (H.count h)
+        (H.count h) timeouts
     in
     for s = 0 to shards - 1 do
       Format.printf "%5d  get  " s;
-      cell o.Kv.get_hist.(s);
+      cell o.Kv.get_hist.(s) ~timeouts:(expired_in s true);
       Format.printf "  %9.1f@." (Kv.shard_throughput o ~shard:s);
       Format.printf "%5d  put  " s;
-      cell o.Kv.put_hist.(s);
+      cell o.Kv.put_hist.(s) ~timeouts:(expired_in s false);
       Format.printf "@."
     done
   in
@@ -321,7 +351,7 @@ let kv_cmd =
              per-shard latency percentiles (engine ticks).")
     Term.(const run $ shards_arg $ replicas_arg $ clients_arg $ ops_arg
           $ theta_arg $ keys_arg $ gap_arg $ reads_arg $ max_steps_arg
-          $ no_local_reads_arg $ seed_arg)
+          $ no_local_reads_arg $ timeout_arg $ seed_arg)
 
 (* --- election --- *)
 
@@ -513,6 +543,17 @@ let check_cmd =
     Arg.(value & flag & info [ "nemesis" ]
            ~doc:"Draw a staged fault-injection timeline per trial                  (partitions, link degradation, freeze/thaw) that always                  heals, and run the graceful-degradation monitors on top                  of the scenario's own.")
   in
+  let restarts_arg =
+    Arg.(value & flag & info [ "restarts" ]
+           ~doc:"Draw crash-then-restart windows per trial: the victim \
+                 loses its volatile state, recovers from the \
+                 crash-surviving registers, and the durability / \
+                 recovery-liveness monitors run on top of the scenario's \
+                 own. Honoured by the scenarios whose processes carry \
+                 recovery closures (omega, paxos, smr, kv); the rest \
+                 ignore the flag. Composes with --nemesis; restart draws \
+                 come last, so pre-restart seeds replay unchanged.")
+  in
   (* Knobs that are step or trial counts must be strictly positive;
      reject them at parse time with a clear message instead of letting a
      0 or negative value surface later as an Invalid_argument trace. *)
@@ -562,7 +603,7 @@ let check_cmd =
   in
   let run (module S : Scenario.S) family n seed budget max_crashes max_steps
       backend impl variant drop expect_stall replay trace jobs entries
-      commands nemesis settle chunk shards clients no_local_reads
+      commands nemesis restarts settle chunk shards clients no_local_reads
       report_domains =
     let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
     let variant =
@@ -588,6 +629,7 @@ let check_cmd =
         commands;
         trace_tail = trace;
         nemesis;
+        restarts;
         settle;
         shards;
         clients;
@@ -626,9 +668,9 @@ let check_cmd =
           $ seed_arg $ budget_arg $ max_crashes_arg $ max_steps_arg
           $ backend_arg $ impl_arg $ variant_arg $ drop_arg
           $ expect_stall_arg $ replay_arg $ trace_arg $ jobs_arg
-          $ entries_arg $ commands_arg $ nemesis_arg $ settle_arg
-          $ chunk_arg $ shards_arg $ clients_arg $ no_local_reads_arg
-          $ report_domains_arg)
+          $ entries_arg $ commands_arg $ nemesis_arg $ restarts_arg
+          $ settle_arg $ chunk_arg $ shards_arg $ clients_arg
+          $ no_local_reads_arg $ report_domains_arg)
 
 (* --- graph analysis --- *)
 

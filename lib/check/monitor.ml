@@ -414,6 +414,44 @@ let kv_recovers ~heal_by ~settle (o : Mm_kv.Kv.outcome) =
           %d step(s) of it (run ended at %d)"
          !late heal_by settle o.Mm_kv.Kv.total_steps)
 
+(* Durability across crash-recovery: an acknowledged put must never be
+   lost.  Acknowledgement means the request completed (the client saw a
+   completion step); durable means the request was applied somewhere in
+   its shard — present in the union of the shard replicas' final apply
+   logs.  Registers survive restarts by the m&m model (§3), so a restart
+   that loses an acked put points at the recovery path, not the store. *)
+let kv_durable (o : Mm_kv.Kv.outcome) =
+  let module W = Mm_kv.Workload in
+  let lost = ref [] in
+  Array.iteri
+    (fun id (rc : Mm_kv.Kv.op_record) ->
+      match rc.Mm_kv.Kv.req.W.op with
+      | W.Get -> ()
+      | W.Put _ ->
+        if rc.Mm_kv.Kv.completion >= 0 then begin
+          let s = rc.Mm_kv.Kv.req.W.key mod o.Mm_kv.Kv.shards in
+          let applied = ref false in
+          for r = 0 to o.Mm_kv.Kv.replicas - 1 do
+            if
+              (not !applied)
+              && List.exists
+                   (fun (_, id') -> id' = id)
+                   o.Mm_kv.Kv.logs.((s * o.Mm_kv.Kv.replicas) + r)
+            then applied := true
+          done;
+          if not !applied then lost := id :: !lost
+        end)
+    o.Mm_kv.Kv.ops;
+  match List.rev !lost with
+  | [] -> Pass
+  | ids ->
+    Fail
+      (Printf.sprintf
+         "%d acknowledged put(s) missing from their shard's apply logs \
+          (lost across a restart?): req %s"
+         (List.length ids)
+         (String.concat "," (List.map string_of_int ids)))
+
 let smr_committed (o : Log.outcome) =
   if o.Log.all_committed then Pass
   else

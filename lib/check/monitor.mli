@@ -146,3 +146,9 @@ val kv_complete : Mm_kv.Kv.outcome -> verdict
     arrived before [heal_by] completes by [heal_by + settle].  Only
     sound on fair, crash-free trials. *)
 val kv_recovers : heal_by:int -> settle:int -> Mm_kv.Kv.outcome -> verdict
+
+(** Durability across crash-recovery: every acknowledged (completed) put
+    appears in the union of its shard replicas' final apply logs.  An
+    acked-but-lost put indicts the recovery path — registers themselves
+    survive restarts by the m&m model (§3). *)
+val kv_durable : Mm_kv.Kv.outcome -> verdict

@@ -8,6 +8,7 @@ type fault =
   | Degrade of { members : int list; drop : float; extra_delay : int }
   | Freeze of int list
   | Crash of (int * int) list
+  | Restart of int list
 
 type stage = {
   at : int;
@@ -65,8 +66,27 @@ let validate tl ~n =
         List.iter
           (fun (_, s) ->
             if s < 0 then invalid_arg "Nemesis: negative crash step")
-          cs)
-    tl
+          cs
+      | Restart ps -> check_pids ~n ~what:"restart" ps)
+    tl;
+  (* Restart windows of one pid must not overlap: the engine would see
+     a crash scheduled while the pid is already down. *)
+  let windows =
+    List.concat_map
+      (fun st ->
+        match st.fault with
+        | Restart ps -> List.map (fun p -> (p, st.at, st.at + st.duration)) ps
+        | _ -> [])
+      tl
+  in
+  List.iter
+    (fun (p, a0, a1) ->
+      List.iter
+        (fun (q, b0, _) ->
+          if p = q && a0 < b0 && b0 <= a1 then
+            invalid_arg "Nemesis: overlapping restart windows for pid")
+        windows)
+    windows
 
 (* --- generation --- *)
 
@@ -116,6 +136,37 @@ let gen rng ~n ~avoid ~horizon ~max_stages ~allow_drop =
       in
       { at; duration; fault })
 
+(* Draw a seed-deterministic rolling-restart timeline: up to [max_windows]
+   crash-then-revive windows, strictly sequential (a moving cursor keeps
+   them non-overlapping even across pids, so at most one process is
+   transiently down at a time — under the emulated backend this keeps a
+   majority alive whenever the scenario's own crash plan does).  [avoid]
+   lists pids that must keep running (timely processes, scenario crash
+   victims).  Windows that would outlive [horizon] are discarded, but
+   their draws still happen — one deterministic draw sequence per call,
+   which is the replay contract. *)
+let gen_restarts rng ~n ~avoid ~horizon ~max_windows =
+  let horizon = max 8 horizon in
+  let candidates = List.filter (fun p -> not (List.mem p avoid)) (all_pids n) in
+  if candidates = [] || max_windows < 1 then []
+  else begin
+    let n_windows = 1 + Rng.int rng max_windows in
+    let cand = Array.of_list candidates in
+    let cursor = ref 1 in
+    List.filter_map
+      (fun w ->
+        ignore (w : int);
+        let pid = cand.(Rng.int rng (Array.length cand)) in
+        let gap = 1 + Rng.int rng (max 1 (horizon / 4)) in
+        let duration = 1 + Rng.int rng (max 1 (horizon / 4)) in
+        let at = !cursor + gap in
+        cursor := at + duration + 1;
+        if at + duration <= horizon then
+          Some { at; duration; fault = Restart [ pid ] }
+        else None)
+      (List.init n_windows (fun i -> i))
+  end
+
 (* --- installation --- *)
 
 let heal_step tl =
@@ -123,7 +174,8 @@ let heal_step tl =
     (fun acc st ->
       match st.fault with
       | Crash cs -> List.fold_left (fun a (_, s) -> max a s) acc cs
-      | Partition _ | Degrade _ | Freeze _ -> max acc (st.at + st.duration))
+      | Partition _ | Degrade _ | Freeze _ | Restart _ ->
+        max acc (st.at + st.duration))
     0 tl
 
 (* Recompute the full fault state from scratch: clear everything, then
@@ -161,7 +213,7 @@ let apply_active tl ~now e =
               if Engine.status_of e pid <> Engine.Crashed then
                 Engine.freeze e pid)
             ps
-        | Crash _ -> ())
+        | Crash _ | Restart _ -> ())
     tl
 
 let install tl e =
@@ -173,6 +225,25 @@ let install tl e =
     (fun st ->
       match st.fault with
       | Crash cs -> List.iter (fun (p, s) -> Engine.crash_at e (Id.of_int p) s) cs
+      | Restart ps ->
+        (* A restart window is a crash-then-revive pair.  Both ends are
+           staged as guarded actions rather than through crash_at, so a
+           window composes with the scenario's own crash plan: a pid the
+           scenario already killed (or that finished first) is left
+           alone, and the revive fires only if the crash actually
+           took. *)
+        List.iter
+          (fun pnum ->
+            let pid = Id.of_int pnum in
+            Engine.at e ~step:st.at (fun e ->
+                match Engine.status_of e pid with
+                | Engine.Ready | Engine.Unspawned -> Engine.crash_now e pid
+                | Engine.Done | Engine.Crashed -> ());
+            Engine.at e ~step:(st.at + st.duration) (fun e ->
+                if Engine.status_of e pid = Engine.Crashed
+                   && Engine.has_recovery e pid
+                then Engine.restart_now e pid))
+          ps
       | Partition _ | Degrade _ | Freeze _ -> ())
     tl;
   (* One staged action per distinct window boundary; each recomputes the
@@ -181,7 +252,7 @@ let install tl e =
     List.concat_map
       (fun st ->
         match st.fault with
-        | Crash _ -> []
+        | Crash _ | Restart _ -> []
         | Partition _ | Degrade _ | Freeze _ -> [ st.at; st.at + st.duration ])
       tl
     |> List.sort_uniq compare
@@ -201,6 +272,7 @@ let fault_to_string = function
     Printf.sprintf "degrade(%s drop=%.2f delay=+%d)" (fmt_pids members) drop
       extra_delay
   | Freeze ps -> Printf.sprintf "freeze(%s)" (fmt_pids ps)
+  | Restart ps -> Printf.sprintf "restart(%s)" (fmt_pids ps)
   | Crash cs ->
     Printf.sprintf "crash(%s)"
       (String.concat "," (List.map (fun (p, s) -> Printf.sprintf "p%d@%d" p s) cs))
@@ -225,7 +297,7 @@ let shrink ~still_fails tl =
     (fun i st ->
       match st.fault with
       | Crash _ -> ()
-      | Partition _ | Degrade _ | Freeze _ ->
+      | Partition _ | Degrade _ | Freeze _ | Restart _ ->
         if st.duration > 1 then begin
           let with_duration d =
             Array.to_list

@@ -27,6 +27,13 @@ type fault =
       (** burst of [(pid, step)] crash-stops; never drawn by {!gen} —
           scenarios own the crash plan — but available to hand-authored
           timelines *)
+  | Restart of int list
+      (** crash-recovery window: each listed pid is crashed at [at] and
+          restarted through its [recover] closure at [at + duration].
+          Both ends are guarded: a pid already crashed (or finished) at
+          [at] is left alone, and the revive fires only if the pid is
+          actually down and was spawned with a recovery closure.  Drawn
+          by {!gen_restarts}, not {!gen}. *)
 
 type stage = {
   at : int;       (** window start (global step) *)
@@ -39,7 +46,9 @@ type t = stage list
 (** [validate tl ~n] raises [Invalid_argument] on malformed timelines:
     negative starts, zero-length windows, out-of-range or duplicated
     pids, partitions with fewer than two groups or a pid in two groups,
-    degrade drop outside [0, 1), negative delays/crash steps. *)
+    degrade drop outside [0, 1), negative delays/crash steps, or two
+    restart windows of the same pid overlapping (the engine cannot
+    crash a process that is already down). *)
 val validate : t -> n:int -> unit
 
 (** [gen rng ~n ~avoid ~horizon ~max_stages ~allow_drop] draws 1 to
@@ -57,8 +66,27 @@ val gen :
   allow_drop:bool ->
   t
 
+(** [gen_restarts rng ~n ~avoid ~horizon ~max_windows] draws a rolling
+    sequence of up to [max_windows] single-pid {!Restart} windows,
+    strictly sequential (never overlapping, even across pids, so at most
+    one process is transiently down at a time — composing safely with a
+    scenario crash plan under the emulated backend's majority bound).
+    Pids in [avoid] (timely processes, scenario crash victims) are never
+    restarted.  Windows that would clear after [horizon] are discarded,
+    but every draw still happens — the draw sequence is part of the
+    replay contract.  Scenarios draw restart timelines {e last}, gated
+    on a sweep-wide flag, so pre-restart seeds replay unchanged. *)
+val gen_restarts :
+  Mm_rng.Rng.t ->
+  n:int ->
+  avoid:int list ->
+  horizon:int ->
+  max_windows:int ->
+  t
+
 (** [install tl e] validates [tl] against the engine's process count and
-    registers it: crash bursts via [Engine.crash_at], window boundaries
+    registers it: crash bursts via [Engine.crash_at], restart windows as
+    guarded [Engine.at] crash/revive pairs, other window boundaries
     as [Engine.at] actions.  Each boundary recomputes the complete fault
     state (heal + restore + thaw-all, then re-apply every stage active at
     that instant), so overlapping windows compose without one stage's end

@@ -27,6 +27,11 @@ type params = {
      monitor) may keep converging. *)
   nemesis : bool;
   settle : int option;
+  (* Draw crash-then-restart windows (Nemesis.Restart) per trial, for
+     the scenarios whose processes carry recovery closures.  Always
+     drawn after every other draw, so pre-restart seeds replay
+     unchanged. *)
+  restarts : bool;
 }
 
 let default_params =
@@ -53,6 +58,7 @@ let default_params =
     trace_tail = 30;
     nemesis = false;
     settle = None;
+    restarts = false;
   }
 
 (* Default crash budget per backend.  Emulated registers only stay
@@ -63,6 +69,20 @@ let cap_crashes backend ~n ~native_default =
   match backend with
   | Mm_mem.Mem.Backend.Native -> native_default
   | Mm_mem.Mem.Backend.Emulated -> min native_default (max 0 ((n - 1) / 2))
+
+(* Whether drawing a restart window is sound for this trial: while one
+   process is transiently down, the crash plan's victims plus that one
+   must still leave the live majority the emulated backend's quorum
+   needs — otherwise every register op inside the window would block
+   and the emulated-resilience monitor would (correctly) flag the
+   bound, turning a clean sweep red for a reason the restart machinery
+   did not cause.  Native registers have no quorum, so any crash set is
+   fine.  Restart windows never overlap (gen_restarts is sequential),
+   so "one extra down" is exact. *)
+let restarts_safe backend ~n ~ncrashes =
+  match backend with
+  | Mm_mem.Mem.Backend.Native -> true
+  | Mm_mem.Mem.Backend.Emulated -> 2 * (n - ncrashes - 1) > n
 
 let fmt_crashes = function
   | [] -> "none"

@@ -59,6 +59,13 @@ type params = {
       (** omega/kv + --nemesis: steps after the last fault clears within
           which leadership must stop changing (omega) or every request
           from before the heal must complete (kv); must be positive *)
+  restarts : bool;
+      (** draw crash-then-restart windows ({!Nemesis.Restart}) per trial
+          for the scenarios whose processes carry recovery closures
+          (omega, paxos, smr, kv; the rest ignore the flag), and run the
+          durability / recovery-liveness monitors.  Restart draws come
+          after every other draw, so pre-restart seeds replay
+          unchanged. *)
 }
 
 (** [n = 6], complete graph family, trusted impl, reliable variant,
@@ -73,6 +80,14 @@ val default_params : params
     bound. *)
 val cap_crashes :
   Mm_mem.Mem.Backend.t -> n:int -> native_default:int -> int
+
+(** [restarts_safe backend ~n ~ncrashes] gates a trial's restart draw:
+    under [Emulated], one transiently-down process on top of [ncrashes]
+    crash-stops must still leave a live majority, or every register op
+    inside the window would block at the emulation's resilience bound —
+    a red sweep the restart machinery did not cause.  Always true under
+    [Native]. *)
+val restarts_safe : Mm_mem.Mem.Backend.t -> n:int -> ncrashes:int -> bool
 
 (** {2 Shared formatting helpers} *)
 

@@ -19,6 +19,7 @@ type cfg = {
   settle : int;
   trace_tail : int;
   nemesis : bool;
+  restarts : bool;
 }
 
 type trial = {
@@ -36,6 +37,7 @@ type trial = {
   pct_seed : int;
   engine_seed : int;
   nemesis : Nemesis.t;
+  restarts : Nemesis.t;
 }
 
 type outcome = Kv.outcome
@@ -68,6 +70,7 @@ let cfg_of_params (p : Scenario.params) =
       | None -> max_steps / 2);
     trace_tail = p.Scenario.trace_tail;
     nemesis = p.Scenario.nemesis;
+    restarts = p.Scenario.restarts;
   }
 
 let preamble _ = None
@@ -127,6 +130,21 @@ let gen (cfg : cfg) rng =
         ~allow_drop:false
     else []
   in
+  (* Restart windows are the newest gate, drawn after even the nemesis
+     draws (same replay contract).  Crash victims stay dead.  The
+     emulated-safety gate is evaluated per replica group — as if every
+     drawn crash landed in the window's own shard — which is
+     conservative for every actual crash placement. *)
+  let restarts =
+    if
+      cfg.restarts
+      && Scenario.restarts_safe cfg.backend ~n:cfg.replicas
+           ~ncrashes:(List.length crashes)
+    then
+      Nemesis.gen_restarts rng ~n ~avoid:(List.map fst crashes)
+        ~horizon:(min (cfg.max_steps / 4) 20_000) ~max_windows:2
+    else []
+  in
   let workload =
     W.gen (Rng.create wl_seed)
       {
@@ -154,6 +172,7 @@ let gen (cfg : cfg) rng =
     pct_seed;
     engine_seed;
     nemesis;
+    restarts;
   }
 
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
@@ -165,9 +184,8 @@ let execute ?arena (cfg : cfg) t =
     if t.k = 0 then Explore.random_walk ()
     else Explore.pct ~seed:t.pct_seed ~n ~k:t.k ~depth:max_steps
   in
-  let prepare =
-    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
-  in
+  let faults = t.nemesis @ t.restarts in
+  let prepare = if faults = [] then None else Some (Nemesis.install faults) in
   Kv.run ~seed:t.engine_seed ~max_steps ~trace_capacity:cfg.trace_tail
     ~crashes:t.crashes ?prepare ?arena ~backend:cfg.backend ~sched
     ~local_reads:cfg.local_reads ~shards:t.shards ~replicas:cfg.replicas
@@ -188,16 +206,28 @@ let monitors (cfg : cfg) t =
     ])
   @ ("kv-log-consistent", Monitor.kv_log_consistent)
   :: ("kv-linearizable", Monitor.kv_linearizable)
-  ::
-  (if t.k = 0 && t.crashes = [] && t.nemesis = [] then
-     [ ("kv-complete", Monitor.kv_complete) ]
-   else if t.k = 0 && t.crashes = [] then
-     [
-       ( "kv-recovers",
-         Monitor.kv_recovers ~heal_by:(Nemesis.heal_step t.nemesis)
-           ~settle:cfg.settle );
-     ]
-   else [])
+  :: ((* Durability needs the quiescent stop (every live replica caught
+         up to its shard's applied high-water mark), which only a fair
+         schedule reaches reliably; a crash-stopped replica's host log
+         survives, so crashes don't weaken the check. *)
+      (if t.restarts <> [] && t.k = 0 then
+         [ ("kv-durable", Monitor.kv_durable) ]
+       else [])
+     @
+     if t.k = 0 && t.crashes = [] && t.nemesis = [] && t.restarts = [] then
+       [ ("kv-complete", Monitor.kv_complete) ]
+     else if t.k = 0 && t.crashes = [] then
+       let heal_by =
+         max (Nemesis.heal_step t.nemesis) (Nemesis.heal_step t.restarts)
+       in
+       let m = Monitor.kv_recovers ~heal_by ~settle:cfg.settle in
+       if t.restarts = [] then [ ("kv-recovers", m) ]
+       else
+         (* Same predicate, stronger reading: requests orphaned by a
+            restarted ingress/leader are re-claimed on recovery and must
+            still complete within the settle budget of the last fault. *)
+         [ ("recovery-liveness", m) ]
+     else [])
 
 let config (cfg : cfg) t =
   [
@@ -214,8 +244,10 @@ let config (cfg : cfg) t =
     Config.str "scheduler" (Scenario.sched_desc t.k);
     Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
+  @ (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+     else [])
   @
-  if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+  if cfg.restarts then [ Config.str "restarts" (Nemesis.describe t.restarts) ]
   else []
 
 let shrink (cfg : cfg) ~still_fails t =
@@ -250,13 +282,30 @@ let shrink (cfg : cfg) ~still_fails t =
           still_fails { t with crashes = crashes'; k = k'; nemesis = tl })
         t.nemesis
   in
+  let restarts' =
+    if t.restarts = [] then t.restarts
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails
+            {
+              t with
+              crashes = crashes';
+              k = k';
+              nemesis = nemesis';
+              restarts = tl;
+            })
+        t.restarts
+  in
   [
     Config.int "ops" ops';
     Config.str "crashes" (Scenario.fmt_crashes crashes');
     Config.str "scheduler" (Scenario.sched_desc k');
   ]
+  @ (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+     else [])
   @
-  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+  (if cfg.restarts then [ Config.str "restarts" (Nemesis.describe restarts') ]
    else [])
 
 let trace (o : outcome) = o.Kv.trace

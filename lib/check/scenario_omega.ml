@@ -16,6 +16,7 @@ type cfg = {
   trace_tail : int;
   nemesis : bool;
   settle : int; (* steps after the last fault clears to stop re-electing *)
+  restarts : bool;
 }
 
 type trial = {
@@ -23,6 +24,7 @@ type trial = {
   variant : Omega.variant; (* per-trial drop drawn below the max *)
   engine_seed : int;
   nemesis : Nemesis.t;
+  restarts : Nemesis.t;
 }
 
 type outcome = Omega.outcome
@@ -52,6 +54,7 @@ let cfg_of_params (p : Scenario.params) =
     window = Option.value p.Scenario.window ~default:10_000;
     trace_tail = p.Scenario.trace_tail;
     nemesis = p.Scenario.nemesis;
+    restarts = p.Scenario.restarts;
     settle =
       (match p.Scenario.settle with
       | Some s when s <= 0 ->
@@ -89,12 +92,26 @@ let gen (cfg : cfg) rng =
         ~allow_drop:(match cfg.variant with Omega.Fair_lossy _ -> true | Omega.Reliable -> false)
     else []
   in
-  { crashes; variant; engine_seed; nemesis }
+  (* Restart windows are the newest gate, drawn after even the nemesis
+     draws (same replay contract).  The timely p0 and the crash plan's
+     victims are never restarted, and all windows clear in the first
+     warmup half so re-joining settles before the measurement window. *)
+  let restarts =
+    if
+      cfg.restarts
+      && Scenario.restarts_safe cfg.backend ~n:cfg.n
+           ~ncrashes:(List.length crashes)
+    then
+      Nemesis.gen_restarts rng ~n:cfg.n
+        ~avoid:(0 :: List.map fst crashes)
+        ~horizon:(cfg.warmup / 2) ~max_windows:2
+    else []
+  in
+  { crashes; variant; engine_seed; nemesis; restarts }
 
 let execute ?arena (cfg : cfg) t =
-  let prepare =
-    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
-  in
+  let faults = t.nemesis @ t.restarts in
+  let prepare = if faults = [] then None else Some (Nemesis.install faults) in
   Omega.run ~seed:t.engine_seed ~trace_capacity:cfg.trace_tail
     ~crashes:t.crashes ~warmup:cfg.warmup ~window:cfg.window ?prepare
     ?arena ~backend:cfg.backend ~variant:t.variant ~n:cfg.n ()
@@ -108,7 +125,7 @@ let monitors (cfg : cfg) t =
      membership); leadership must settle within [cfg.settle] of it. *)
   let heal_by =
     max
-      (Nemesis.heal_step t.nemesis)
+      (max (Nemesis.heal_step t.nemesis) (Nemesis.heal_step t.restarts))
       (List.fold_left (fun acc (_, s) -> max acc s) 0 t.crashes)
   in
   (match cfg.backend with
@@ -127,8 +144,17 @@ let monitors (cfg : cfg) t =
                Monitor.omega_converges ~heal_by ~settle:cfg.settle );
            ]
          else [])
+       @ (if t.restarts <> [] then
+            [
+              (* Recovery-liveness: a restarted process re-joins (epoch
+                 bump) and leadership re-stabilizes within the settle
+                 budget of the last restart. *)
+              ( "recovery-liveness",
+                Monitor.omega_converges ~heal_by ~settle:cfg.settle );
+            ]
+          else [])
        @
-       if t.crashes = [] then
+       if t.crashes = [] && t.restarts = [] then
          (* The steady state is register traffic only: plain silence
             under native registers, silence modulo quorum rounds under
             the emulation (every window message must be accounted to a
@@ -148,12 +174,14 @@ let config (cfg : cfg) t =
     Config.int "warmup" cfg.warmup;
     Config.int "window" cfg.window;
   ]
+  @ (if cfg.nemesis then
+       [
+         Config.str "nemesis" (Nemesis.describe t.nemesis);
+         Config.int "settle" cfg.settle;
+       ]
+     else [])
   @
-  if cfg.nemesis then
-    [
-      Config.str "nemesis" (Nemesis.describe t.nemesis);
-      Config.int "settle" cfg.settle;
-    ]
+  if cfg.restarts then [ Config.str "restarts" (Nemesis.describe t.restarts) ]
   else []
 
 let shrink (cfg : cfg) ~still_fails t =
@@ -170,9 +198,22 @@ let shrink (cfg : cfg) ~still_fails t =
           still_fails { t with crashes = crashes'; nemesis = tl })
         t.nemesis
   in
+  let restarts' =
+    if t.restarts = [] then t.restarts
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails
+            { t with crashes = crashes'; nemesis = nemesis'; restarts = tl })
+        t.restarts
+  in
   Config.str "crashes" (Scenario.fmt_crashes crashes')
-  ::
-  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
-   else [])
+  :: ((if cfg.nemesis then
+         [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+       else [])
+     @
+     if cfg.restarts then
+       [ Config.str "restarts" (Nemesis.describe restarts') ]
+     else [])
 
 let trace (o : outcome) = o.Omega.trace

@@ -13,6 +13,7 @@ type cfg = {
   max_steps : int;
   trace_tail : int;
   nemesis : bool;
+  restarts : bool;
 }
 
 type trial = {
@@ -23,6 +24,7 @@ type trial = {
   pct_seed : int;
   engine_seed : int;
   nemesis : Nemesis.t;
+  restarts : Nemesis.t;
 }
 
 type outcome = Paxos.outcome
@@ -46,6 +48,7 @@ let cfg_of_params (p : Scenario.params) =
     max_steps = Option.value p.Scenario.max_steps ~default:200_000;
     trace_tail = p.Scenario.trace_tail;
     nemesis = p.Scenario.nemesis;
+    restarts = p.Scenario.restarts;
   }
 
 let preamble _ = None
@@ -75,7 +78,21 @@ let gen (cfg : cfg) rng =
         ~allow_drop:false
     else []
   in
-  { inputs; oracle; crashes; k; pct_seed; engine_seed; nemesis }
+  (* Restart windows are the newest gate, drawn after even the nemesis
+     draws (same replay contract).  Crash victims stay dead; the
+     recovery closure re-reads the proposer's own block and the decision
+     register, so agreement must hold across any window. *)
+  let restarts =
+    if
+      cfg.restarts
+      && Scenario.restarts_safe cfg.backend ~n:cfg.n
+           ~ncrashes:(List.length crashes)
+    then
+      Nemesis.gen_restarts rng ~n:cfg.n ~avoid:(List.map fst crashes)
+        ~horizon:(min (cfg.max_steps / 4) 20_000) ~max_windows:2
+    else []
+  in
+  { inputs; oracle; crashes; k; pct_seed; engine_seed; nemesis; restarts }
 
 (* Liveness is only monitored on fair trials, so cap the wall-clock a
    skewed PCT schedule can burn. *)
@@ -87,9 +104,8 @@ let execute ?arena (cfg : cfg) t =
     if t.k = 0 then Explore.random_walk ()
     else Explore.pct ~seed:t.pct_seed ~n:cfg.n ~k:t.k ~depth:max_steps
   in
-  let prepare =
-    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
-  in
+  let faults = t.nemesis @ t.restarts in
+  let prepare = if faults = [] then None else Some (Nemesis.install faults) in
   Paxos.run ~seed:t.engine_seed ~oracle:t.oracle ~max_steps
     ~trace_capacity:cfg.trace_tail ~crashes:t.crashes ?prepare ?arena
     ~backend:cfg.backend ~sched ~n:cfg.n ~inputs:t.inputs ()
@@ -111,7 +127,12 @@ let monitors (cfg : cfg) t =
   :: ("paxos-validity", Monitor.paxos_validity ~inputs:t.inputs)
   ::
   (if t.k = 0 && t.crashes = [] && t.oracle <> Paxos.Anarchy then
-     [ ("paxos-termination", Monitor.paxos_termination) ]
+     if t.restarts = [] then
+       [ ("paxos-termination", Monitor.paxos_termination) ]
+     else
+       (* Same predicate, stronger reading: restarted proposers rebuild
+          their ballot state from the registers and still decide. *)
+       [ ("recovery-liveness", Monitor.paxos_termination) ]
    else [])
 
 let config (cfg : cfg) t =
@@ -123,8 +144,10 @@ let config (cfg : cfg) t =
     Config.str "scheduler" (Scenario.sched_desc t.k);
     Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
+  @ (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+     else [])
   @
-  if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+  if cfg.restarts then [ Config.str "restarts" (Nemesis.describe t.restarts) ]
   else []
 
 let shrink (cfg : cfg) ~still_fails t =
@@ -148,12 +171,29 @@ let shrink (cfg : cfg) ~still_fails t =
           still_fails { t with crashes = crashes'; k = k'; nemesis = tl })
         t.nemesis
   in
+  let restarts' =
+    if t.restarts = [] then t.restarts
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails
+            {
+              t with
+              crashes = crashes';
+              k = k';
+              nemesis = nemesis';
+              restarts = tl;
+            })
+        t.restarts
+  in
   [
     Config.str "crashes" (Scenario.fmt_crashes crashes');
     Config.str "scheduler" (Scenario.sched_desc k');
   ]
+  @ (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+     else [])
   @
-  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+  (if cfg.restarts then [ Config.str "restarts" (Nemesis.describe restarts') ]
    else [])
 
 let trace (o : outcome) = o.Paxos.trace

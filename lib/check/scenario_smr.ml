@@ -14,6 +14,7 @@ type cfg = {
   max_steps : int;
   trace_tail : int;
   nemesis : bool;
+  restarts : bool;
 }
 
 type trial = {
@@ -23,6 +24,7 @@ type trial = {
   pct_seed : int;
   engine_seed : int;
   nemesis : Nemesis.t;
+  restarts : Nemesis.t;
 }
 
 type outcome = Log.outcome
@@ -42,6 +44,7 @@ let cfg_of_params (p : Scenario.params) =
     max_steps = Option.value p.Scenario.max_steps ~default:400_000;
     trace_tail = p.Scenario.trace_tail;
     nemesis = p.Scenario.nemesis;
+    restarts = p.Scenario.restarts;
   }
 
 let preamble _ = None
@@ -67,7 +70,20 @@ let gen (cfg : cfg) rng =
         ~allow_drop:false
     else []
   in
-  { commands; crashes; k; pct_seed; engine_seed; nemesis }
+  (* Restart windows are the newest gate, drawn after even the nemesis
+     draws (same replay contract).  Crash victims are never restarted
+     (crash-stop means stop). *)
+  let restarts =
+    if
+      cfg.restarts
+      && Scenario.restarts_safe cfg.backend ~n:cfg.n
+           ~ncrashes:(List.length crashes)
+    then
+      Nemesis.gen_restarts rng ~n:cfg.n ~avoid:(List.map fst crashes)
+        ~horizon:(min (cfg.max_steps / 4) 20_000) ~max_windows:2
+    else []
+  in
+  { commands; crashes; k; pct_seed; engine_seed; nemesis; restarts }
 
 let steps cfg ~k = if k = 0 then cfg.max_steps else min cfg.max_steps 20_000
 
@@ -77,9 +93,8 @@ let execute ?arena (cfg : cfg) t =
     if t.k = 0 then Explore.random_walk ()
     else Explore.pct ~seed:t.pct_seed ~n:cfg.n ~k:t.k ~depth:max_steps
   in
-  let prepare =
-    if t.nemesis = [] then None else Some (Nemesis.install t.nemesis)
-  in
+  let faults = t.nemesis @ t.restarts in
+  let prepare = if faults = [] then None else Some (Nemesis.install faults) in
   Log.run ~seed:t.engine_seed ~max_steps ~trace_capacity:cfg.trace_tail
     ~crashes:t.crashes ?prepare ?arena ~backend:cfg.backend ~sched ~n:cfg.n
     ~commands_per_proc:t.commands ()
@@ -101,7 +116,11 @@ let monitors (cfg : cfg) t =
   :: ("smr-prefix", Monitor.smr_prefix)
   ::
   (if t.k = 0 && t.crashes = [] then
-     [ ("smr-committed", Monitor.smr_committed) ]
+     if t.restarts = [] then [ ("smr-committed", Monitor.smr_committed) ]
+     else
+       (* Same predicate, stronger reading: restarted replicas must
+          replay the decided prefix and still commit everything. *)
+       [ ("recovery-liveness", Monitor.smr_committed) ]
    else [])
 
 let config (cfg : cfg) t =
@@ -111,8 +130,10 @@ let config (cfg : cfg) t =
     Config.str "scheduler" (Scenario.sched_desc t.k);
     Config.str "backend" (Mm_mem.Mem.Backend.name cfg.backend);
   ]
+  @ (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+     else [])
   @
-  if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe t.nemesis) ]
+  if cfg.restarts then [ Config.str "restarts" (Nemesis.describe t.restarts) ]
   else []
 
 let shrink (cfg : cfg) ~still_fails t =
@@ -136,12 +157,29 @@ let shrink (cfg : cfg) ~still_fails t =
           still_fails { t with crashes = crashes'; k = k'; nemesis = tl })
         t.nemesis
   in
+  let restarts' =
+    if t.restarts = [] then t.restarts
+    else
+      Nemesis.shrink
+        ~still_fails:(fun tl ->
+          still_fails
+            {
+              t with
+              crashes = crashes';
+              k = k';
+              nemesis = nemesis';
+              restarts = tl;
+            })
+        t.restarts
+  in
   [
     Config.str "crashes" (Scenario.fmt_crashes crashes');
     Config.str "scheduler" (Scenario.sched_desc k');
   ]
+  @ (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+     else [])
   @
-  (if cfg.nemesis then [ Config.str "nemesis" (Nemesis.describe nemesis') ]
+  (if cfg.restarts then [ Config.str "restarts" (Nemesis.describe restarts') ]
    else [])
 
 let trace (o : outcome) = o.Log.trace

@@ -66,7 +66,7 @@ let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
       crashed.(pid) <- true;
       Engine.crash_at eng (Id.of_int pid) step)
     crashes;
-  let paxos_process p () =
+  let paxos_process ?(recovering = false) p () =
     let pi = Id.to_int p in
     let det = Mm_election.Register_fd.create alive ~me:pi in
     let leader_hint () =
@@ -158,9 +158,26 @@ let run ?(seed = 1) ?(oracle = Heartbeat) ?(max_steps = 2_000_000)
             main_loop (iter + 1) round
           end)
     in
-    main_loop 1 0
+    (* Crash-recovery boot: the proposer's volatile mirror must be
+       rebuilt from its own crash-surviving block before any ballot —
+       writing [empty_block] here would regress an accepted (bal, value)
+       and break Disk Paxos's core invariant.  Then check the decision
+       register: a value published while we were down ends the protocol
+       immediately. *)
+    if recovering then begin
+      known := Proc.read blocks.(pi);
+      match Proc.read decision with
+      | Some v -> decide v
+      | None -> main_loop 1 0
+    end
+    else main_loop 1 0
   in
-  List.iter (fun p -> Engine.spawn eng p (paxos_process p)) (Id.all n);
+  List.iter
+    (fun p ->
+      Engine.spawn eng p
+        ~recover:(paxos_process ~recovering:true p)
+        (paxos_process p))
+    (Id.all n);
   (match prepare with None -> () | Some f -> f eng);
   let all_decided () =
     let ok = ref true in

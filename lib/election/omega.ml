@@ -179,7 +179,22 @@ let run ?(seed = 1) ?(eta = 16) ?(trace_capacity = 0) ?(timely = [ (0, 4) ])
           incr total_changes
         end
       in
-      Engine.spawn eng p (omega_process ~n ~eta ~mech ~state_regs ~report p))
+      (* Crash-recovery (host reboot): every volatile structure —
+         contender set, heartbeat timers, the mechanism's notification
+         state — is rebuilt from scratch; the crash-surviving STATE
+         register is the only carry-over.  Bump the epoch counter so
+         peers eventually rank a never-crashed contender above us, and
+         clear the active bit (a rebooted process is not leading), then
+         re-enter Figure 3 from line 1. *)
+      let recover () =
+        let st = Proc.read state_regs.(pi) in
+        Proc.write state_regs.(pi)
+          { st with counter = st.counter + 1; active = false };
+        let mech = mech_of store ~me:p in
+        omega_process ~n ~eta ~mech ~state_regs ~report p ()
+      in
+      Engine.spawn eng p ~recover
+        (omega_process ~n ~eta ~mech ~state_regs ~report p))
     (Id.all n);
   (match prepare with None -> () | Some f -> f eng);
   (* Warmup, pausing at each scheduled memory failure to flip the host's

@@ -16,9 +16,12 @@ type op_record = {
   req : W.request;
   mutable completion : int;
   mutable result : int;
+  mutable expired : bool;
 }
 
-let latency r = if r.completion < 0 then None else Some (r.completion - r.req.W.arrival)
+let latency r =
+  if r.completion < 0 || r.expired then None
+  else Some (r.completion - r.req.W.arrival)
 
 type outcome = {
   reason : Engine.stop_reason;
@@ -28,6 +31,8 @@ type outcome = {
   local_reads : bool;
   ops : op_record array;
   completed : int;
+  timeouts : int;
+  op_timeout : int option;
   get_hist : Histogram.t array;
   put_hist : Histogram.t array;
   logs : (int * int) list array;
@@ -46,8 +51,9 @@ type outcome = {
    this replica is the ingress for, [records] the host-global completion
    board every replica shares through its closure (the engine is
    single-threaded, so host state needs no synchronization). *)
-let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
-    ~records ~my_ingress ~on_apply ~on_complete me () =
+let replica_process ?(recovering = false) ~eng ~shard ~peers ~r ~slots ~alive
+    ~local_reads ~reqs ~records ~my_ingress ~retry_rng ~on_apply ~on_complete
+    me () =
   let pid = Id.to_int me in
   let det = Fd.create alive ~me:r in
   let prop = Log.Proposer.create slots ~me:r in
@@ -63,8 +69,32 @@ let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
   let apply_next = ref 0 in
   let value_of key = Option.value ~default:0 (Hashtbl.find_opt state key) in
   let done_ id = records.(id).completion >= 0 in
+  (* A request needs no more shepherding once it completed — or once its
+     client gave up on it (per-op deadline): an expired request is
+     dropped from the retry queues exactly like a done one. *)
+  let closed id = done_ id || records.(id).expired in
+  (* At-least-once retry pacing, per request: first forward immediately,
+     then bounded exponential backoff with seeded jitter so a thundering
+     herd of shepherds never synchronizes on a recovering leader. *)
+  let retry : (int, int * int) Hashtbl.t = Hashtbl.create 32 in
+  let retry_base = 16 and retry_cap = 512 in
+  let retry_due id now =
+    match Hashtbl.find_opt retry id with
+    | None -> true
+    | Some (next, _) -> next <= now
+  in
+  let retry_bump id now =
+    let delay =
+      match Hashtbl.find_opt retry id with
+      | None -> retry_base
+      | Some (_, d) -> min (2 * d) retry_cap
+    in
+    let jitter = Mm_rng.Rng.int retry_rng (1 + (delay / 2)) in
+    Hashtbl.replace retry id (now + delay + jitter, delay)
+  in
+  let retry_drop id = Hashtbl.remove retry id in
   let claim id =
-    if (not (done_ id)) && not (Hashtbl.mem owned_set id) then begin
+    if (not (closed id)) && not (Hashtbl.mem owned_set id) then begin
       Hashtbl.replace owned_set id ();
       match reqs.(id).W.op with
       | W.Get when local_reads -> Queue.add id my_gets
@@ -154,8 +184,9 @@ let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
       match Queue.take_opt my_puts with
       | None -> None
       | Some id ->
-        if done_ id then begin
+        if closed id then begin
           Hashtbl.remove owned_set id;
+          retry_drop id;
           pop ()
         end
         else begin
@@ -166,10 +197,12 @@ let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
     in
     pop ()
   in
-  (* Follower shepherding: periodically re-forward a batch of still-open
-     requests to the current leader hint (at-least-once; apply-time and
-     serve-time dedup absorb the repeats), dropping completed ones. *)
+  (* Follower shepherding: re-forward still-open requests to the current
+     leader hint, each on its own backoff clock (at-least-once;
+     apply-time and serve-time dedup absorb the repeats), dropping
+     completed and expired ones. *)
   let forward_some leader_pid =
+    let now = Engine.now eng in
     let budget = ref 16 in
     let fwd q =
       let len = Queue.length q in
@@ -177,11 +210,15 @@ let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
         match Queue.take_opt q with
         | None -> ()
         | Some id ->
-          if done_ id then Hashtbl.remove owned_set id
+          if closed id then begin
+            Hashtbl.remove owned_set id;
+            retry_drop id
+          end
           else begin
             Queue.add id q;
-            if !budget > 0 then begin
+            if !budget > 0 && retry_due id now then begin
               decr budget;
+              retry_bump id now;
               Proc.send leader_pid (Kv_forward id)
             end
           end
@@ -227,20 +264,31 @@ let replica_process ~eng ~shard ~peers ~r ~slots ~alive ~local_reads ~reqs
        | None -> Proc.yield ()
      end
      else begin
-       if iter mod 12 = 0 then
-         forward_some peers.(Log.leader_hint det);
+       (* Per-request pacing makes the scan cheap to run every loop:
+          only requests whose backoff clock expired actually send. *)
+       forward_some peers.(Log.leader_hint det);
        Proc.yield ()
      end);
     main_loop (iter + 1)
   in
+  (* Crash-recovery boot: volatile state (applied log, key-value state,
+     shepherd queues) is gone.  Replay the decided prefix from the
+     crash-surviving slot registers to rebuild the state machine; the
+     ingress pointer restarts at 0, so every arrived-but-open request we
+     were shepherding is re-claimed — that re-claim IS the failover
+     retry for requests orphaned by our crash. *)
+  if recovering then drain ~read_register:true;
   main_loop 1
 
 let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
-    ?prepare ?sched ?arena ?backend ?(local_reads = true) ~shards ~replicas
-    ~workload ()
+    ?prepare ?sched ?arena ?backend ?(local_reads = true) ?op_timeout ~shards
+    ~replicas ~workload ()
     =
   if shards < 1 then invalid_arg "Kv.run: shards must be >= 1";
   if replicas < 1 then invalid_arg "Kv.run: replicas must be >= 1";
+  (match op_timeout with
+  | Some d when d < 1 -> invalid_arg "Kv.run: op_timeout must be >= 1"
+  | _ -> ());
   let n = shards * replicas in
   let eng =
     Mm_sim.Arena.engine ?arena ~seed ?sched ~trace_capacity ?backend
@@ -249,7 +297,9 @@ let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
   let store = Engine.store eng in
   let reqs = workload.W.requests in
   let records =
-    Array.map (fun rq -> { req = rq; completion = -1; result = 0 }) reqs
+    Array.map
+      (fun rq -> { req = rq; completion = -1; result = 0; expired = false })
+      reqs
   in
   let shard_pids s = Array.init replicas (fun r -> Id.of_int ((s * replicas) + r)) in
   let shard_slots =
@@ -290,6 +340,15 @@ let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
     crashes;
   let logs = Array.make n [] in
   let completed = ref 0 in
+  (* [accounted] closes the open-loop: each request is counted exactly
+     once, at completion OR at client-side expiry, whichever lands
+     first.  An expired request that completes later still records its
+     completion (it took effect — the linearizability and durability
+     monitors need the truth) but is kept out of the latency histograms:
+     its client had already given up. *)
+  let accounted = ref 0 in
+  let timeouts = ref 0 in
+  let expire_ptr = ref 0 in
   let duplicate_applies = ref 0 in
   let get_hist = Array.init shards (fun _ -> Histogram.create ()) in
   let put_hist = Array.init shards (fun _ -> Histogram.create ()) in
@@ -299,39 +358,116 @@ let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
       rc.completion <- now;
       rc.result <- value;
       incr completed;
-      let h =
-        match rc.req.W.op with
-        | W.Get -> get_hist.(shard)
-        | W.Put _ -> put_hist.(shard)
-      in
-      Histogram.add h (now - rc.req.W.arrival)
+      if not rc.expired then begin
+        incr accounted;
+        let h =
+          match rc.req.W.op with
+          | W.Get -> get_hist.(shard)
+          | W.Put _ -> put_hist.(shard)
+        in
+        Histogram.add h (now - rc.req.W.arrival)
+      end
     end
   in
+  (* Per-op deadlines: requests arrive in nondecreasing order, so one
+     pointer sweep finds everything overdue.  Runs host-side inside the
+     [until] predicate — zero engine steps. *)
+  let check_expiry now =
+    match op_timeout with
+    | None -> ()
+    | Some d ->
+      while
+        !expire_ptr < Array.length reqs
+        && reqs.(!expire_ptr).W.arrival + d <= now
+      do
+        let rc = records.(!expire_ptr) in
+        if rc.completion < 0 && not rc.expired then begin
+          rc.expired <- true;
+          incr timeouts;
+          incr accounted
+        end;
+        incr expire_ptr
+      done
+  in
+  (* Quiescent stop: [applied_hwm] is the highest applied-prefix length
+     any replica of the shard ever reached (monotone, survives
+     restarts); [applied_cnt] is each incarnation's own applied prefix.
+     The run only ends once every live replica has caught back up to its
+     shard's high-water mark — otherwise a leader that restarted right
+     after its last ack could stop the run with its rebuilt log still
+     short, and the durability monitor would blame recovery for an
+     artifact of the stop condition. *)
+  let applied_hwm = Array.make shards 0 in
+  let applied_cnt = Array.make n 0 in
   let on_apply ~pid ~slot ~id ~dup =
     logs.(pid) <- (slot, id) :: logs.(pid);
+    applied_cnt.(pid) <- slot + 1;
+    let s = pid / replicas in
+    if slot + 1 > applied_hwm.(s) then applied_hwm.(s) <- slot + 1;
     if dup then incr duplicate_applies
   in
   for s = 0 to shards - 1 do
     let peers = shard_pids s in
     for r = 0 to replicas - 1 do
       let me = peers.(r) in
-      Engine.spawn eng me
-        (replica_process ~eng ~shard:s ~peers ~r ~slots:shard_slots.(s)
-           ~alive:shard_alive.(s) ~local_reads ~reqs ~records
-           ~my_ingress:ingress.(s).(r) ~on_apply ~on_complete me)
+      (* Derived here, in spawn order, so the retry jitter stream is a
+         deterministic function of the engine seed; the recovery
+         incarnation keeps drawing from the same stream. *)
+      let retry_rng = Engine.derive_rng eng in
+      let spawn_args ~recovering =
+        replica_process ~recovering ~eng ~shard:s ~peers ~r
+          ~slots:shard_slots.(s) ~alive:shard_alive.(s) ~local_reads ~reqs
+          ~records ~my_ingress:ingress.(s).(r) ~retry_rng ~on_apply
+          ~on_complete me
+      in
+      (* Host reboot: discard this incarnation's apply-log observations —
+         the recovery boot replays the decided prefix from the registers
+         and re-records it. *)
+      let recover () =
+        logs.(Id.to_int me) <- [];
+        applied_cnt.(Id.to_int me) <- 0;
+        spawn_args ~recovering:true ()
+      in
+      Engine.spawn eng me ~recover (spawn_args ~recovering:false)
     done
   done;
   (match prepare with None -> () | Some f -> f eng);
   (* Requests whose ingress replica is crash-scheduled may never enter
-     the system; don't wait on them. *)
+     the system; don't wait on them — unless per-op deadlines are on, in
+     which case every request is awaited and the undeliverable ones are
+     closed by expiry (that is what deadlines are for). *)
   let target = ref 0 in
-  Array.iter
-    (fun (rq : W.request) ->
-      let pid = (shard_of_key rq.W.key * replicas) + (rq.W.ingress mod replicas) in
-      if not crashed.(pid) then incr target)
-    reqs;
-  let everyone_done () = !completed >= !target in
+  (match op_timeout with
+  | Some _ -> target := Array.length reqs
+  | None ->
+    Array.iter
+      (fun (rq : W.request) ->
+        let pid =
+          (shard_of_key rq.W.key * replicas) + (rq.W.ingress mod replicas)
+        in
+        if not crashed.(pid) then incr target)
+      reqs);
+  let all_pids = Array.init n Id.of_int in
+  let quiesced () =
+    let ok = ref true in
+    for pid = 0 to n - 1 do
+      if
+        Engine.status_of eng all_pids.(pid) = Engine.Ready
+        && applied_cnt.(pid) < applied_hwm.(pid / replicas)
+      then ok := false
+    done;
+    !ok
+  in
+  let everyone_done () =
+    check_expiry (Engine.now eng);
+    (* [quiesced] is only probed once the books are closed, so the
+       per-step cost of the stop predicate stays O(1) until the tail. *)
+    !accounted >= !target && quiesced ()
+  in
   let reason = Engine.run eng ~max_steps ~until:everyone_done () in
+  (* Close the books: deadlines that elapsed by the end of the run count
+     as timeouts even if the run stopped for another reason. *)
+  check_expiry (Engine.now eng);
   let logs = Array.map List.rev logs in
   (* Within each shard, no slot may map to two different requests. *)
   let consistent = ref true in
@@ -354,6 +490,8 @@ let run ?(seed = 1) ?(max_steps = 400_000) ?(trace_capacity = 0) ?(crashes = [])
     local_reads;
     ops = records;
     completed = !completed;
+    timeouts = !timeouts;
+    op_timeout;
     get_hist;
     put_hist;
     logs;

@@ -37,8 +37,16 @@ type op_record = {
   req : W.request;
   mutable completion : int; (** engine step; -1 while incomplete *)
   mutable result : int;     (** gets: value returned (0 = never written) *)
+  mutable expired : bool;
+      (** the client's per-op deadline elapsed before completion; the
+          request may still take effect later (at-least-once), and its
+          completion is then recorded, but its latency is kept out of
+          the histograms *)
 }
 
+(** The client-visible latency: [None] while incomplete {e or} once
+    expired — a late completion after the deadline is not a latency the
+    client ever observed (it matches what the histograms record). *)
 val latency : op_record -> int option
 
 type outcome = {
@@ -49,6 +57,10 @@ type outcome = {
   local_reads : bool;
   ops : op_record array;     (** workload order *)
   completed : int;
+  timeouts : int;
+      (** requests whose deadline elapsed before completion (0 without
+          [op_timeout]) *)
+  op_timeout : int option;   (** the deadline the run was driven with *)
   get_hist : Histogram.t array; (** per shard, completed gets *)
   put_hist : Histogram.t array; (** per shard, completed puts *)
   logs : (int * int) list array;
@@ -71,7 +83,27 @@ type outcome = {
     completion (or [max_steps]).  [crashes] are engine pids; the [until]
     predicate only waits for requests whose ingress replica never
     crashes.  Raises [Invalid_argument] on [shards < 1] or
-    [replicas < 1]. *)
+    [replicas < 1].
+
+    Robustness triple of the client layer:
+    - [op_timeout] gives every request a per-op deadline (engine steps
+      from arrival); overdue requests are marked {!op_record.expired},
+      counted in {!outcome.timeouts}, and no longer waited for — the
+      [until] predicate then covers {e all} requests, including those
+      whose ingress replica crashed.  Raises [Invalid_argument] when
+      [< 1].
+    - shepherds re-forward each open request on its own bounded
+      exponential-backoff clock (base 16, cap 512 steps) with seeded
+      jitter drawn from a stream split off the engine seed —
+      deterministic, and desynchronized across replicas.
+    - delivery stays at-least-once against the apply-time dedup, so
+      retries and failovers never double-apply.
+
+    Replicas are spawned with a recovery closure: a nemesis [Restart]
+    reboots one into a fresh fiber that replays the decided prefix from
+    the crash-surviving slot registers and re-claims every open request
+    it was shepherding (ingress restarts from 0) — shard-leader failover
+    with client retry, end to end. *)
 val run :
   ?seed:int ->
   ?max_steps:int ->
@@ -82,6 +114,7 @@ val run :
   ?arena:Mm_sim.Arena.t ->
   ?backend:Mm_mem.Mem.Backend.t ->
   ?local_reads:bool ->
+  ?op_timeout:int ->
   shards:int ->
   replicas:int ->
   workload:W.t ->

@@ -169,6 +169,20 @@ let note_crash s p =
     if not s.failed_hosts.(i) then s.healthy <- s.healthy - 1
   end
 
+(* Crash-recovery: the host rejoins the replica set.  Register values
+   were never lost — native registers survive their owner's crash by
+   assumption (§3), and the emulated backend keeps every value at the
+   surviving majority — so rejoining is pure availability bookkeeping.
+   A memory failure, by contrast, is permanent: restarting the process
+   does not heal its host's omission-faulty registers. *)
+let note_restart s p =
+  let i = Id.to_int p in
+  if s.crashed_hosts.(i) then begin
+    s.crashed_hosts.(i) <- false;
+    s.live <- s.live + 1;
+    if not s.failed_hosts.(i) then s.healthy <- s.healthy + 1
+  end
+
 let dropped_writes s = s.dropped
 let blocked_ops s = s.blocked
 let emulated_msgs s = s.emu_msgs

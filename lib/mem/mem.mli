@@ -116,6 +116,14 @@ val set_transport : store -> (sent:int -> delivered:int -> unit) -> unit
     survive crashes by assumption (§3). *)
 val note_crash : store -> Mm_core.Id.t -> unit
 
+(** [note_restart store p] records that host [p] came back after a
+    crash, restoring it to the replica quorum.  Idempotent (a no-op
+    unless [p] is currently noted crashed).  Register values need no
+    repair: native registers survive their owner's crash (§3), and the
+    emulated backend kept every value at the surviving majority.  A
+    prior {!fail_host_memory} is NOT healed by restarting. *)
+val note_restart : store -> Mm_core.Id.t -> unit
+
 (** Memory failures (paper §6 future work, citing Afek et al. and
     Jayanti-Chandra-Toueg faulty shared objects): [fail_host_memory
     store p] makes every register hosted at [p] *omission-faulty* from

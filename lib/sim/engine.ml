@@ -42,7 +42,21 @@ type proc = {
   mutable p_status : status;
   mutable steps : int;
   mutable rng : Rng.t;  (* the process's private coin stream *)
+  (* Crash-recovery entry point, installed by [spawn ?recover]: a
+     restarted process loses its fiber (all volatile state) and re-enters
+     here, rebuilding from whatever the Mem backend preserved. *)
+  mutable recover : (unit -> unit) option;
+  (* Bounded retry of blocked (Unavailable) register ops: the process is
+     not schedulable before [retry_at]; [backoff] is the delay to apply
+     on the next block, doubling up to [max_blocked_backoff]. *)
+  mutable retry_at : int;
+  mutable backoff : int;
 }
+
+(* Cap on the exponential retry delay of a blocked emulated-register op.
+   Doubling up to the cap keeps the number of visible [Trace.Blocked]
+   retries logarithmic in the outage length instead of linear. *)
+let max_blocked_backoff = 1024
 
 type t = {
   n_procs : int;
@@ -54,6 +68,7 @@ type t = {
   mutable seed_rng : Rng.t;  (* parent stream for derive_rng *)
   procs : proc array;
   crash_step : int option array;
+  restart_step : int option array;
   (* Frozen processes are slow, not dead: they take no steps while the
      flag is set but keep their fiber and message queues, so they resume
      exactly where they stopped on thaw. *)
@@ -112,10 +127,14 @@ let reseed t ~seed ~delay ~sched ~backend ~domain ~link ~trace_capacity =
       p.pending <- No_pending;
       p.p_status <- Unspawned;
       p.steps <- 0;
-      p.rng <- Rng.split proc_parent)
+      p.rng <- Rng.split proc_parent;
+      p.recover <- None;
+      p.retry_at <- 0;
+      p.backoff <- 0)
     t.procs;
   t.seed_rng <- Rng.split root;
   Array.fill t.crash_step 0 t.n_procs None;
+  Array.fill t.restart_step 0 t.n_procs None;
   Array.fill t.frozen 0 t.n_procs false;
   t.actions <- [];
   (match t.tr with
@@ -147,6 +166,9 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
           p_status = Unspawned;
           steps = 0;
           rng = placeholder;
+          recover = None;
+          retry_at = 0;
+          backoff = 0;
         })
   in
   let t =
@@ -160,6 +182,7 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
       seed_rng = placeholder;
       procs;
       crash_step = Array.make n None;
+      restart_step = Array.make n None;
       frozen = Array.make n false;
       actions = [];
       tr = None;
@@ -224,6 +247,17 @@ let is_proc_effect : type b. b Effect.t -> bool = function
   | Proc.Atomic _ -> true
   | _ -> false
 
+(* A register op found no quorum: re-stash the effect and schedule the
+   retry with capped exponential backoff.  Availability is store-global,
+   so the retry is exact; spacing retries out keeps the Trace.Blocked
+   count O(log outage) instead of one event per scheduler pick. *)
+let note_blocked t p =
+  let delay =
+    if p.backoff = 0 then 1 else min (2 * p.backoff) max_blocked_backoff
+  in
+  p.backoff <- delay;
+  p.retry_at <- t.step + delay
+
 (* Interpret one stashed effect: perform its side effect — this is the
    atomic step — record the trace event, then resume the fiber, which
    runs process-local code until its next request. *)
@@ -251,22 +285,23 @@ let exec_eff :
   | Proc.Read_reg r -> (
     match Mem.read r ~by:pid with
     | v ->
+      p.backoff <- 0;
       record t pid (Trace.Read (Mem.name r));
       continue k v
     | exception Mem.Unavailable _ ->
-      (* No quorum: the op blocks instead of failing.  Re-stash the
-         same effect so the process retries when next scheduled —
-         availability is store-global, so the retry is exact. *)
       p.pending <- Pend (eff, k);
+      note_blocked t p;
       record t pid (Trace.Blocked (Mem.name r));
       Suspended)
   | Proc.Write_reg (r, v) -> (
     match Mem.write r ~by:pid v with
     | () ->
+      p.backoff <- 0;
       record t pid (Trace.Wrote (Mem.name r));
       continue k ()
     | exception Mem.Unavailable _ ->
       p.pending <- Pend (eff, k);
+      note_blocked t p;
       record t pid (Trace.Blocked (Mem.name r));
       Suspended)
   | Proc.Coin ->
@@ -288,25 +323,24 @@ let exec_eff :
        before any mutation. *)
     match f () with
     | v ->
+      p.backoff <- 0;
       record t pid Trace.Atomic_op;
       continue k v
     | exception Mem.Unavailable { reg; _ } ->
       p.pending <- Pend (eff, k);
+      note_blocked t p;
       record t pid (Trace.Blocked reg);
       Suspended)
   | _ ->
     (* [spawn]'s effc only stashes the Proc effects above. *)
     assert false
 
-(* Install the fiber of a process.  Every effect suspends the fiber and
-   stashes the effect with its continuation; [exec_eff] interprets it
-   when the scheduler next picks this process. *)
-let spawn t pid main =
-  let p = t.procs.(Id.to_int pid) in
-  (match p.p_status with
-  | Unspawned -> ()
-  | Ready | Done | Crashed -> invalid_arg "Engine.spawn: process already spawned");
+(* Wrap a process main function as a fresh fiber for [p].  Shared by
+   [spawn] and restart: a restarted process gets a brand-new fiber, so
+   no volatile state survives. *)
+let install_fiber t p main =
   let open Effect.Deep in
+  let pid = p.pid in
   let handler =
     {
       retc =
@@ -324,22 +358,59 @@ let spawn t pid main =
           else None);
     }
   in
-  p.p_status <- Ready;
   p.pending <- Start (fun () -> match_with main () handler)
 
-let crash_at t pid step =
-  if step < 0 then invalid_arg "Engine.crash_at: negative step";
-  let i = Id.to_int pid in
-  (* Reject a second, conflicting schedule rather than silently
-     overwriting: two adversary layers disagreeing about when a process
-     dies is a bug in the harness, not a fault to inject. *)
-  (match t.crash_step.(i) with
+(* Install the fiber of a process.  Every effect suspends the fiber and
+   stashes the effect with its continuation; [exec_eff] interprets it
+   when the scheduler next picks this process. *)
+let spawn t ?recover pid main =
+  let p = t.procs.(Id.to_int pid) in
+  (match p.p_status with
+  | Unspawned -> ()
+  | Ready | Done | Crashed -> invalid_arg "Engine.spawn: process already spawned");
+  p.p_status <- Ready;
+  p.recover <- recover;
+  install_fiber t p main
+
+(* The crash/restart schedulers share one validation family: negative
+   steps, scheduling against an already-crashed process, and a second
+   conflicting schedule are harness bugs, not faults to inject — reject
+   them all with the same [Invalid_argument] shape. *)
+let check_schedule ~api ~existing step =
+  if step < 0 then invalid_arg (Printf.sprintf "Engine.%s: negative step" api);
+  match existing with
   | Some s when s <> step ->
-    invalid_arg "Engine.crash_at: conflicting crash schedule for pid"
-  | _ -> ());
+    invalid_arg
+      (Printf.sprintf "Engine.%s: conflicting %s schedule for pid" api
+         (if api = "restart_at" then "restart" else "crash"))
+  | _ -> ()
+
+let crash_at t pid step =
+  let i = Id.to_int pid in
+  check_schedule ~api:"crash_at" ~existing:t.crash_step.(i) step;
+  if t.procs.(i).p_status = Crashed then
+    invalid_arg "Engine.crash_at: process already crashed";
   t.crash_step.(i) <- Some step
 
 let crash_now t pid = crash_at t pid t.step
+
+let has_recovery t pid = t.procs.(Id.to_int pid).recover <> None
+
+let restart_at t pid step =
+  let i = Id.to_int pid in
+  check_schedule ~api:"restart_at" ~existing:t.restart_step.(i) step;
+  let p = t.procs.(i) in
+  if p.recover = None then
+    invalid_arg "Engine.restart_at: process has no recovery closure";
+  (* A restart needs a crash to recover from: the process must already
+     be crashed, or have a crash scheduled no later than [step]. *)
+  (match (p.p_status, t.crash_step.(i)) with
+  | Crashed, _ -> ()
+  | _, Some s when s <= step -> ()
+  | _, _ -> invalid_arg "Engine.restart_at: no crash to recover from");
+  t.restart_step.(i) <- Some step
+
+let restart_now t pid = restart_at t pid t.step
 
 let freeze t pid =
   let i = Id.to_int pid in
@@ -391,14 +462,43 @@ let apply_crashes t =
     | _ -> ()
   done
 
+(* Crash-recovery: a due restart revives a crashed process with a fresh
+   fiber running its recovery closure.  All volatile state is gone — the
+   old fiber was discarded at crash time and the queued inbox is drained
+   away here — so the closure can only rebuild from what the Mem backend
+   preserved (plus messages delivered after the restart). *)
+let apply_restarts t =
+  for i = 0 to t.n_procs - 1 do
+    match t.restart_step.(i) with
+    | Some s when s <= t.step ->
+      let p = t.procs.(i) in
+      (match (p.p_status, p.recover) with
+      | Crashed, Some main ->
+        ignore (Network.drain t.net p.pid : (Id.t * Mm_net.Message.payload) list);
+        p.p_status <- Ready;
+        p.retry_at <- 0;
+        p.backoff <- 0;
+        install_fiber t p main;
+        Mem.note_restart t.mem p.pid;
+        record t p.pid Trace.Restarted
+      | (Ready | Unspawned | Done), _ | Crashed, None -> ());
+      t.restart_step.(i) <- None
+    | _ -> ()
+  done
+
 (* Refresh the reusable view's runnable prefix in place (ascending pid
-   order) and return the count.  No allocation: this runs on every step. *)
+   order) and return the count.  No allocation: this runs on every step.
+   A process backing off from a blocked register op ([retry_at] in the
+   future) is pending but not yet schedulable, like a frozen one. *)
 let refill_runnable t =
   let v = t.view in
   let c = ref 0 in
   for i = 0 to t.n_procs - 1 do
     let p = t.procs.(i) in
-    if p.p_status = Ready && has_pending p && not t.frozen.(i) then begin
+    if
+      p.p_status = Ready && has_pending p && (not t.frozen.(i))
+      && p.retry_at <= t.step
+    then begin
       v.Sched.runnable.(!c) <- i;
       incr c
     end
@@ -406,15 +506,19 @@ let refill_runnable t =
   v.Sched.count <- !c;
   !c
 
-(* True iff some process could run were it not frozen: the system is
-   stalled, not finished, so the clock must advance (messages keep
-   flowing, thaw actions can fire) instead of reporting Quiescent. *)
+(* True iff some process could run were it not frozen or backing off
+   (or a restart is still due): the system is stalled, not finished, so
+   the clock must advance (messages keep flowing, thaw actions can fire,
+   retries and restarts come due) instead of reporting Quiescent. *)
 let frozen_pending t =
   let rec go i =
     i < t.n_procs
     &&
     let p = t.procs.(i) in
-    (t.frozen.(i) && p.p_status = Ready && has_pending p) || go (i + 1)
+    ((t.frozen.(i) || p.retry_at > t.step)
+     && p.p_status = Ready && has_pending p)
+    || t.restart_step.(i) <> None
+    || go (i + 1)
   in
   go 0
 
@@ -423,6 +527,7 @@ let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
   let reason = ref None in
   while !reason = None do
     apply_crashes t;
+    apply_restarts t;
     fire_actions t;
     if until () then reason := Some Stopped
     else if t.step >= deadline then reason := Some Step_limit

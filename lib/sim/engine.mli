@@ -29,10 +29,13 @@ val pp_stop_reason : Format.formatter -> stop_reason -> unit
     - [backend] selects how the store realises registers (default
       [Native]; see {!Mm_mem.Mem.Backend}).  Under [Emulated], register
       ops are charged to the network stats, crashes shrink the quorum
-      (the engine notifies the store on every crash), and an op without
-      a live majority blocks: the process stays runnable and retries
-      the same access each time it is scheduled, visible as
-      [Trace.Blocked] events and {!Mm_mem.Mem.blocked_ops}. *)
+      (the engine notifies the store on every crash and restart), and an
+      op without a live majority blocks: the effect is re-stashed and
+      retried with capped exponential backoff — the process is not
+      schedulable while backing off, so an outage of [w] steps produces
+      O(log w) retries ([Trace.Blocked] events and
+      {!Mm_mem.Mem.blocked_ops}), not one per scheduler pick.  The
+      backoff resets on the first register op that completes. *)
 val create :
   ?seed:int ->
   ?delay:Mm_net.Network.delay ->
@@ -76,18 +79,57 @@ val network : t -> Mm_net.Network.t
 val domain : t -> Mm_core.Domain.t
 
 (** [spawn t pid main] installs the code of process [pid].
-    Raises [Invalid_argument] if [pid] already has code. *)
-val spawn : t -> Mm_core.Id.t -> (unit -> unit) -> unit
+    Raises [Invalid_argument] if [pid] already has code.
+
+    [recover], when given, is the process's crash-recovery entry point:
+    after a scheduled restart ({!restart_at}) the process re-enters
+    through it as a brand-new fiber.  Everything volatile is gone — the
+    old fiber, local bindings, the queued mailbox — so the closure must
+    rebuild from what the [Mem] backend preserved: native registers
+    survive their owner's crash (§3); under the emulated backend every
+    recovery read is an ABD quorum round charged to the network stats
+    like any other op.  Without [recover] the process is crash-stop and
+    cannot be restarted. *)
+val spawn : t -> ?recover:(unit -> unit) -> Mm_core.Id.t -> (unit -> unit) -> unit
 
 (** [crash_at t pid step] schedules a crash: [pid] executes no step at or
     after global step [step].  [crash_at t pid 0] crashes it before it
-    takes any step.  Raises [Invalid_argument] on a negative step, or if
-    [pid] already has a pending crash scheduled at a {e different} step
-    (re-scheduling the same step is a no-op). *)
+    takes any step.  Raises [Invalid_argument] on a negative step, if
+    [pid] has already crashed, or if [pid] already has a pending crash
+    scheduled at a {e different} step (re-scheduling the same step is a
+    no-op).  {!crash_at}, {!crash_now} and {!restart_at} share this
+    validation family. *)
 val crash_at : t -> Mm_core.Id.t -> int -> unit
 
 (** Crash immediately (at the current step). *)
 val crash_now : t -> Mm_core.Id.t -> unit
+
+(** {2 Crash-recovery}
+
+    A restart revives a crashed process: at the scheduled step its
+    status returns to [Ready] and a fresh fiber runs the [recover]
+    closure given to {!spawn}.  The restart is a host reboot, not a
+    resume — volatile state (fiber, mailbox) is lost; register state
+    survives per the backend's rules, and the store is notified
+    ({!Mm_mem.Mem.note_restart}) so the host rejoins the emulated
+    backend's quorum.  Scheduler timeliness promises are NOT restored: a
+    timely process that crashes stays off the timely list even after it
+    restarts. *)
+
+(** [restart_at t pid step] schedules a restart of [pid] at global step
+    [step].  Raises [Invalid_argument] on a negative step, if [pid] was
+    spawned without a [recover] closure, if [pid] is neither crashed nor
+    scheduled to crash by [step] (no crash to recover from), or if a
+    pending restart exists at a {e different} step (re-scheduling the
+    same step is a no-op).  A restart due while the process is not
+    crashed (e.g. it finished first) is discarded. *)
+val restart_at : t -> Mm_core.Id.t -> int -> unit
+
+(** Restart immediately (at the current step). *)
+val restart_now : t -> Mm_core.Id.t -> unit
+
+(** Was [pid] spawned with a [recover] closure? *)
+val has_recovery : t -> Mm_core.Id.t -> bool
 
 (** {2 Freeze / thaw}
 

@@ -8,6 +8,7 @@ type op =
   | Atomic_op
   | Blocked of string
   | Crashed
+  | Restarted
   | Finished
   | Dropped
   | Delivered of Mm_core.Id.t
@@ -60,6 +61,7 @@ let pp_op fmt = function
   | Atomic_op -> Format.fprintf fmt "atomic"
   | Blocked r -> Format.fprintf fmt "blocked %s" r
   | Crashed -> Format.fprintf fmt "CRASH"
+  | Restarted -> Format.fprintf fmt "RESTART"
   | Finished -> Format.fprintf fmt "done"
   | Dropped -> Format.fprintf fmt "drop"
   | Delivered src -> Format.fprintf fmt "deliver<-%a" Mm_core.Id.pp src

@@ -13,6 +13,7 @@ type op =
   | Atomic_op
   | Blocked of string  (** emulated register op waiting for a quorum *)
   | Crashed
+  | Restarted  (** crashed process re-entered through its recovery closure *)
   | Finished
   | Dropped                     (** the link dropped a message this process sent *)
   | Delivered of Mm_core.Id.t   (** a message from that sender reached this mailbox *)

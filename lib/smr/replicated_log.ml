@@ -170,7 +170,7 @@ type outcome = {
   trace : Mm_sim.Trace.event list;
 }
 
-let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
+let log_process ?(recovering = false) ~n ~sm ~alive ~my_commands ~on_apply me () =
   let mi = Id.to_int me in
   let det = Fd.create alive ~me:mi in
   let prop = Proposer.create sm ~me:mi in
@@ -283,6 +283,12 @@ let log_process ~n ~sm ~alive ~my_commands ~on_apply me () =
     | Some _ | None -> ());
     main_loop (iter + 1)
   in
+  (* Crash-recovery boot: the volatile apply log is gone, but every
+     decision survives in the slot registers.  Replay the whole decided
+     prefix eagerly before joining the protocol — the learn cache is
+     empty, so this is one register read per decided slot (an ABD round
+     each under the emulated backend). *)
+  if recovering then drain_learned ~read_register:true;
   main_loop 1
 
 let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
@@ -327,7 +333,17 @@ let run ?(seed = 1) ?(max_steps = 2_000_000) ?(trace_capacity = 0)
         if duplicate then incr duplicate_slots
         else if Hashtbl.mem wanted cmd then counts.(pi) <- counts.(pi) + 1
       in
-      Engine.spawn eng p (log_process ~n ~sm ~alive ~my_commands ~on_apply p))
+      (* Host reboot: the incarnation's apply log restarts from slot 0
+         (re-applying the decided prefix from the registers), so the
+         pre-crash observations are discarded — keeping them would show
+         phantom duplicates next to the fresh replay. *)
+      let recover () =
+        logs.(pi) <- [];
+        counts.(pi) <- 0;
+        log_process ~recovering:true ~n ~sm ~alive ~my_commands ~on_apply p ()
+      in
+      Engine.spawn eng p ~recover
+        (log_process ~n ~sm ~alive ~my_commands ~on_apply p))
     (Id.all n);
   (match prepare with None -> () | Some f -> f eng);
   let everyone_done () =

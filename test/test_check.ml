@@ -995,6 +995,7 @@ let test_nemesis_gen_well_formed () =
       (fun (st : Nemesis.stage) ->
         match st.Nemesis.fault with
         | Nemesis.Crash _ -> Alcotest.fail "gen drew a crash burst"
+        | Nemesis.Restart _ -> Alcotest.fail "gen drew a restart window"
         | Nemesis.Freeze ps ->
           Alcotest.(check bool) "avoided pid never frozen" false
             (List.mem 1 ps)
@@ -1013,7 +1014,7 @@ let test_nemesis_gen_covers_fault_kinds () =
         | Nemesis.Partition _ -> incr part
         | Nemesis.Degrade _ -> incr deg
         | Nemesis.Freeze _ -> incr frz
-        | Nemesis.Crash _ -> ())
+        | Nemesis.Crash _ | Nemesis.Restart _ -> ())
       (Nemesis.gen (Rng.create seed) ~n:4 ~avoid:[] ~horizon:1_000
          ~max_stages:3 ~allow_drop:true)
   done;
@@ -1126,6 +1127,149 @@ let test_omega_nemesis_convergence_violation () =
       cx.Runner.property;
     Alcotest.(check bool) "config names the timeline" true
       (match Config.find_str cx.Runner.config "nemesis" with
+      | Some d -> d <> "none"
+      | None -> false);
+    Alcotest.(check bool) "shrunk non-empty" true (cx.Runner.shrunk <> []);
+    let replayed =
+      Runner.replay sc ~params ~trial_seed:cx.Runner.trial_seed ()
+    in
+    (match replayed.Runner.violation with
+    | None -> Alcotest.fail "replay lost the violation"
+    | Some cx' ->
+      Alcotest.(check string) "replayed property" cx.Runner.property
+        cx'.Runner.property;
+      Alcotest.(check string) "replayed detail" cx.Runner.detail
+        cx'.Runner.detail;
+      Alcotest.(check bool) "replayed config" true
+        (cx.Runner.config = cx'.Runner.config);
+      Alcotest.(check bool) "replayed trace" true
+        (cx.Runner.trace = cx'.Runner.trace))
+
+(* --- crash-recovery: restart windows through the sweep --- *)
+
+let test_gen_restarts_well_formed () =
+  let windows_seen = ref 0 in
+  for seed = 0 to 49 do
+    let gen_once () =
+      Nemesis.gen_restarts (Rng.create seed) ~n:4 ~avoid:[ 1 ] ~horizon:1_000
+        ~max_windows:2
+    in
+    let tl = gen_once () in
+    Nemesis.validate tl ~n:4;
+    Alcotest.(check bool) "same seed, same windows" true (tl = gen_once ());
+    Alcotest.(check bool) "heals within horizon" true
+      (Nemesis.heal_step tl <= 1_000);
+    (* Windows are strictly sequential even across pids: at most one
+       process is transiently down at a time. *)
+    let last_end = ref (-1) in
+    List.iter
+      (fun (st : Nemesis.stage) ->
+        incr windows_seen;
+        (match st.Nemesis.fault with
+        | Nemesis.Restart [ p ] ->
+          Alcotest.(check bool) "avoided pid never restarted" false (p = 1)
+        | Nemesis.Restart _ -> Alcotest.fail "multi-pid restart window"
+        | _ -> Alcotest.fail "gen_restarts drew a non-restart fault");
+        Alcotest.(check bool) "strictly sequential windows" true
+          (st.Nemesis.at > !last_end);
+        last_end := st.Nemesis.at + st.Nemesis.duration)
+      tl
+  done;
+  Alcotest.(check bool) "some seeds draw windows" true (!windows_seen > 0)
+
+let test_restart_validate_rejects_overlap () =
+  let st at duration fault = { Nemesis.at; duration; fault } in
+  Alcotest.(check bool) "overlapping same-pid restarts rejected" true
+    (try
+       Nemesis.validate
+         [ st 0 10 (Nemesis.Restart [ 0 ]); st 5 10 (Nemesis.Restart [ 0 ]) ]
+         ~n:3;
+       false
+     with Invalid_argument _ -> true);
+  (* distinct pids may roll one after the other *)
+  Nemesis.validate
+    [ st 0 10 (Nemesis.Restart [ 0 ]); st 15 10 (Nemesis.Restart [ 1 ]) ]
+    ~n:3
+
+(* The emulated gate: one transiently-down process on top of the
+   crash-stop plan must still leave a live ABD majority. *)
+let test_restarts_safe_bound () =
+  let module B = Mm_mem.Mem.Backend in
+  Alcotest.(check bool) "native always safe" true
+    (Scenario.restarts_safe B.Native ~n:2 ~ncrashes:5);
+  List.iter
+    (fun (n, ncrashes, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "emulated n=%d crashes=%d" n ncrashes)
+        expect
+        (Scenario.restarts_safe B.Emulated ~n ~ncrashes))
+    [ (3, 0, true); (4, 0, true); (4, 1, false); (5, 1, true); (3, 1, false) ]
+
+let restart_params = { smoke_params with Scenario.restarts = true }
+
+(* Default restart sweeps are clean on both backends: recovery closures
+   rebuild enough state that no monitor — durability and
+   recovery-liveness included — goes red without an injected cause. *)
+let test_registry_restarts_sweeps_clean () =
+  List.iter
+    (fun (module S : Scenario.S) ->
+      clean_sweep S.name ~budget:2 ~params:restart_params)
+    Registry.all;
+  let emu =
+    { restart_params with Scenario.backend = Mm_mem.Mem.Backend.Emulated }
+  in
+  List.iter
+    (fun name -> clean_sweep name ~budget:2 ~params:emu)
+    [ "omega"; "smr"; "kv" ]
+
+let test_registry_restarts_jobs_deterministic () =
+  List.iter
+    (fun ((module S : Scenario.S) as sc) ->
+      let sweep jobs =
+        Runner.sweep sc ~master_seed:13 ~budget:2 ~jobs ~params:restart_params
+          ()
+      in
+      check_same_report (S.name ^ "+restarts") (sweep 1) (sweep 2))
+    Registry.all
+
+(* The replay contract across the flag: restart draws come last, so a
+   trial seed recorded before --restarts existed describes the same
+   trial when the sweep later turns the flag on — its config gains only
+   the new "restarts" row. *)
+let test_pre_restart_seeds_unchanged () =
+  let drop_restarts = List.filter (fun (k, _) -> k <> "restarts") in
+  List.iter
+    (fun (module S : Scenario.S) ->
+      let cfg_off = S.cfg_of_params smoke_params in
+      let cfg_on = S.cfg_of_params restart_params in
+      for seed = 0 to 9 do
+        let t_off = S.gen cfg_off (Rng.create seed) in
+        let t_on = S.gen cfg_on (Rng.create seed) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d: draw unchanged modulo restarts row"
+             S.name seed)
+          true
+          (S.config cfg_off t_off = drop_restarts (S.config cfg_on t_on))
+      done)
+    Registry.all
+
+(* Starving kv's settle allowance flushes out a recovery-liveness
+   violation: requests interrupted by a restart window cannot all
+   complete within one step of the heal.  The reported timeline must be
+   in the config, the shrunk reproducer non-empty, and the replay from
+   the reported seed byte-identical — the acceptance path behind
+   [mm check kv --restarts]. *)
+let test_kv_restart_recovery_violation () =
+  let params = { restart_params with Scenario.settle = Some 1 } in
+  let sc = scenario "kv" in
+  let report = Runner.sweep sc ~master_seed:17 ~budget:40 ~params () in
+  match report.Runner.violation with
+  | None ->
+    Alcotest.fail "expected a recovery-liveness violation with settle=1"
+  | Some cx ->
+    Alcotest.(check string) "property" "recovery-liveness" cx.Runner.property;
+    Alcotest.(check bool) "config names the restart timeline" true
+      (match Config.find_str cx.Runner.config "restarts" with
       | Some d -> d <> "none"
       | None -> false);
     Alcotest.(check bool) "shrunk non-empty" true (cx.Runner.shrunk <> []);
@@ -1344,6 +1488,23 @@ let () =
             test_partition_timeline_replays_identically;
           Alcotest.test_case "omega convergence violation" `Quick
             test_omega_nemesis_convergence_violation;
+        ] );
+      ( "restarts",
+        [
+          Alcotest.test_case "gen_restarts well-formed" `Quick
+            test_gen_restarts_well_formed;
+          Alcotest.test_case "validate rejects overlap" `Quick
+            test_restart_validate_rejects_overlap;
+          Alcotest.test_case "emulated safety bound" `Quick
+            test_restarts_safe_bound;
+          Alcotest.test_case "every scenario sweeps clean" `Quick
+            test_registry_restarts_sweeps_clean;
+          Alcotest.test_case "every scenario jobs=1 = jobs=2" `Quick
+            test_registry_restarts_jobs_deterministic;
+          Alcotest.test_case "pre-restart seeds replay unchanged" `Quick
+            test_pre_restart_seeds_unchanged;
+          Alcotest.test_case "kv recovery-liveness violation" `Quick
+            test_kv_restart_recovery_violation;
         ] );
       ( "validation",
         [

@@ -7,6 +7,7 @@ module Rng = Mm_rng.Rng
 module H = Mm_kv.Histogram
 module W = Mm_kv.Workload
 module Kv = Mm_kv.Kv
+module Engine = Mm_sim.Engine
 module Nemesis = Mm_check.Nemesis
 module Monitor = Mm_check.Monitor
 module Runner = Mm_check.Runner
@@ -287,6 +288,116 @@ let test_kv_crash_still_consistent () =
   Alcotest.(check bool) "crashed flags set" true
     (o.Kv.crashed.(1) && o.Kv.crashed.(4))
 
+(* --- client robustness: per-op deadlines --- *)
+
+let test_kv_op_timeout_validation () =
+  let wl = W.gen (Rng.create 21) spec ~replicas:3 in
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "op_timeout=%d rejected" bad)
+        true
+        (match
+           Kv.run ~seed:3 ~op_timeout:bad ~shards:2 ~replicas:3 ~workload:wl ()
+         with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ 0; -5 ]
+
+(* With a deadline, the completion XOR expiry accounting must close the
+   books: every request lands in the histograms or in [timeouts], never
+   both, never neither — and the run then stops on its own [until]. *)
+let test_kv_timeout_accounting () =
+  let wl = W.gen (Rng.create 21) spec ~replicas:3 in
+  let o =
+    Kv.run ~seed:3 ~max_steps:600_000 ~op_timeout:150 ~shards:2 ~replicas:3
+      ~workload:wl ()
+  in
+  Alcotest.(check bool) "books closed" true (o.Kv.reason = Engine.Stopped);
+  Alcotest.(check (option int)) "deadline recorded" (Some 150) o.Kv.op_timeout;
+  Alcotest.(check bool) "deadline tight enough to expire some" true
+    (o.Kv.timeouts > 0);
+  let expired =
+    Array.fold_left
+      (fun a (rc : Kv.op_record) -> if rc.Kv.expired then a + 1 else a)
+      0 o.Kv.ops
+  in
+  Alcotest.(check int) "timeouts = expired flags" o.Kv.timeouts expired;
+  let hist_n =
+    Array.fold_left (fun a h -> a + H.count h) 0 o.Kv.get_hist
+    + Array.fold_left (fun a h -> a + H.count h) 0 o.Kv.put_hist
+  in
+  Alcotest.(check int) "every request accounted exactly once"
+    (Array.length o.Kv.ops)
+    (hist_n + o.Kv.timeouts);
+  (* an expired request may still complete later (at-least-once), but
+     its latency stays out of the histograms *)
+  Array.iter
+    (fun (rc : Kv.op_record) ->
+      if rc.Kv.expired then
+        Alcotest.(check (option int)) "expired latency suppressed" None
+          (Kv.latency rc))
+    o.Kv.ops;
+  (* the same seed without a deadline completes everything *)
+  let free =
+    Kv.run ~seed:3 ~max_steps:600_000 ~shards:2 ~replicas:3 ~workload:wl ()
+  in
+  Alcotest.(check int) "no deadline, no timeouts" 0 free.Kv.timeouts
+
+(* --- window_hist: arrival-windowed latency views --- *)
+
+let test_window_hist_edges () =
+  let o = run_kv () in
+  let count h = H.count h in
+  let all = Kv.window_hist o ~from:0 ~until:max_int () in
+  let hist_n =
+    Array.fold_left (fun a h -> a + H.count h) 0 o.Kv.get_hist
+    + Array.fold_left (fun a h -> a + H.count h) 0 o.Kv.put_hist
+  in
+  Alcotest.(check int) "full window covers every completed request" hist_n
+    (count all);
+  (* [from, from) is empty, and so is a window before any arrival *)
+  Alcotest.(check int) "empty window" 0
+    (count (Kv.window_hist o ~from:100 ~until:100 ()));
+  Alcotest.(check (option int)) "empty window percentile" None
+    (H.percentile (Kv.window_hist o ~from:0 ~until:0 ()) 50.0);
+  (* the op filter partitions the window *)
+  let g = Kv.window_hist o ~op:`Get ~from:0 ~until:max_int () in
+  let p = Kv.window_hist o ~op:`Put ~from:0 ~until:max_int () in
+  Alcotest.(check int) "gets + puts partition" (count all)
+    (count g + count p);
+  (* and so does the shard filter *)
+  let s0 = Kv.window_hist o ~shard:0 ~from:0 ~until:max_int () in
+  let s1 = Kv.window_hist o ~shard:1 ~from:0 ~until:max_int () in
+  Alcotest.(check int) "shards partition" (count all) (count s0 + count s1);
+  (* a one-step window around the earliest arrival holds at least that
+     request, and its percentile surface degenerates to the max *)
+  let a0 =
+    Array.fold_left
+      (fun a (rc : Kv.op_record) -> min a rc.Kv.req.W.arrival)
+      max_int o.Kv.ops
+  in
+  let h1 = Kv.window_hist o ~from:a0 ~until:(a0 + 1) () in
+  Alcotest.(check bool) "single-arrival window non-empty" true
+    (count h1 >= 1);
+  Alcotest.(check (option int)) "p100 = max" (H.max_value h1)
+    (H.percentile h1 100.0)
+
+(* merge is of_list of the concatenation — the property behind the
+   sweep-side percentile aggregation. *)
+let prop_hist_merge_is_concat =
+  QCheck.Test.make ~count:200 ~name:"histogram: merge = of_list of concat"
+    QCheck.(pair (list (int_bound 2_000)) (list (int_bound 2_000)))
+    (fun (la, lb) ->
+      let m = H.merge (H.of_list la) (H.of_list lb) in
+      let c = H.of_list (la @ lb) in
+      H.count m = H.count c
+      && H.max_value m = H.max_value c
+      && H.mean m = H.mean c
+      && List.for_all
+           (fun p -> H.percentile m p = H.percentile c p)
+           [ 1.0; 25.0; 50.0; 90.0; 99.0; 99.9; 100.0 ])
+
 (* --- the kv scenario through the sweep engine --- *)
 
 let kv_params =
@@ -392,6 +503,12 @@ let () =
             test_kv_local_read_speedup;
           Alcotest.test_case "partition p99 spike + recovery" `Quick
             test_kv_partition_spike;
+          Alcotest.test_case "op-timeout validation" `Quick
+            test_kv_op_timeout_validation;
+          Alcotest.test_case "timeout accounting" `Quick
+            test_kv_timeout_accounting;
+          Alcotest.test_case "window_hist edges" `Quick test_window_hist_edges;
+          QCheck_alcotest.to_alcotest prop_hist_merge_is_concat;
           Alcotest.test_case "crash safety" `Quick
             test_kv_crash_still_consistent;
         ] );

@@ -209,6 +209,48 @@ let test_emulated_unavailable () =
   Mem.write rn ~by:(id 0) 9;
   Alcotest.(check int) "native still serves" 9 (Mem.read rn ~by:(id 1))
 
+(* A restarted host rejoins the emulated quorum — Unavailable clears as
+   soon as a majority is back, and the register still serves the last
+   value written before the outage.  Memory failure is a different axis:
+   a fail_host_memory'd replica stays omission-faulty across restarts. *)
+let test_note_restart () =
+  let n = 4 in
+  let store = Mem.create ~backend:Mem.Backend.Emulated (Domain.full n) in
+  let r =
+    Mem.alloc store ~name:"x" ~owner:(id 0) ~shared_with:[ id 1; id 2; id 3 ] 5
+  in
+  Mem.write r ~by:(id 1) 7;
+  Mem.note_crash store (id 2);
+  Mem.note_crash store (id 3);
+  Alcotest.(check int) "live" 2 (Mem.live_hosts store);
+  Alcotest.(check bool) "no quorum" true
+    (try
+       ignore (Mem.read r ~by:(id 0));
+       false
+     with Mem.Unavailable _ -> true);
+  Mem.note_restart store (id 3);
+  Mem.note_restart store (id 3);
+  (* idempotent *)
+  Alcotest.(check int) "rejoined" 3 (Mem.live_hosts store);
+  Alcotest.(check int) "value survived the outage" 7 (Mem.read r ~by:(id 0));
+  Mem.note_restart store (id 0);
+  (* no-op: never crashed *)
+  Alcotest.(check int) "live host restart is a no-op" 3 (Mem.live_hosts store);
+  (* fail_host_memory is not healed by a crash/restart cycle: with two
+     of four memories omission-faulty, a write reaches no majority of
+     healthy replicas and drops. *)
+  Mem.fail_host_memory store (id 0);
+  Mem.fail_host_memory store (id 1);
+  Mem.note_crash store (id 1);
+  Mem.note_restart store (id 1);
+  Alcotest.(check bool) "memory still failed after restart" true
+    (Mem.host_memory_failed store (id 1));
+  let dropped = Mem.dropped_writes store in
+  Mem.write r ~by:(id 2) 11;
+  Alcotest.(check int) "majority-faulty write drops" (dropped + 1)
+    (Mem.dropped_writes store);
+  Alcotest.(check int) "old value retained" 7 (Mem.peek r)
+
 (* Replication masks a minority of memory failures: under the native
    backend, failing the one owner host silently drops every write; the
    emulated register keeps accepting them until a majority of memories
@@ -312,6 +354,7 @@ let () =
             test_native_differential;
           Alcotest.test_case "emulated accounting" `Quick
             test_emulated_accounting;
+          Alcotest.test_case "restart rejoins quorum" `Quick test_note_restart;
           Alcotest.test_case "emulated unavailable" `Quick
             test_emulated_unavailable;
           Alcotest.test_case "emulated masks memory failure" `Quick

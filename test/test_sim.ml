@@ -9,6 +9,7 @@ module Mem = Mm_mem.Mem
 module Engine = Mm_sim.Engine
 module Proc = Mm_sim.Proc
 module Sched = Mm_sim.Sched
+module Trace = Mm_sim.Trace
 
 type Mm_net.Message.payload += Ping of int | Pong of int
 
@@ -424,6 +425,212 @@ let test_correct_list () =
   Alcotest.(check (list int)) "correct = still-live" [ 1 ]
     (List.map Id.to_int (Engine.correct eng))
 
+(* --- crash-recovery: restarts, recovery closures, backoff --- *)
+
+(* A restart is a host reboot: the recovery fiber sees the register the
+   first incarnation wrote (native registers survive their owner's
+   crash, §3) but an empty mailbox (messages queued before the crash are
+   gone), and the trace records the re-entry. *)
+let test_restart_semantics () =
+  let eng =
+    Engine.create ~seed:7 ~trace_capacity:256 ~domain:(full_domain 2)
+      ~link:Network.Reliable ~n:2 ()
+  in
+  let store = Engine.store eng in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+  let r = Mem.alloc store ~name:"r" ~owner:p0 ~shared_with:[ p1 ] 0 in
+  let first_steps = ref 0 in
+  let recovered_reg = ref (-1) and recovered_msgs = ref (-1) in
+  Engine.spawn eng p0
+    ~recover:(fun () ->
+      recovered_reg := Proc.read r;
+      recovered_msgs := List.length (Proc.receive ());
+      Proc.yield ())
+    (fun () ->
+      Proc.write r 41;
+      let rec loop () =
+        incr first_steps;
+        Proc.yield ();
+        loop ()
+      in
+      loop ());
+  (* Two messages delivered well before the crash sit in p0's mailbox
+     (the first incarnation never receives) and must not survive it. *)
+  Engine.spawn eng p1 (fun () ->
+      Proc.send p0 (Ping 1);
+      Proc.send p0 (Ping 2));
+  Alcotest.(check bool) "has_recovery" true (Engine.has_recovery eng p0);
+  Alcotest.(check bool) "crash-stop peer" false (Engine.has_recovery eng p1);
+  Engine.crash_at eng p0 25;
+  Engine.restart_at eng p0 50;
+  ignore (Engine.run eng ~max_steps:200 ());
+  Alcotest.(check bool) "first incarnation ran" true (!first_steps > 0);
+  Alcotest.(check int) "register survived the crash" 41 !recovered_reg;
+  Alcotest.(check int) "mailbox wiped" 0 !recovered_msgs;
+  Alcotest.(check bool) "recovered fiber ran to completion" true
+    (Engine.status_of eng p0 = Engine.Done);
+  let events =
+    match Engine.trace eng with Some t -> Trace.to_list t | None -> []
+  in
+  Alcotest.(check bool) "trace records the crash" true
+    (List.exists
+       (fun e -> e.Trace.pid = p0 && e.Trace.op = Trace.Crashed)
+       events);
+  Alcotest.(check bool) "trace records the restart" true
+    (List.exists
+       (fun e -> e.Trace.pid = p0 && e.Trace.op = Trace.Restarted)
+       events)
+
+(* A restart due while the process is not crashed (here: it finished
+   before its scheduled crash) is discarded, mirroring crash-on-Done. *)
+let test_restart_discarded_when_done () =
+  let eng =
+    Engine.create ~seed:8 ~trace_capacity:64 ~domain:(full_domain 2)
+      ~link:Network.Reliable ~n:2 ()
+  in
+  let p0 = Id.of_int 0 in
+  let recovered = ref false in
+  Engine.spawn eng p0 ~recover:(fun () -> recovered := true) (fun () -> ());
+  Engine.spawn eng (Id.of_int 1) (fun () ->
+      let rec go () =
+        Proc.yield ();
+        go ()
+      in
+      go ());
+  Engine.crash_at eng p0 50;
+  Engine.restart_at eng p0 60;
+  ignore (Engine.run eng ~max_steps:100 ());
+  Alcotest.(check bool) "still done" true
+    (Engine.status_of eng p0 = Engine.Done);
+  Alcotest.(check bool) "recovery closure never ran" false !recovered
+
+(* crash_at / crash_now / restart_at / restart_now share one validation
+   family: every harness-bug shape raises Invalid_argument. *)
+let test_crash_api_validation () =
+  let cases =
+    [
+      ( "negative crash step",
+        `Rejects,
+        fun e p0 _ ->
+          ignore p0;
+          Engine.crash_at e p0 (-1) );
+      ( "conflicting crash schedule",
+        `Rejects,
+        fun e p0 _ ->
+          Engine.crash_at e p0 5;
+          Engine.crash_at e p0 6 );
+      ( "re-scheduling same crash step",
+        `Accepts,
+        fun e p0 _ ->
+          Engine.crash_at e p0 5;
+          Engine.crash_at e p0 5 );
+      ( "crash_now on crashed process",
+        `Rejects,
+        fun e p0 _ ->
+          Engine.crash_now e p0;
+          ignore (Engine.run e ~max_steps:3 ());
+          Engine.crash_now e p0 );
+      ( "negative restart step",
+        `Rejects,
+        fun e p0 _ ->
+          Engine.crash_at e p0 5;
+          Engine.restart_at e p0 (-1) );
+      ( "restart without recovery closure",
+        `Rejects,
+        fun e _ p1 ->
+          Engine.crash_at e p1 5;
+          Engine.restart_at e p1 10 );
+      ( "restart with no crash to recover from",
+        `Rejects,
+        fun e p0 _ -> Engine.restart_at e p0 10 );
+      ( "restart before its crash lands",
+        `Rejects,
+        fun e p0 _ ->
+          Engine.crash_at e p0 20;
+          Engine.restart_at e p0 10 );
+      ( "conflicting restart schedule",
+        `Rejects,
+        fun e p0 _ ->
+          Engine.crash_at e p0 5;
+          Engine.restart_at e p0 10;
+          Engine.restart_at e p0 12 );
+      ( "re-scheduling same restart step",
+        `Accepts,
+        fun e p0 _ ->
+          Engine.crash_at e p0 5;
+          Engine.restart_at e p0 10;
+          Engine.restart_at e p0 10 );
+      ( "restart after its crash step",
+        `Accepts,
+        fun e p0 _ ->
+          Engine.crash_at e p0 5;
+          Engine.restart_at e p0 5 );
+    ]
+  in
+  List.iter
+    (fun (name, expect, f) ->
+      (* Fresh engine per case so schedules never leak between rows. *)
+      let eng = make ~seed:9 2 in
+      let p0 = Id.of_int 0 and p1 = Id.of_int 1 in
+      let idle () =
+        let rec go () =
+          Proc.yield ();
+          go ()
+        in
+        go ()
+      in
+      Engine.spawn eng p0 ~recover:idle idle;
+      Engine.spawn eng p1 idle;
+      match expect with
+      | `Rejects ->
+        Alcotest.(check bool) name true
+          (try
+             f eng p0 p1;
+             false
+           with Invalid_argument _ -> true)
+      | `Accepts -> (
+        try f eng p0 p1
+        with Invalid_argument m -> Alcotest.failf "%s: rejected: %s" name m))
+    cases
+
+(* Emulated registers during a majority outage: the blocked op retries
+   under capped exponential backoff, so a w-step outage produces O(log w)
+   blocked attempts — not one per scheduler pick — and completes once a
+   restart restores the quorum. *)
+let test_emulated_backoff_olog () =
+  let window = 1_500 in
+  let eng =
+    Engine.create ~seed:11 ~backend:Mem.Backend.Emulated
+      ~domain:(full_domain 3) ~link:Network.Reliable ~n:3 ()
+  in
+  let store = Engine.store eng in
+  let p0 = Id.of_int 0 and p1 = Id.of_int 1 and p2 = Id.of_int 2 in
+  let r = Mem.alloc store ~name:"r" ~owner:p0 ~shared_with:[ p1; p2 ] 5 in
+  let got = ref (-1) in
+  Engine.spawn eng p0 (fun () -> got := Proc.read r);
+  let idle () =
+    let rec go () =
+      Proc.yield ();
+      go ()
+    in
+    go ()
+  in
+  Engine.spawn eng p1 ~recover:idle idle;
+  Engine.spawn eng p2 ~recover:idle idle;
+  (* Both peers down from step 0: one live host of three, no quorum. *)
+  Engine.crash_at eng p1 0;
+  Engine.crash_at eng p2 0;
+  Engine.restart_at eng p1 window;
+  Engine.restart_at eng p2 window;
+  ignore (Engine.run eng ~max_steps:(window + 2_000) ());
+  Alcotest.(check int) "read served once the quorum is back" 5 !got;
+  let blocked = Mem.blocked_ops store in
+  Alcotest.(check bool) "the op did block" true (blocked > 0);
+  (* log2 1500 ~ 11; leave slack for the pre-cap ramp. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "O(log window) blocked attempts (got %d)" blocked)
+    true (blocked <= 16)
+
 let prop_omega_elects_some_correct_leader =
   QCheck.Test.make ~name:"omega: elects a correct leader across seeds"
     ~count:12
@@ -472,5 +679,15 @@ let () =
             test_unspawned_process_is_not_runnable;
           Alcotest.test_case "correct list" `Quick test_correct_list;
           QCheck_alcotest.to_alcotest prop_omega_elects_some_correct_leader;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "restart semantics" `Quick test_restart_semantics;
+          Alcotest.test_case "restart discarded when done" `Quick
+            test_restart_discarded_when_done;
+          Alcotest.test_case "crash API validation" `Quick
+            test_crash_api_validation;
+          Alcotest.test_case "emulated backoff O(log w)" `Quick
+            test_emulated_backoff_olog;
         ] );
     ]

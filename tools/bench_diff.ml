@@ -18,6 +18,11 @@
    no-collapse floor of 0.5x (a 1-core host caps every sweep at one
    domain, so its whole curve is legitimately flat).
 
+   The kv/failover-p99 row is gated the same way: it must carry its
+   warm/failover p99 context and timeout count, and on full-scale
+   recordings the failover-window p99 must actually spike above the
+   warm baseline.
+
    No external JSON dependency: the parser below handles the full JSON
    grammar the bench emits (arrays, objects, strings, numbers, null). *)
 
@@ -241,6 +246,30 @@ let num_field fields key kernel =
   | _ ->
     raise (Bad (Printf.sprintf "kernel %S must carry a numeric %S" kernel key))
 
+(* kv/failover-p99 carries its spike-and-recovery context: the warm and
+   failover-window p99s and the client give-up count must ride along as
+   numbers, or the recorded row can't show the tail spike it exists to
+   document.  On full-scale recordings the spike itself is gated: a
+   failover that doesn't move the tail above the warm baseline means the
+   restart window missed the run entirely. *)
+let validate_failover entries =
+  List.iter
+    (fun (k, _, fields) ->
+      if String.equal k "kv/failover-p99" then begin
+        let warm = num_field fields "p99_warm" k in
+        let fail_p99 = num_field fields "p99_failover" k in
+        ignore (num_field fields "timeouts" k);
+        let budget = num_field fields "budget" k in
+        if budget >= 600.0 && fail_p99 <= warm then
+          raise
+            (Bad
+               (Printf.sprintf
+                  "kernel %S: failover p99 %.1f not above warm p99 %.1f — \
+                   the restart window missed the run"
+                  k fail_p99 warm))
+      end)
+    entries
+
 (* The speedup curve only gates full-scale recordings: the @bench-smoke
    rows run tiny budgets whose wall clocks are noise-dominated. *)
 let scaling_gate_budget = 16.0
@@ -323,6 +352,7 @@ let check path =
       exit 1
     | None -> ());
     validate_scaling entries;
+    validate_failover entries;
     Printf.printf "%s: ok, %d kernel(s)\n" path (List.length entries);
     0
 
