@@ -90,6 +90,68 @@ let hbo_sweep_kernel jobs () =
     (Runner.check_hbo ~master_seed:7 ~budget:24 ~jobs ~max_steps:20_000
        ~graph:(B.complete 4) ())
 
+(* engine/big-n-steps-n{100,1000}: per-step cost at large n.  A fixed
+   8-process ping-pong ring is embedded in an n-process engine whose
+   remaining processes block on receive immediately, so the runnable
+   set stays O(1) while n grows 10x.  With the incremental runnable
+   set and due-heaps the 20k steps measured here are O(active) each;
+   the perf gate is n1000 staying within 2x of n100 per run. *)
+let big_n_steps_kernel n () =
+  let active = 8 in
+  let eng =
+    Engine.create ~seed:11
+      ~domain:(Domain_.uniform_of_graph (B.ring n))
+      ~link:Net.Reliable ~n ()
+  in
+  for pid = 0 to n - 1 do
+    Engine.spawn eng (Id.of_int pid) (fun () ->
+        if pid < active then begin
+          let next = Id.of_int ((pid + 1) mod active) in
+          let rec go () =
+            Proc.send next Bench_ping;
+            ignore (Proc.receive ());
+            Proc.yield ();
+            go ()
+          in
+          go ()
+        end
+        else
+          (* parked: one step to block, then off the runnable set *)
+          ignore (Proc.receive ()))
+  done;
+  ignore (Engine.run eng ~max_steps:20_000 ())
+
+(* net/sparse-create-n1000: construction plus first-contact cost of the
+   sparse topology-indexed network at n=1000 — O(n + links-used) where
+   the dense layout allocates five n^2-sized arrays.  A ring of sends
+   materializes one pooled link record per process so the row prices a
+   working steady state, not an empty table. *)
+let sparse_create_kernel () =
+  let n = 1000 in
+  let rng = Mm_rng.Rng.create 5 in
+  let net =
+    Net.create ~rng ~n ~kind:Net.Reliable ~delay:(Net.Uniform (1, 4)) ()
+  in
+  for s = 0 to n - 1 do
+    Net.send net ~now:0 ~src:(Id.of_int s) ~dst:(Id.of_int ((s + 1) mod n))
+      Bench_ping
+  done;
+  for now = 0 to 4 do
+    Net.tick net ~now
+  done;
+  for d = 0 to n - 1 do
+    ignore (Net.drain net (Id.of_int d))
+  done
+
+(* check/hbo-threshold-sweep: E15's threshold location at quick scale —
+   certificate tables plus bisection probes on three 64-vertex
+   families.  "budget" is the family count, the sweep-row convention's
+   trials-per-run analogue. *)
+let threshold_families = 3
+
+let threshold_sweep_kernel () =
+  ignore (Mm_bench.Experiments.e15_threshold_sweep `Quick)
+
 (* mem/backend-overhead-*: the raw per-op cost of each register backend,
    read and write separately — one shared register over 4 processes,
    [mem_ops] ops per run straight against the store (no engine).  The
@@ -205,6 +267,7 @@ let kernel_budgets =
     (sweep_kernels @ nemesis_kernels @ restart_kernels)
   (* mem/* rows carry their op count so tooling can derive ns/op. *)
   @ List.map (fun (name, _) -> (name, mem_ops)) mem_backend_kernels
+  @ [ ("check/hbo-threshold-sweep", threshold_families) ]
 
 (* ------------------------------------------------------------------ *)
 (* Derived perf rows: measured directly rather than through bechamel,
@@ -620,7 +683,11 @@ let kernels =
         let rng = Mm_rng.Rng.create 7 in
         ignore (E.vertex_expansion_sampled rng (B.ring 12) ~samples:100) );
     ("engine/steps-per-sec", engine_steps_kernel);
+    ("engine/big-n-steps-n100", big_n_steps_kernel 100);
+    ("engine/big-n-steps-n1000", big_n_steps_kernel 1000);
     ("net/tick-saturated", net_tick_kernel);
+    ("net/sparse-create-n1000", sparse_create_kernel);
+    ("check/hbo-threshold-sweep", threshold_sweep_kernel);
     ("check/hbo-sweep-wallclock-j1", hbo_sweep_kernel 1);
     ("check/hbo-sweep-wallclock-j4", hbo_sweep_kernel 4);
     ("check/hbo-sweep-emulated", hbo_sweep_emulated_kernel);

@@ -73,6 +73,13 @@ val e13_replicated_log : scale -> Table.t
     leader electing itself forever. *)
 val e14_memory_failure : scale -> Table.t
 
+(** E15 — the Thm 4.3 threshold at scale: bisect the empirical crash
+    tolerance of HBO on ring/hypercube/Margulis (n up to ~1000 at
+    [`Full]) using unanimous-input probes against BFS-prefix certificate
+    crash sets, and compare with (1 - 1/(2(1+h)))·n evaluated at the
+    certificate expansion of the binding survivor count. *)
+val e15_threshold_sweep : scale -> Table.t
+
 (** A1 — ablation: HBO with register-based vs trusted consensus objects. *)
 val a1_object_impl : scale -> Table.t
 

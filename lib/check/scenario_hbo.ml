@@ -17,6 +17,21 @@ let default_max_crashes graph =
   in
   Expansion.ft_bound ~h ~n
 
+(* Budgeted-convergence envelope.  Near the Thm 4.3 bound HBO still
+   terminates with probability 1 (Thm 4.2), but its expected coin-round
+   count grows exponentially in the representation deficit, so at large
+   n a random sweep drawing up to f* crashes would stall inside any
+   finite step budget without exhibiting a bug.  Default draws above 62
+   vertices therefore stay within 3·√n crashes — the regime where a few
+   coin rounds decide — matching the termination monitor's envelope.
+   Explicit --crashes still probes past it, and the hbo-threshold-sweep
+   experiment locates the true threshold with unanimous-input probes
+   that decide in round 1 whenever a majority is represented. *)
+let budgeted_crash_cap graph fstar =
+  let n = Graph.order graph in
+  if n <= 62 then fstar
+  else min fstar (3 * int_of_float (sqrt (float_of_int n)))
+
 type cfg = {
   graph : Graph.t;
   family : string;
@@ -67,7 +82,7 @@ let cfg_of_params (p : Scenario.params) =
     | Some m -> m
     | None ->
       Scenario.cap_crashes p.Scenario.backend ~n:(Graph.order graph)
-        ~native_default:(default_max_crashes graph)
+        ~native_default:(budgeted_crash_cap graph (default_max_crashes graph))
   in
   let stall =
     if p.Scenario.expect_stall then Some (stall_scenario graph) else None
@@ -79,7 +94,14 @@ let cfg_of_params (p : Scenario.params) =
     backend = p.Scenario.backend;
     max_crashes;
     crash_window = Option.value p.Scenario.crash_window ~default:200;
-    max_steps = Option.value p.Scenario.max_steps ~default:60_000;
+    (* An HBO round is O(n²) engine steps (n processes each awaiting n
+       neighborhood replies), so the old flat 60k default — ample at
+       n <= 70, where 12n² stays below it — would misreport big
+       instances as termination failures.  Scale quadratically past
+       that point. *)
+    max_steps =
+      (let n = Graph.order graph in
+       Option.value p.Scenario.max_steps ~default:(max 60_000 (12 * n * n)));
     trace_tail = p.Scenario.trace_tail;
     (* The Thm 4.4 stall scenario is a fixed permanent partition; a
        healing timeline would contradict it, so nemesis is off there. *)

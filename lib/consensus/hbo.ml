@@ -247,6 +247,13 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
       crashed.(pid) <- true;
       Engine.crash_at eng (Id.of_int pid) step)
     crashes;
+  (* Termination is checked between every engine step, so it must be
+     O(1): count the processes whose decision the run waits for (those
+     never scheduled to crash) and decrement as each decides.  A process
+     decides at most once (guarded in [hbo_process]). *)
+  let undecided =
+    ref (Array.fold_left (fun a c -> if c then a else a + 1) 0 crashed)
+  in
   List.iter
     (fun p ->
       let pi = Id.to_int p in
@@ -254,19 +261,14 @@ let run ?(seed = 1) ?(impl = Registers) ?(max_steps = 2_000_000)
       let on_decide ~round v =
         decisions.(pi) <- Some v;
         decide_step.(pi) <- Some (Engine.now eng);
-        decide_round.(pi) <- Some round
+        decide_round.(pi) <- Some round;
+        if not crashed.(pi) then decr undecided
       in
       Engine.spawn eng p
         (hbo_process ~n ~nbhd ~objects ~on_decide ~input:inputs.(pi)))
     (Id.all n);
   (match prepare with None -> () | Some f -> f eng);
-  let all_decided () =
-    let ok = ref true in
-    for i = 0 to n - 1 do
-      if (not crashed.(i)) && decisions.(i) = None then ok := false
-    done;
-    !ok
-  in
+  let all_decided () = !undecided = 0 in
   let reason = Engine.run eng ~max_steps ~until:all_decided () in
   {
     reason;

@@ -57,9 +57,32 @@ let isolated n = cached_by_order isolated_cache Mm_graph.Builders.edgeless n
 let order t = t.n
 let sets t = List.map Id.Set.elements t.member_sets
 
+(* Sorted-merge subset test over two ascending id lists. *)
+let rec sublist_sorted xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xt, y :: yt ->
+    let c = Id.compare x y in
+    if c = 0 then sublist_sorted xt yt
+    else if c > 0 then sublist_sorted xs yt
+    else false
+
 let can_share t ids =
-  let query = Id.Set.of_list ids in
-  List.exists (fun s -> Id.Set.subset query s) t.member_sets
+  match (t.host, ids) with
+  | Some host, m0 :: _ when Id.to_int m0 < t.n ->
+    (* Uniform domain: members ⊆ S_p forces p ∈ S_{m0}, because closed
+       neighborhoods of an undirected graph are symmetric (p ∈ S_q iff
+       q ∈ S_p).  Only the |S_{m0}| candidate sets need the subset test
+       — O(degree²) per query instead of a scan of all n member sets,
+       which is what keeps register allocation flat as n grows. *)
+    let sorted = List.sort_uniq Id.compare ids in
+    List.exists
+      (fun p -> sublist_sorted sorted host.(Id.to_int p))
+      host.(Id.to_int m0)
+  | _ ->
+    let query = Id.Set.of_list ids in
+    List.exists (fun s -> Id.Set.subset query s) t.member_sets
 
 let set_of t p =
   match t.host with

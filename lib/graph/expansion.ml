@@ -67,10 +67,11 @@ let bfs_order g v =
   done;
   List.rev !order
 
-let vertex_expansion_sampled rng g ~samples =
+(* Small-graph sampling over bitmask subsets.  Kept verbatim (draw order
+   and all) for n <= 62: every historical seeded result flows through
+   here, so the big-n generalization below must not perturb it. *)
+let vertex_expansion_sampled_masks rng g ~samples =
   let n = Graph.order g in
-  if n = 0 || n > 62 then
-    invalid_arg "Expansion.vertex_expansion_sampled: order must be in [1,62]";
   let adj = adjacency_masks g in
   let half = n / 2 in
   let best = ref infinity in
@@ -106,6 +107,128 @@ let vertex_expansion_sampled rng g ~samples =
     consider !mask !count
   done;
   !best
+
+(* The same sweep — BFS prefixes from every start plus uniform random
+   subsets — on bool arrays instead of bitmasks, for graphs too big to
+   pack a subset into one int.  Boundary counts are maintained
+   incrementally as vertices join a set, so a full BFS-prefix sweep from
+   one start is O(n + edges). *)
+let vertex_expansion_sampled_arrays rng g ~samples =
+  let n = Graph.order g in
+  let half = n / 2 in
+  let best = ref infinity in
+  let consider boundary count =
+    if count >= 1 && count <= half then begin
+      let r = float_of_int boundary /. float_of_int count in
+      if r < !best then best := r
+    end
+  in
+  let in_set = Array.make n false in
+  let in_nb = Array.make n false in
+  (* Add [u] to the current set and return the updated boundary count. *)
+  let add u boundary =
+    let b = ref boundary in
+    if in_nb.(u) then decr b;
+    in_set.(u) <- true;
+    List.iter
+      (fun w ->
+        if not in_nb.(w) then begin
+          in_nb.(w) <- true;
+          if not in_set.(w) then incr b
+        end)
+      (Graph.neighbors g u);
+    !b
+  in
+  for v = 0 to n - 1 do
+    Array.fill in_set 0 n false;
+    Array.fill in_nb 0 n false;
+    let boundary = ref 0 and count = ref 0 in
+    List.iter
+      (fun u ->
+        boundary := add u !boundary;
+        incr count;
+        consider !boundary !count)
+      (bfs_order g v)
+  done;
+  for _ = 1 to samples do
+    Array.fill in_set 0 n false;
+    Array.fill in_nb 0 n false;
+    let size = 1 + Mm_rng.Rng.int rng (max half 1) in
+    let boundary = ref 0 and count = ref 0 in
+    while !count < size do
+      let v = Mm_rng.Rng.int rng n in
+      if not in_set.(v) then begin
+        boundary := add v !boundary;
+        incr count
+      end
+    done;
+    consider !boundary !count
+  done;
+  !best
+
+let vertex_expansion_sampled rng g ~samples =
+  let n = Graph.order g in
+  if n = 0 then
+    invalid_arg "Expansion.vertex_expansion_sampled: empty graph";
+  if n <= 62 then vertex_expansion_sampled_masks rng g ~samples
+  else vertex_expansion_sampled_arrays rng g ~samples
+
+(* For every prefix size s, the BFS start whose s-prefix of the visit
+   order has the smallest represented count |S ∪ δS| — the certificate
+   family the threshold sweep crashes against.  Measuring at the prefix
+   scale where Thm 4.3's majority condition actually binds (|S| near
+   n/2) keeps the predicted and empirical thresholds on the same
+   footing across graph families. *)
+let prefix_certificates g =
+  let n = Graph.order g in
+  if n = 0 then invalid_arg "Expansion.prefix_certificates: empty graph";
+  let out = Array.make n (-1, max_int) in
+  let in_rep = Array.make n false in
+  for v = 0 to n - 1 do
+    Array.fill in_rep 0 n false;
+    let rep = ref 0 and count = ref 0 in
+    List.iter
+      (fun u ->
+        if not in_rep.(u) then begin
+          in_rep.(u) <- true;
+          incr rep
+        end;
+        List.iter
+          (fun w ->
+            if not in_rep.(w) then begin
+              in_rep.(w) <- true;
+              incr rep
+            end)
+          (Graph.neighbors g u);
+        incr count;
+        let _, best = out.(!count - 1) in
+        if !rep < best then out.(!count - 1) <- (v, !rep))
+      (bfs_order g v)
+  done;
+  out
+
+let prefix_crash_set g ~start ~size =
+  let n = Graph.order g in
+  if start < 0 || start >= n then
+    invalid_arg "Expansion.prefix_crash_set: bad start";
+  if size < 0 || size > n then
+    invalid_arg "Expansion.prefix_crash_set: bad size";
+  let survive = Array.make n false in
+  let k = ref 0 in
+  List.iter
+    (fun u ->
+      if !k < size then begin
+        survive.(u) <- true;
+        incr k
+      end)
+    (bfs_order g start);
+  if !k < size then
+    invalid_arg "Expansion.prefix_crash_set: size exceeds start's component";
+  let crashed = ref [] in
+  for v = n - 1 downto 0 do
+    if not survive.(v) then crashed := v :: !crashed
+  done;
+  !crashed
 
 let second_eigenvalue g =
   match Graph.is_regular g with

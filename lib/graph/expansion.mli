@@ -14,8 +14,24 @@ val vertex_expansion_exact : Graph.t -> float
 
 (** [vertex_expansion_sampled rng g ~samples] is an upper bound on h(G):
     the minimum ratio over [samples] random subsets plus all BFS balls
-    (BFS balls are the natural low-expansion candidates). *)
+    (BFS balls are the natural low-expansion candidates).  Any order >= 1:
+    graphs up to 62 vertices use the historical bitmask path (identical
+    draws and results), larger ones an equivalent array-based sweep. *)
 val vertex_expansion_sampled : Mm_rng.Rng.t -> Graph.t -> samples:int -> float
+
+(** [prefix_certificates g] maps each prefix size [s] (entry [s - 1]) to
+    [(start, rep)]: the BFS start whose [s]-prefix of the visit order
+    minimizes the represented count |S ∪ δS|, and that count.  These
+    prefixes are the low-expansion certificate sets the threshold sweep
+    crashes against; entries are [(-1, max_int)] for sizes no component
+    reaches.  O(n·(n + edges)). *)
+val prefix_certificates : Graph.t -> (int * int) array
+
+(** [prefix_crash_set g ~start ~size] is the complement (as a sorted id
+    list) of the first [size] vertices of a BFS from [start] — i.e. crash
+    everyone outside that certificate prefix.  Raises [Invalid_argument]
+    if the prefix does not reach [size] vertices. *)
+val prefix_crash_set : Graph.t -> start:int -> size:int -> int list
 
 (** [spectral_lower_bound g] is a lower bound on h(G) for regular
     connected graphs, via the Cheeger inequality: edge expansion

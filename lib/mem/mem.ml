@@ -86,7 +86,16 @@ type store = {
 type 'a reg = {
   reg_name : string;
   reg_owner : Id.t;
-  allowed : bool array;
+  (* Sharing-set membership as the sorted member ids themselves — the
+     register's graph neighborhood, O(degree) words.  The old n-sized
+     [allowed] bool array made a G_SM register family cost O(n·degree)
+     just to exist, which is what capped instances at toy sizes. *)
+  allowed : int array;
+  (* One-slot access memo: the id that last passed [check].  Membership
+     is fixed at alloc, so a hit is sound forever; repeated ops by the
+     same process — the overwhelmingly common access pattern — pay one
+     compare instead of a scan. *)
+  mutable last_ok : int;
   member_list : Id.t list;
   home : store;
   tally : tallies array;
@@ -198,24 +207,46 @@ let alloc s ~name ~owner ~shared_with init =
       (Printf.sprintf
          "Mem.alloc %S: sharing set not permitted by the shared-memory domain"
          name);
-  let n = Domain_.order s.dom in
-  let allowed = Array.make n false in
-  List.iter (fun p -> allowed.(Id.to_int p) <- true) members;
+  let allowed = Array.of_list (List.map Id.to_int members) in
   s.regs <- s.regs + 1;
   {
     reg_name = name;
     reg_owner = owner;
     allowed;
+    last_ok = -1;
     member_list = members;
     home = s;
     tally = s.per_proc;
     value = init;
   }
 
+(* Membership in the sorted member ids: a short linear scan (registers
+   are nearly always small neighborhoods, and the scan is branch-
+   predictable and allocation-free) narrowed by binary search above 8
+   members.  Tail calls only — no ref cells — so the register hot path
+   stays unboxed.  No bound on [by] needed: anything absent is a
+   violation. *)
 let check r by =
   let i = Id.to_int by in
-  if i >= Array.length r.allowed || not r.allowed.(i) then
-    raise (Access_violation { reg = r.reg_name; by })
+  if i <> r.last_ok then begin
+    let a = r.allowed in
+    let rec scan j hi =
+      j < hi
+      &&
+      let v = Array.unsafe_get a j in
+      v = i || (v < i && scan (j + 1) hi)
+    in
+    let rec mem lo hi =
+      if hi - lo <= 8 then scan lo hi
+      else
+        let mid = (lo + hi) lsr 1 in
+        if Array.unsafe_get a mid < i then mem (mid + 1) hi
+        else mem lo (mid + 1)
+    in
+    if not (mem 0 (Array.length a)) then
+      raise (Access_violation { reg = r.reg_name; by });
+    r.last_ok <- i
+  end
 
 (* One ABD round for an emulated register op.  Liveness needs a majority
    of replica hosts up (ABD's f < n/2): without one the round can never

@@ -1,5 +1,6 @@
 module Id = Mm_core.Id
 module Rng = Mm_rng.Rng
+module Minheap = Mm_core.Minheap
 
 type kind =
   | Reliable
@@ -26,33 +27,69 @@ type event =
   | Drop of { src : Id.t; dst : Id.t }
   | Deliver of { src : Id.t; dst : Id.t }
 
+let no_wake = max_int
+
+(* All mutable state of one directed link [src * n + dst]: its in-flight
+   queue (ascending in (due, uid)), the key of its earliest live heap
+   entry (or [no_wake]), and the degradation knobs.  Everything a link
+   needs lives in this one record so the sparse index can materialize a
+   link on first use and recycle it once it is idle again. *)
+type link = {
+  mutable l_idx : int;
+  mutable l_queue : in_flight list;
+  mutable l_wake : int;
+  mutable l_drop : float;
+  mutable l_delay : int;
+}
+
+(* How link records are found by index:
+
+   - [Dense]: one pre-allocated record per directed pair.  O(n²) words at
+     create, O(1) zero-allocation lookup — right for the small-n sweep
+     hot path.
+   - [Sparse]: links materialize on first use and are recycled (returned
+     to [pool]) once idle, so storage is O(links in use), not O(n²) — at
+     n=1000 a dense network is ~5M words before a single message moves.
+     Thm 5.1's eventual silence means steady-state "in use" is small.
+
+   A recycled link's stale heap entries are skipped on pop exactly like a
+   dense link's superseded wake-ups (missing from the table reads as
+   [no_wake] + empty queue, which is precisely the recycled state), so
+   delivery order is identical between the two indexings. *)
+type index =
+  | Dense of link array
+  | Sparse of {
+      tbl : (int, link) Hashtbl.t;
+      mutable pool : link list;
+    }
+
 (* Delivery is driven by a global min-heap of (due, link) wake-ups, so a
    tick costs O(messages actually due) instead of O(active links +
    in-flight).  Each entry is packed into one int, [due * n² + link], which
    orders entries by due then by link index — a fixed, deterministic
    tie-break for simultaneous deliveries on different links.  Per link,
-   [wake_due] holds the key of its earliest live heap entry (or [no_wake]);
+   [l_wake] holds the key of its earliest live heap entry (or [no_wake]);
    entries whose due no longer matches are stale and skipped on pop, which
    keeps the heap lazily deduplicated without a decrease-key operation. *)
 type t = {
   n : int;
+  slots : int;  (* n², the packed-key stride *)
+  (* Largest due a heap key can carry before [due * n² + idx] would wrap
+     past [max_int] and corrupt delivery order; [arm] rejects anything
+     beyond it loudly. *)
+  max_safe_due : int;
   mutable net_kind : kind;
   mutable net_delay : delay;
   mutable rng : Rng.t;
-  (* One queue per directed link, indexed src * n + dst, kept ascending in
-     (due, uid) at insert time so delivery pops a sorted prefix. *)
-  queues : in_flight list ref array;
-  wake_due : int array;
-  mutable heap : int array;
-  mutable heap_len : int;
+  index : index;
+  heap : Minheap.t;
   mailboxes : (Id.t * Message.payload) Queue.t array;
-  (* Structured adversary state, indexed like [queues].  [held] links keep
-     their messages queued (No-loss: they deliver after heal); degraded
-     links add [extra_delay] to every accepted message and drop each send
-     with probability [extra_drop] on top of the link kind. *)
-  held : bool array;
-  extra_drop : float array;
-  extra_delay : int array;
+  (* Partition epochs: each [partition] call contributes one group-of
+     array; a link is held iff some epoch separates its endpoints.  This
+     keeps partitions O(n) to impose instead of an O(n²) held-flag
+     sweep, and [heal] is dropping the list.  Cumulative across calls,
+     like the flag version was. *)
+  mutable parts : int array list;
   mutable block_fn : (now:int -> src:Id.t -> dst:Id.t -> bool) option;
   mutable observer : (event -> unit) option;
   mutable sent : int;
@@ -61,8 +98,6 @@ type t = {
   mutable in_flight_count : int;
   mutable next_uid : int;
 }
-
-let no_wake = max_int
 
 let validate_delay = function
   | Immediate -> ()
@@ -76,23 +111,46 @@ let validate_kind = function
     if p < 0.0 || p >= 1.0 then
       invalid_arg "Network.create: drop probability must be in [0, 1)"
 
-let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
+let fresh_link idx =
+  { l_idx = idx; l_queue = []; l_wake = no_wake; l_drop = 0.0; l_delay = 0 }
+
+(* Dense indexing is the small-n default (sweeps replay the same few
+   links millions of times; array indexing beats hashing).  Above the
+   cutoff the O(n²) create cost starts to dominate whole scenarios, so
+   big instances go sparse.  Tests force a mode via [set_default_index]
+   to compare the two head-to-head on the same scenario. *)
+let dense_cutoff = 64
+
+let default_index : [ `Dense | `Sparse ] option Atomic.t = Atomic.make None
+let set_default_index v = Atomic.set default_index v
+
+let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) ?index () =
   if n < 1 then invalid_arg "Network.create: need n >= 1";
   validate_kind kind;
   validate_delay delay;
+  let mode =
+    match index with
+    | Some m -> m
+    | None -> (
+      match Atomic.get default_index with
+      | Some m -> m
+      | None -> if n <= dense_cutoff then `Dense else `Sparse)
+  in
+  let slots = n * n in
   {
     n;
+    slots;
+    max_safe_due = (max_int - (slots - 1)) / slots;
     net_kind = kind;
     net_delay = delay;
     rng;
-    queues = Array.init (n * n) (fun _ -> ref []);
-    wake_due = Array.make (n * n) no_wake;
-    heap = Array.make 64 0;
-    heap_len = 0;
+    index =
+      (match mode with
+      | `Dense -> Dense (Array.init slots fresh_link)
+      | `Sparse -> Sparse { tbl = Hashtbl.create 256; pool = [] });
+    heap = Minheap.create ();
     mailboxes = Array.init n (fun _ -> Queue.create ());
-    held = Array.make (n * n) false;
-    extra_drop = Array.make (n * n) 0.0;
-    extra_delay = Array.make (n * n) 0;
+    parts = [];
     block_fn = None;
     observer = None;
     sent = 0;
@@ -103,23 +161,31 @@ let create ~rng ~n ~kind ?(delay = Uniform (1, 4)) () =
   }
 
 (* Return the network to the state [create ~rng ~n ~kind ?delay ()] would
-   produce, reusing every array: queues, wake-ups, mailboxes and
-   adversary state are emptied, stats and uids rewound.  The heap array
-   keeps its grown capacity (its live length is zeroed), which is the
-   point of arena reuse. *)
+   produce, reusing every structure: queues, wake-ups, mailboxes and
+   adversary state are emptied, stats and uids rewound.  The heap keeps
+   its grown capacity (its live length is zeroed), which is the point of
+   arena reuse. *)
 let reset t ~rng ~kind ?(delay = Uniform (1, 4)) () =
   validate_kind kind;
   validate_delay delay;
   t.net_kind <- kind;
   t.net_delay <- delay;
   t.rng <- rng;
-  Array.iter (fun q -> q := []) t.queues;
-  Array.fill t.wake_due 0 (Array.length t.wake_due) no_wake;
-  t.heap_len <- 0;
+  (match t.index with
+  | Dense links ->
+    Array.iter
+      (fun l ->
+        l.l_queue <- [];
+        l.l_wake <- no_wake;
+        l.l_drop <- 0.0;
+        l.l_delay <- 0)
+      links
+  | Sparse s ->
+    Hashtbl.reset s.tbl;
+    s.pool <- []);
+  Minheap.clear t.heap;
   Array.iter Queue.clear t.mailboxes;
-  Array.fill t.held 0 (Array.length t.held) false;
-  Array.fill t.extra_drop 0 (Array.length t.extra_drop) 0.0;
-  Array.fill t.extra_delay 0 (Array.length t.extra_delay) 0;
+  t.parts <- [];
   t.block_fn <- None;
   t.observer <- None;
   t.sent <- 0;
@@ -130,67 +196,71 @@ let reset t ~rng ~kind ?(delay = Uniform (1, 4)) () =
 
 let order t = t.n
 let kind t = t.net_kind
+let indexing t = match t.index with Dense _ -> `Dense | Sparse _ -> `Sparse
 
 let notify t ev =
   match t.observer with
   | None -> ()
   | Some f -> f ev
 
-(* --- packed-int binary min-heap of wake-ups --- *)
+(* --- link index --- *)
 
-let heap_push t key =
-  let len = t.heap_len in
-  if len = Array.length t.heap then begin
-    let bigger = Array.make (2 * len) 0 in
-    Array.blit t.heap 0 bigger 0 len;
-    t.heap <- bigger
-  end;
-  t.heap.(len) <- key;
-  t.heap_len <- len + 1;
-  let h = t.heap in
-  let i = ref len in
-  while
-    !i > 0
-    &&
-    let parent = (!i - 1) / 2 in
-    h.(parent) > h.(!i)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = h.(parent) in
-    h.(parent) <- h.(!i);
-    h.(!i) <- tmp;
-    i := parent
-  done
+(* Sentinel for "no record": reads as an idle link (empty queue, wake
+   [no_wake], no degradation) and is never mutated — callers that might
+   write first materialize a real record with [get_link].  Returning it
+   instead of an option keeps the per-send / per-pop lookups
+   allocation-free on the hot path. *)
+let null_link =
+  { l_idx = -1; l_queue = []; l_wake = no_wake; l_drop = 0.0; l_delay = 0 }
 
-let heap_pop t =
-  let h = t.heap in
-  let top = h.(0) in
-  t.heap_len <- t.heap_len - 1;
-  h.(0) <- h.(t.heap_len);
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < t.heap_len && h.(l) < h.(!smallest) then smallest := l;
-    if r < t.heap_len && h.(r) < h.(!smallest) then smallest := r;
-    if !smallest = !i then continue := false
-    else begin
-      let tmp = h.(!smallest) in
-      h.(!smallest) <- h.(!i);
-      h.(!i) <- tmp;
-      i := !smallest
+let peek_link t idx =
+  match t.index with
+  | Dense links -> Array.unsafe_get links idx
+  | Sparse s -> ( try Hashtbl.find s.tbl idx with Not_found -> null_link)
+
+(* Look up link [idx], materializing it in sparse mode. *)
+let get_link t idx =
+  match t.index with
+  | Dense links -> links.(idx)
+  | Sparse s -> (
+    try Hashtbl.find s.tbl idx
+    with Not_found ->
+      let l =
+        match s.pool with
+        | l :: rest ->
+          s.pool <- rest;
+          l.l_idx <- idx;
+          l
+        | [] -> fresh_link idx
+      in
+      Hashtbl.add s.tbl idx l;
+      l)
+
+(* An idle link (nothing queued, no wake-up armed, no degradation) holds
+   no information: drop it from the sparse table so live storage tracks
+   links in use.  Stale heap entries naming it are skipped on pop. *)
+let maybe_recycle t l =
+  match t.index with
+  | Dense _ -> ()
+  | Sparse s ->
+    if l.l_queue == [] && l.l_wake = no_wake && l.l_drop = 0.0 && l.l_delay = 0
+    then begin
+      Hashtbl.remove s.tbl l.l_idx;
+      s.pool <- l :: s.pool
     end
-  done;
-  top
 
-(* Arm the wake-up for link [idx] at [due] unless an earlier one is
+(* Arm the wake-up for link [l] at [due] unless an earlier one is
    already pending. *)
-let arm t ~idx ~due =
-  let slots = t.n * t.n in
-  if due < t.wake_due.(idx) then begin
-    heap_push t ((due * slots) + idx);
-    t.wake_due.(idx) <- due
+let arm t l ~due =
+  if due > t.max_safe_due then
+    invalid_arg
+      (Printf.sprintf
+         "Network: step %d overflows the packed heap key (due * n^2 + link, \
+          max safe step %d at n = %d)"
+         due t.max_safe_due t.n);
+  if due < l.l_wake then begin
+    Minheap.push t.heap ((due * t.slots) + l.l_idx);
+    l.l_wake <- due
   end
 
 let draw_delay t =
@@ -224,30 +294,32 @@ let send t ~now ~src ~dst payload =
   end
   else begin
     let idx = (si * t.n) + di in
+    (* Peek only: a dropped send must not materialize a sparse link. *)
+    let existing = peek_link t idx in
+    let extra_drop = existing.l_drop in
     let drop =
       (match t.net_kind with
       | Reliable -> false
       | Fair_lossy p -> Rng.float t.rng < p)
-      || (t.extra_drop.(idx) > 0.0 && Rng.float t.rng < t.extra_drop.(idx))
+      || (extra_drop > 0.0 && Rng.float t.rng < extra_drop)
     in
     if drop then begin
       t.dropped <- t.dropped + 1;
       notify t (Drop { src; dst })
     end
     else begin
+      let l = if existing != null_link then existing else get_link t idx in
       let msg = { Message.src; dst; payload; sent_at = now; uid } in
-      let due = now + draw_delay t + t.extra_delay.(idx) in
-      let q = t.queues.(idx) in
-      q := insert_by_due { msg; due } !q;
+      let due = now + draw_delay t + l.l_delay in
+      l.l_queue <- insert_by_due { msg; due } l.l_queue;
       t.in_flight_count <- t.in_flight_count + 1;
-      arm t ~idx ~due
+      arm t l ~due
     end
   end
 
-(* Deliver the due prefix of link [idx]'s queue into the destination
+(* Deliver the due prefix of link [l]'s queue into the destination
    mailbox, in (due, uid) order. *)
-let deliver_due t ~now ~idx ~di =
-  let q = t.queues.(idx) in
+let deliver_due t ~now ~l ~di =
   let rec go = function
     | e :: tl when e.due <= now ->
       Queue.add (e.msg.Message.src, e.msg.Message.payload) t.mailboxes.(di);
@@ -257,24 +329,37 @@ let deliver_due t ~now ~idx ~di =
       go tl
     | rest -> rest
   in
-  q := go !q;
+  l.l_queue <- go l.l_queue;
   (* Re-arm for the link's next pending message, if any. *)
-  match !q with
-  | [] -> ()
-  | e :: _ -> arm t ~idx ~due:e.due
+  match l.l_queue with
+  | [] -> maybe_recycle t l
+  | e :: _ -> arm t l ~due:e.due
+
+(* A link is held iff some partition epoch separates its endpoints. *)
+let held t si di =
+  List.exists
+    (fun group_of ->
+      group_of.(si) >= 0 && group_of.(di) >= 0
+      && group_of.(si) <> group_of.(di))
+    t.parts
 
 let tick t ~now =
-  let slots = t.n * t.n in
-  while t.heap_len > 0 && t.heap.(0) / slots <= now do
-    let key = heap_pop t in
+  let slots = t.slots in
+  while
+    (not (Minheap.is_empty t.heap)) && Minheap.min_key t.heap / slots <= now
+  do
+    let key = Minheap.pop t.heap in
     let due = key / slots and idx = key mod slots in
     (* Live entry?  Stale duplicates (superseded by an earlier wake-up
-       that already serviced the link) are skipped. *)
-    if t.wake_due.(idx) = due then begin
-      t.wake_due.(idx) <- no_wake;
+       that already serviced the link, or naming a recycled link, whose
+       sentinel wake [no_wake] can never equal a packable due) are
+       skipped. *)
+    let l = peek_link t idx in
+    if l.l_wake = due then begin
+      l.l_wake <- no_wake;
       let si = idx / t.n and di = idx mod t.n in
       let blocked =
-        t.held.(idx)
+        held t si di
         ||
         match t.block_fn with
         | None -> false
@@ -282,8 +367,8 @@ let tick t ~now =
       in
       if blocked then
         (* Held messages stay queued (No-loss); poll again next tick. *)
-        arm t ~idx ~due:(now + 1)
-      else deliver_due t ~now ~idx ~di
+        arm t l ~due:(now + 1)
+      else deliver_due t ~now ~l ~di
     end
   done
 
@@ -317,19 +402,9 @@ let partition t groups =
           group_of.(i) <- g)
         members)
     groups;
-  for si = 0 to t.n - 1 do
-    for di = 0 to t.n - 1 do
-      if
-        si <> di
-        && group_of.(si) >= 0
-        && group_of.(di) >= 0
-        && group_of.(si) <> group_of.(di)
-      then t.held.((si * t.n) + di) <- true
-    done
-  done
+  t.parts <- group_of :: t.parts
 
-let heal t =
-  Array.fill t.held 0 (Array.length t.held) false
+let heal t = t.parts <- []
 
 let degrade t ~src ~dst ?(drop = 0.0) ?(extra_delay = 0) () =
   let si = Id.to_int src and di = Id.to_int dst in
@@ -338,13 +413,29 @@ let degrade t ~src ~dst ?(drop = 0.0) ?(extra_delay = 0) () =
   if drop < 0.0 || drop >= 1.0 then
     invalid_arg "Network.degrade: drop probability must be in [0, 1)";
   if extra_delay < 0 then invalid_arg "Network.degrade: negative extra delay";
-  let idx = (si * t.n) + di in
-  t.extra_drop.(idx) <- drop;
-  t.extra_delay.(idx) <- extra_delay
+  let l = get_link t ((si * t.n) + di) in
+  l.l_drop <- drop;
+  l.l_delay <- extra_delay
 
 let restore t =
-  Array.fill t.extra_drop 0 (Array.length t.extra_drop) 0.0;
-  Array.fill t.extra_delay 0 (Array.length t.extra_delay) 0
+  match t.index with
+  | Dense links ->
+    Array.iter
+      (fun l ->
+        l.l_drop <- 0.0;
+        l.l_delay <- 0)
+      links
+  | Sparse s ->
+    (* Clearing a degradation can leave a link idle; recycle those, but
+       collect first — the table must not shrink mid-iteration. *)
+    let idle = ref [] in
+    Hashtbl.iter
+      (fun _ l ->
+        l.l_drop <- 0.0;
+        l.l_delay <- 0;
+        if l.l_queue == [] && l.l_wake = no_wake then idle := l :: !idle)
+      s.tbl;
+    List.iter (fun l -> maybe_recycle t l) !idle
 
 let set_observer t f = t.observer <- Some f
 

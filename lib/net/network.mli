@@ -35,8 +35,37 @@ type stats = {
 type t
 
 (** [create ~rng ~n ~kind ()] builds the network for [n] processes.
-    [delay] defaults to [Uniform (1, 4)]. *)
-val create : rng:Mm_rng.Rng.t -> n:int -> kind:kind -> ?delay:delay -> unit -> t
+    [delay] defaults to [Uniform (1, 4)].
+
+    [index] selects how per-link state is stored: [`Dense] pre-allocates
+    every directed pair (O(n²) at create, fastest lookup), [`Sparse]
+    materializes a link on first use and recycles it once idle, so live
+    storage is O(links in use) and creation is O(n).  The two indexings
+    are behaviorally identical — same delivery order, same RNG draws —
+    differing only in cost.  Defaults to [`Dense] for [n <= 64] and
+    [`Sparse] above, unless {!set_default_index} overrides it.
+
+    Delivery wake-ups are packed into int heap keys [due * n² + link];
+    [create]/[reset] compute the largest safe due step and any send or
+    re-arm whose delivery step would overflow the packing raises a
+    descriptive [Invalid_argument] instead of silently corrupting
+    delivery order. *)
+val create :
+  rng:Mm_rng.Rng.t ->
+  n:int ->
+  kind:kind ->
+  ?delay:delay ->
+  ?index:[ `Dense | `Sparse ] ->
+  unit ->
+  t
+
+(** Force every subsequent [create] without an explicit [index] into the
+    given mode ([None] restores the size-based default).  For tests that
+    run the same scenario under both indexings. *)
+val set_default_index : [ `Dense | `Sparse ] option -> unit
+
+(** The indexing mode this network was created with. *)
+val indexing : t -> [ `Dense | `Sparse ]
 
 (** [reset t ~rng ~kind ()] returns the network to the state
     [create ~rng ~n ~kind ?delay ()] would produce, reusing every

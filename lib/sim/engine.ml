@@ -1,5 +1,6 @@
 module Id = Mm_core.Id
 module Rng = Mm_rng.Rng
+module Minheap = Mm_core.Minheap
 module Network = Mm_net.Network
 module Mem = Mm_mem.Mem
 
@@ -58,6 +59,25 @@ type proc = {
    retries logarithmic in the outage length instead of linear. *)
 let max_blocked_backoff = 1024
 
+(* The runnable set is maintained incrementally — processes enter on
+   spawn/thaw/restart/retry-expiry and leave on block/freeze/crash/done —
+   so a step costs O(active), not O(n), and a large quiescent population
+   (Thm 5.1's steady state) costs literally nothing.  Invariants:
+
+   - [view.runnable]'s valid prefix holds, ascending, exactly the pids
+     with [p_status = Ready && not frozen && retry_at <= step]; the
+     [view.mask] bitmap mirrors that prefix (Sched.view_mem reads it).
+   - [ready_n] counts Ready processes ([Ready] implies [has_pending], so
+     [ready_n - view.count] is the stalled-but-alive population: frozen
+     or backing off).
+   - [crash_heap]/[restart_heap]/[retry_heap] hold packed
+     [step * n + pid] keys for scheduled faults and backoff expiries;
+     the option/retry arrays stay the truth and stale heap entries are
+     skipped on pop.  Due steps are clamped to the current step at push
+     time so simultaneously-due events pop in ascending pid order — the
+     order the old O(n) scans applied them in (replay contract).
+   - Quiescent iff [view.count = 0 && ready_n = 0 && restarts_pending = 0]:
+     an O(1) test replacing the old whole-array [frozen_pending] scan. *)
 type t = {
   n_procs : int;
   net : Network.t;
@@ -81,6 +101,13 @@ type t = {
   mutable step : int;
   mutable coins : int;
   mutable sched_log : int list option;  (* reversed; None = not recording *)
+  crash_heap : Minheap.t;
+  restart_heap : Minheap.t;
+  retry_heap : Minheap.t;
+  mutable ready_n : int;
+  mutable done_n : int;
+  mutable crashed_n : int;
+  mutable restarts_pending : int;  (* Somes in [restart_step] *)
   (* Charges emulated-register quorum rounds to [net]'s stats.  Built
      once in [create]; [reseed] re-installs it because [Mem.reset]
      clears the store's hook (reset IS create). *)
@@ -91,6 +118,41 @@ let has_pending p =
   match p.pending with
   | No_pending -> false
   | Start _ | Pend _ -> true
+
+(* Lower bound of [x] in the ascending valid prefix [a[0, count)]. *)
+let lower_bound a count x =
+  let lo = ref 0 and hi = ref count in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Insert/remove pid [i] in the runnable prefix, keeping it ascending and
+   the mask in sync.  Both are no-ops when already in the desired state,
+   so transition call sites don't have to pre-check membership. *)
+let rinsert t i =
+  let v = t.view in
+  if not (Sched.view_mem v i) then begin
+    let a = v.Sched.runnable in
+    let count = v.Sched.count in
+    let pos = lower_bound a count i in
+    Array.blit a pos a (pos + 1) (count - pos);
+    a.(pos) <- i;
+    v.Sched.count <- count + 1;
+    Bytes.set v.Sched.mask i '\001'
+  end
+
+let rremove t i =
+  let v = t.view in
+  if Sched.view_mem v i then begin
+    let a = v.Sched.runnable in
+    let count = v.Sched.count in
+    let pos = lower_bound a count i in
+    Array.blit a (pos + 1) a pos (count - pos - 1);
+    v.Sched.count <- count - 1;
+    Bytes.set v.Sched.mask i '\000'
+  end
 
 let record t pid op =
   match t.tr with
@@ -145,6 +207,14 @@ let reseed t ~seed ~delay ~sched ~backend ~domain ~link ~trace_capacity =
       (if trace_capacity > 0 then Some (Trace.create trace_capacity) else None));
   t.view.Sched.now <- 0;
   t.view.Sched.count <- 0;
+  Bytes.fill t.view.Sched.mask 0 t.n_procs '\000';
+  Minheap.clear t.crash_heap;
+  Minheap.clear t.restart_heap;
+  Minheap.clear t.retry_heap;
+  t.ready_n <- 0;
+  t.done_n <- 0;
+  t.crashed_n <- 0;
+  t.restarts_pending <- 0;
   t.step <- 0;
   t.coins <- 0;
   t.sched_log <- None;
@@ -191,11 +261,19 @@ let create ?(seed = 0xC0FFEE) ?delay ?sched ?(trace_capacity = 0)
           Sched.now = 0;
           count = 0;
           runnable = Array.make n 0;
+          mask = Bytes.make n '\000';
           steps = (fun i -> procs.(i).steps);
         };
       step = 0;
       coins = 0;
       sched_log = None;
+      crash_heap = Minheap.create ();
+      restart_heap = Minheap.create ();
+      retry_heap = Minheap.create ();
+      ready_n = 0;
+      done_n = 0;
+      crashed_n = 0;
+      restarts_pending = 0;
       transport = (fun ~sent ~delivered -> Network.account net ~sent ~delivered);
     }
   in
@@ -226,13 +304,23 @@ let schedule t =
 
 let status_of t p = t.procs.(Id.to_int p).p_status
 
-let correct t =
-  List.filter
-    (fun p ->
-      match status_of t p with
-      | Crashed | Done -> false
-      | Ready | Unspawned -> true)
-    (Id.all t.n_procs)
+(* Crashed and Done processes never come back from either state except
+   via restart, which the counters track — so "correct so far" is a pure
+   counter read, O(1), and the fold walks the status array once without
+   allocating.  [correct] stays for callers that want the list. *)
+let correct_count t = t.n_procs - t.done_n - t.crashed_n
+
+let fold_correct t f init =
+  let acc = ref init in
+  for i = 0 to t.n_procs - 1 do
+    let p = t.procs.(i) in
+    match p.p_status with
+    | Crashed | Done -> ()
+    | Ready | Unspawned -> acc := f !acc p.pid
+  done;
+  !acc
+
+let correct t = List.rev (fold_correct t (fun acc p -> p :: acc) [])
 
 let is_proc_effect : type b. b Effect.t -> bool = function
   | Proc.Yield -> true
@@ -369,8 +457,10 @@ let spawn t ?recover pid main =
   | Unspawned -> ()
   | Ready | Done | Crashed -> invalid_arg "Engine.spawn: process already spawned");
   p.p_status <- Ready;
+  t.ready_n <- t.ready_n + 1;
   p.recover <- recover;
-  install_fiber t p main
+  install_fiber t p main;
+  if not t.frozen.(Id.to_int pid) then rinsert t (Id.to_int pid)
 
 (* The crash/restart schedulers share one validation family: negative
    steps, scheduling against an already-crashed process, and a second
@@ -385,11 +475,21 @@ let check_schedule ~api ~existing step =
          (if api = "restart_at" then "restart" else "crash"))
   | _ -> ()
 
+(* Heap keys pack [due * n + pid]; due is clamped to the present so that
+   everything already due shares one due value and therefore pops in
+   ascending pid order (see the invariant block above).  One push per
+   None→Some transition keeps heap entries 1:1 with live schedules. *)
+let push_due heap ~n ~now ~step pid =
+  let due = if step < now then now else step in
+  Minheap.push heap ((due * n) + pid)
+
 let crash_at t pid step =
   let i = Id.to_int pid in
   check_schedule ~api:"crash_at" ~existing:t.crash_step.(i) step;
   if t.procs.(i).p_status = Crashed then
     invalid_arg "Engine.crash_at: process already crashed";
+  if t.crash_step.(i) = None then
+    push_due t.crash_heap ~n:t.n_procs ~now:t.step ~step i;
   t.crash_step.(i) <- Some step
 
 let crash_now t pid = crash_at t pid t.step
@@ -408,6 +508,10 @@ let restart_at t pid step =
   | Crashed, _ -> ()
   | _, Some s when s <= step -> ()
   | _, _ -> invalid_arg "Engine.restart_at: no crash to recover from");
+  if t.restart_step.(i) = None then begin
+    push_due t.restart_heap ~n:t.n_procs ~now:t.step ~step i;
+    t.restarts_pending <- t.restarts_pending + 1
+  end;
   t.restart_step.(i) <- Some step
 
 let restart_now t pid = restart_at t pid t.step
@@ -417,9 +521,17 @@ let freeze t pid =
   (match t.procs.(i).p_status with
   | Crashed -> invalid_arg "Engine.freeze: process already crashed"
   | Unspawned | Ready | Done -> ());
-  t.frozen.(i) <- true
+  t.frozen.(i) <- true;
+  rremove t i
 
-let thaw t pid = t.frozen.(Id.to_int pid) <- false
+let thaw t pid =
+  let i = Id.to_int pid in
+  if t.frozen.(i) then begin
+    t.frozen.(i) <- false;
+    let p = t.procs.(i) in
+    if p.p_status = Ready && p.retry_at <= t.step then rinsert t i
+  end
+
 let is_frozen t pid = t.frozen.(Id.to_int pid)
 
 let at t ~step f =
@@ -445,96 +557,92 @@ let fire_actions t =
   | [] -> ()
   | actions -> t.actions <- fire_due t actions
 
-let apply_crashes t =
-  for i = 0 to t.n_procs - 1 do
-    match t.crash_step.(i) with
-    | Some s when s <= t.step ->
-      let p = t.procs.(i) in
-      (match p.p_status with
-      | Ready | Unspawned ->
-        p.p_status <- Crashed;
-        p.pending <- No_pending;
-        Sched.note_crash t.sched ~pid:i;
-        Mem.note_crash t.mem p.pid;
-        record t p.pid Trace.Crashed
-      | Done | Crashed -> ());
-      t.crash_step.(i) <- None
-    | _ -> ()
-  done
+let apply_crash t i =
+  let p = t.procs.(i) in
+  (match p.p_status with
+  | Ready | Unspawned ->
+    if p.p_status = Ready then begin
+      t.ready_n <- t.ready_n - 1;
+      rremove t i
+    end;
+    p.p_status <- Crashed;
+    t.crashed_n <- t.crashed_n + 1;
+    p.pending <- No_pending;
+    Sched.note_crash t.sched ~pid:i;
+    Mem.note_crash t.mem p.pid;
+    record t p.pid Trace.Crashed
+  | Done | Crashed -> ());
+  t.crash_step.(i) <- None
 
 (* Crash-recovery: a due restart revives a crashed process with a fresh
    fiber running its recovery closure.  All volatile state is gone — the
    old fiber was discarded at crash time and the queued inbox is drained
    away here — so the closure can only rebuild from what the Mem backend
    preserved (plus messages delivered after the restart). *)
-let apply_restarts t =
-  for i = 0 to t.n_procs - 1 do
-    match t.restart_step.(i) with
-    | Some s when s <= t.step ->
-      let p = t.procs.(i) in
-      (match (p.p_status, p.recover) with
-      | Crashed, Some main ->
-        ignore (Network.drain t.net p.pid : (Id.t * Mm_net.Message.payload) list);
-        p.p_status <- Ready;
-        p.retry_at <- 0;
-        p.backoff <- 0;
-        install_fiber t p main;
-        Mem.note_restart t.mem p.pid;
-        record t p.pid Trace.Restarted
-      | (Ready | Unspawned | Done), _ | Crashed, None -> ());
-      t.restart_step.(i) <- None
-    | _ -> ()
+let apply_restart t i =
+  let p = t.procs.(i) in
+  (match (p.p_status, p.recover) with
+  | Crashed, Some main ->
+    ignore (Network.drain t.net p.pid : (Id.t * Mm_net.Message.payload) list);
+    p.p_status <- Ready;
+    t.crashed_n <- t.crashed_n - 1;
+    t.ready_n <- t.ready_n + 1;
+    p.retry_at <- 0;
+    p.backoff <- 0;
+    install_fiber t p main;
+    Mem.note_restart t.mem p.pid;
+    record t p.pid Trace.Restarted;
+    if not t.frozen.(i) then rinsert t i
+  | (Ready | Unspawned | Done), _ | Crashed, None -> ());
+  t.restart_step.(i) <- None;
+  t.restarts_pending <- t.restarts_pending - 1
+
+(* Pop every due key from [heap] and hand the pid to [apply] when the
+   backing option array still has a schedule (a cleared slot means the
+   entry went stale; skip it).  Clamped keys guarantee due <= step
+   implies the recorded schedule step is also <= step. *)
+let drain_crashes t =
+  let h = t.crash_heap and n = t.n_procs in
+  while (not (Minheap.is_empty h)) && Minheap.min_key h / n <= t.step do
+    let i = Minheap.pop h mod n in
+    if t.crash_step.(i) <> None then apply_crash t i
   done
 
-(* Refresh the reusable view's runnable prefix in place (ascending pid
-   order) and return the count.  No allocation: this runs on every step.
-   A process backing off from a blocked register op ([retry_at] in the
-   future) is pending but not yet schedulable, like a frozen one. *)
-let refill_runnable t =
-  let v = t.view in
-  let c = ref 0 in
-  for i = 0 to t.n_procs - 1 do
-    let p = t.procs.(i) in
-    if
-      p.p_status = Ready && has_pending p && (not t.frozen.(i))
-      && p.retry_at <= t.step
-    then begin
-      v.Sched.runnable.(!c) <- i;
-      incr c
-    end
-  done;
-  v.Sched.count <- !c;
-  !c
+let drain_restarts t =
+  let h = t.restart_heap and n = t.n_procs in
+  while (not (Minheap.is_empty h)) && Minheap.min_key h / n <= t.step do
+    let i = Minheap.pop h mod n in
+    if t.restart_step.(i) <> None then apply_restart t i
+  done
 
-(* True iff some process could run were it not frozen or backing off
-   (or a restart is still due): the system is stalled, not finished, so
-   the clock must advance (messages keep flowing, thaw actions can fire,
-   retries and restarts come due) instead of reporting Quiescent. *)
-let frozen_pending t =
-  let rec go i =
-    i < t.n_procs
-    &&
+(* A backoff expiry re-admits its process unless its world changed while
+   it slept (crashed, frozen, already re-admitted by a restart).  The
+   [retry_at] re-check also covers a newer, longer backoff superseding
+   this stale entry. *)
+let drain_retries t =
+  let h = t.retry_heap and n = t.n_procs in
+  while (not (Minheap.is_empty h)) && Minheap.min_key h / n <= t.step do
+    let i = Minheap.pop h mod n in
     let p = t.procs.(i) in
-    ((t.frozen.(i) || p.retry_at > t.step)
-     && p.p_status = Ready && has_pending p)
-    || t.restart_step.(i) <> None
-    || go (i + 1)
-  in
-  go 0
+    if p.p_status = Ready && (not t.frozen.(i)) && p.retry_at <= t.step then
+      rinsert t i
+  done
 
 let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
   let deadline = t.step + max_steps in
   let reason = ref None in
   while !reason = None do
-    apply_crashes t;
-    apply_restarts t;
+    drain_crashes t;
+    drain_restarts t;
     fire_actions t;
+    drain_retries t;
     if until () then reason := Some Stopped
     else if t.step >= deadline then reason := Some Step_limit
-    else if refill_runnable t = 0 then begin
-      if frozen_pending t then begin
-        (* Everyone runnable is frozen: let time pass so deliveries and
-           staged thaws still happen; bounded by the deadline above. *)
+    else if t.view.Sched.count = 0 then begin
+      if t.ready_n > 0 || t.restarts_pending > 0 then begin
+        (* Everyone alive is frozen or backing off (or a restart is still
+           due): let time pass so deliveries, staged thaws, retries and
+           restarts still happen; bounded by the deadline above. *)
         t.step <- t.step + 1;
         Network.tick t.net ~now:t.step
       end
@@ -558,10 +666,22 @@ let run t ?(max_steps = 1_000_000) ?(until = fun () -> false) () =
           exec_eff t p eff k
       in
       (match fin with
-      | Finished_fiber -> p.p_status <- Done
+      | Finished_fiber ->
+        p.p_status <- Done;
+        t.done_n <- t.done_n + 1;
+        t.ready_n <- t.ready_n - 1;
+        rremove t chosen
       | Suspended -> assert (has_pending p));
       p.steps <- p.steps + 1;
       t.step <- t.step + 1;
+      (* A blocked op's backoff takes effect against the advanced clock:
+         a 1-step delay keeps the process runnable for the very next
+         pick (the old per-step rescan admitted it then too); anything
+         longer parks it in the retry heap. *)
+      if fin = Suspended && p.retry_at > t.step then begin
+        rremove t chosen;
+        Minheap.push t.retry_heap ((p.retry_at * t.n_procs) + chosen)
+      end;
       Sched.note_step t.sched ~pid:chosen ~n:t.n_procs;
       Network.tick t.net ~now:t.step
     end

@@ -168,6 +168,15 @@ val status_of : t -> Mm_core.Id.t -> status
 (** Ids that have neither finished nor crashed (spawned or not). *)
 val correct : t -> Mm_core.Id.t list
 
+(** Number of correct ids, from counters — O(1), no allocation. *)
+val correct_count : t -> int
+
+(** [fold_correct t f init] folds [f] over the correct ids in ascending
+    order without building a list — O(n), allocation-free.  Hot-loop
+    callers (monitors checked between steps) should prefer this or
+    [correct_count] over [correct]. *)
+val fold_correct : t -> ('a -> Mm_core.Id.t -> 'a) -> 'a -> 'a
+
 (** [run t ()] executes steps until [until] holds (checked between
     steps), no process is runnable, or [max_steps] (default 1_000_000)
     elapse.  [run] may be called repeatedly to continue a paused run. *)

@@ -2,28 +2,43 @@ type view = {
   mutable now : int;
   mutable count : int;
   runnable : int array;
+  mask : Bytes.t;
   steps : int -> int;
 }
 
 let make_view ?(now = 0) ?(steps = fun _ -> 0) pids =
   let runnable = Array.of_list pids in
-  { now; count = Array.length runnable; runnable; steps }
+  let top = Array.fold_left max (-1) runnable in
+  let mask = Bytes.make (top + 1) '\000' in
+  Array.iter (fun p -> Bytes.set mask p '\001') runnable;
+  { now; count = Array.length runnable; runnable; mask; steps }
 
+(* O(1): the mask mirrors the valid prefix of [runnable] at all times
+   (the engine maintains both together; [make_view] seeds them). *)
 let view_mem view p =
-  let rec go i = i < view.count && (view.runnable.(i) = p || go (i + 1)) in
-  go 0
+  p >= 0 && p < Bytes.length view.mask
+  && Bytes.unsafe_get view.mask p <> '\000'
 
 type base =
   | Round_robin
   | Random
   | Custom of (view -> int)
 
+(* One timely process: its bound, the per-process counts of steps taken
+   since it last ran, and the running maximum of those counts.  The max
+   is maintained incrementally — it only grows on +1 updates and resets
+   to 0 when the timely process itself steps — so both [note_step] and
+   the urgent pick are O(timely), not O(n). *)
+type tentry = {
+  tp : int;
+  ti : int;
+  mutable c : int array;  (* sized lazily once the system size is known *)
+  mutable worst : int;
+}
+
 type t = {
   base : base;
-  mutable timely_list : (int * int) list;
-  (* For each timely p: counts of steps each other process has taken since
-     p's last step.  Allocated lazily once the system size is known. *)
-  counters : (int, int array) Hashtbl.t;
+  mutable timely_arr : tentry array;
   mutable rr_cursor : int;
 }
 
@@ -33,65 +48,60 @@ let create ?(timely = []) base =
       if pid < 0 then invalid_arg "Sched.create: negative pid";
       if i < 2 then invalid_arg "Sched.create: timeliness bound must be >= 2")
     timely;
-  { base; timely_list = timely; counters = Hashtbl.create 4; rr_cursor = -1 }
+  {
+    base;
+    timely_arr =
+      Array.of_list
+        (List.map (fun (tp, ti) -> { tp; ti; c = [||]; worst = 0 }) timely);
+    rr_cursor = -1;
+  }
 
-let timely t = t.timely_list
-
-let ensure_counter t pid n =
-  match Hashtbl.find_opt t.counters pid with
-  | Some c -> c
-  | None ->
-    let c = Array.make n 0 in
-    Hashtbl.add t.counters pid c;
-    c
+let timely t =
+  Array.to_list (Array.map (fun e -> (e.tp, e.ti)) t.timely_arr)
 
 let note_step t ~pid ~n =
-  (* Dispatch the empty-timely case before building the iteration
-     closure: this runs on every engine step. *)
-  match t.timely_list with
-  | [] -> ()
-  | timely ->
-    List.iter
-      (fun (p, _i) ->
-        if p < n then begin
-          let c = ensure_counter t p n in
-          if p = pid then Array.fill c 0 n 0
-          else if pid < n then c.(pid) <- c.(pid) + 1
-        end)
-      timely
+  let arr = t.timely_arr in
+  for j = 0 to Array.length arr - 1 do
+    let e = arr.(j) in
+    if e.tp < n then begin
+      if Array.length e.c < n then e.c <- Array.make n 0;
+      if e.tp = pid then begin
+        Array.fill e.c 0 n 0;
+        e.worst <- 0
+      end
+      else if pid < n then begin
+        let v = e.c.(pid) + 1 in
+        e.c.(pid) <- v;
+        if v > e.worst then e.worst <- v
+      end
+    end
+  done
 
 let note_crash t ~pid =
-  t.timely_list <- List.filter (fun (p, _) -> p <> pid) t.timely_list;
-  Hashtbl.remove t.counters pid
+  if Array.exists (fun e -> e.tp = pid) t.timely_arr then
+    t.timely_arr <-
+      Array.of_list
+        (List.filter (fun e -> e.tp <> pid) (Array.to_list t.timely_arr))
 
-let most_urgent t view =
-  (* A timely p becomes urgent when some other process has taken i-1 steps
-     since p last ran: running p now keeps every window of i steps of any
-     q containing a step of p.  The empty-timely case is dispatched
-     before [urgency] is bound: this runs on every step, and the closure
-     would otherwise be allocated just to fold over an empty list. *)
-  match t.timely_list with
-  | [] -> None
-  | timely -> (
-    let urgency (p, i) =
-      if not (view_mem view p) then None
-      else
-        match Hashtbl.find_opt t.counters p with
-        | None -> None
-        | Some c ->
-          let worst = Array.fold_left max 0 c in
-          if worst >= i - 1 then Some (p, worst - i) else None
-    in
-    let candidates = List.filter_map urgency timely in
-    match candidates with
-    | [] -> None
-    | _ ->
-      let best =
-        List.fold_left
-          (fun (bp, bu) (p, u) -> if u > bu then (p, u) else (bp, bu))
-          (List.hd candidates) (List.tl candidates)
-      in
-      Some (fst best))
+(* A timely p becomes urgent when some other process has taken i-1 steps
+   since p last ran: running p now keeps every window of i steps of any
+   q containing a step of p.  Returns -1 when nothing is urgent; ties
+   keep the earliest-listed candidate (strictly-greater wins), matching
+   the historical fold order.  Allocates nothing. *)
+let most_urgent_pid t view =
+  let arr = t.timely_arr in
+  let bp = ref (-1) and bu = ref min_int in
+  for j = 0 to Array.length arr - 1 do
+    let e = arr.(j) in
+    if e.worst >= e.ti - 1 && view_mem view e.tp then begin
+      let u = e.worst - e.ti in
+      if u > !bu then begin
+        bp := e.tp;
+        bu := u
+      end
+    end
+  done;
+  !bp
 
 (* First runnable pid strictly after [cursor], else wrap to the lowest;
    entries [0, count) are ascending.  Top-level so the per-step
@@ -116,6 +126,8 @@ let base_pick t rng view =
 
 let pick t rng view =
   if view.count = 0 then invalid_arg "Sched.pick: no runnable process";
-  match most_urgent t view with
-  | Some p -> p
-  | None -> base_pick t rng view
+  if Array.length t.timely_arr = 0 then base_pick t rng view
+  else begin
+    let p = most_urgent_pid t view in
+    if p >= 0 then p else base_pick t rng view
+  end

@@ -23,6 +23,7 @@ type view = {
   mutable now : int;     (** global step number *)
   mutable count : int;   (** number of valid entries in [runnable] *)
   runnable : int array;  (** runnable pids, ascending, valid in [0, count) *)
+  mask : Bytes.t;        (** membership bitmap mirroring the valid prefix *)
   steps : int -> int;    (** per-process executed step count *)
 }
 
@@ -31,7 +32,9 @@ type view = {
     [steps] to [fun _ -> 0]. *)
 val make_view : ?now:int -> ?steps:(int -> int) -> int list -> view
 
-(** [view_mem view p] tests membership of [p] in the valid prefix. *)
+(** [view_mem view p] tests membership of [p] in the valid prefix.
+    O(1): reads the [mask] bitmap, which whoever mutates [runnable]
+    keeps in sync (the engine, or [make_view] for test views). *)
 val view_mem : view -> int -> bool
 
 type base =

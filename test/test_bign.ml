@@ -1,0 +1,160 @@
+(* Big-n scaling tests.
+
+   The sparse topology-indexed network must be observationally
+   identical to the dense layout — same sweep reports, structurally,
+   across every registered scenario and job count — while its live
+   footprint scales with the links actually used rather than n², and
+   the packed heap-key overflow guard fires exactly at its documented
+   boundary.  The O(active) engine counters must agree with the O(n)
+   fold at every point of a crash/restart timeline. *)
+
+module B = Mm_graph.Builders
+module Net = Mm_net.Network
+module Id = Mm_core.Id
+module Domain_ = Mm_core.Domain
+module Engine = Mm_sim.Engine
+module Proc = Mm_sim.Proc
+module Scenario = Mm_check.Scenario
+module Registry = Mm_check.Registry
+module Runner = Mm_check.Runner
+
+type Mm_net.Message.payload += Probe
+
+let with_index idx f =
+  Net.set_default_index (Some idx);
+  Fun.protect ~finally:(fun () -> Net.set_default_index None) f
+
+(* --- dense vs sparse differential ---------------------------------- *)
+
+let params =
+  {
+    Scenario.default_params with
+    graph = Some (B.complete 4);
+    n = 4;
+    max_steps = Some 60_000;
+    crash_window = Some 2_000;
+    warmup = Some 20_000;
+    window = Some 4_000;
+  }
+
+let test_dense_sparse_differential () =
+  List.iter
+    (fun ((module S : Scenario.S) as sc) ->
+      List.iter
+        (fun jobs ->
+          let sweep idx =
+            with_index idx (fun () ->
+                Runner.sweep sc ~master_seed:5 ~budget:3 ~jobs ~params ())
+          in
+          let dense = sweep `Dense and sparse = sweep `Sparse in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s jobs=%d: dense and sparse reports equal"
+               S.name jobs)
+            true
+            (dense = sparse))
+        [ 1; 2 ])
+    Registry.all
+
+(* --- footprint ----------------------------------------------------- *)
+
+(* One materialized link per process (a ring of sends): the sparse
+   index must stay an order of magnitude under the dense layout's n²
+   link records. *)
+let footprint_words idx =
+  let n = 256 in
+  let rng = Mm_rng.Rng.create 3 in
+  let net =
+    with_index idx (fun () ->
+        Net.create ~rng ~n ~kind:Net.Reliable ~delay:(Net.Fixed 1) ())
+  in
+  for s = 0 to n - 1 do
+    Net.send net ~now:0 ~src:(Id.of_int s) ~dst:(Id.of_int ((s + 1) mod n))
+      Probe
+  done;
+  Obj.reachable_words (Obj.repr net)
+
+let test_sparse_footprint () =
+  let dense = footprint_words `Dense in
+  let sparse = footprint_words `Sparse in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "sparse footprint (%d words) at most 1/8 of dense (%d words)" sparse
+       dense)
+    true
+    (sparse * 8 < dense)
+
+(* --- heap-key overflow boundary ------------------------------------ *)
+
+let test_heap_key_overflow_guard () =
+  List.iter
+    (fun idx ->
+      let n = 4 in
+      let slots = n * n in
+      let max_safe = (max_int - (slots - 1)) / slots in
+      let rng = Mm_rng.Rng.create 7 in
+      let net =
+        with_index idx (fun () ->
+            Net.create ~rng ~n ~kind:Net.Reliable ~delay:(Net.Fixed 1) ())
+      in
+      (* due = now + 1 = max_safe: the last packable key, must arm. *)
+      Net.send net ~now:(max_safe - 1) ~src:(Id.of_int 0) ~dst:(Id.of_int 1)
+        Probe;
+      (* due = max_safe + 1: one past the boundary, must refuse. *)
+      let raised =
+        try
+          Net.send net ~now:max_safe ~src:(Id.of_int 0) ~dst:(Id.of_int 2)
+            Probe;
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "due past max_safe_due raises" true raised)
+    [ `Dense; `Sparse ]
+
+(* --- O(1) correct counters vs the O(n) fold ------------------------ *)
+
+let count_via_fold eng = Engine.fold_correct eng (fun a _ -> a + 1) 0
+
+let test_correct_count_tracks_fold () =
+  let n = 6 in
+  let eng =
+    Engine.create ~seed:9 ~domain:(Domain_.full n) ~link:Net.Reliable ~n ()
+  in
+  let rec spin () =
+    Proc.yield ();
+    spin ()
+  in
+  for pid = 0 to n - 1 do
+    Engine.spawn eng ~recover:spin (Id.of_int pid) spin
+  done;
+  let agree at =
+    Alcotest.(check int)
+      (Printf.sprintf "correct_count = fold length (%s)" at)
+      (count_via_fold eng) (Engine.correct_count eng);
+    Alcotest.(check int)
+      (Printf.sprintf "correct list length (%s)" at)
+      (List.length (Engine.correct eng))
+      (Engine.correct_count eng)
+  in
+  agree "fresh";
+  Engine.crash_at eng (Id.of_int 1) 5;
+  Engine.crash_at eng (Id.of_int 3) 10;
+  Engine.restart_at eng (Id.of_int 1) 20;
+  ignore (Engine.run eng ~max_steps:60 ());
+  agree "after crash/restart timeline";
+  Alcotest.(check int) "one process still down" (n - 1)
+    (Engine.correct_count eng)
+
+let () =
+  Alcotest.run "mm_bign"
+    [
+      ( "big-n",
+        [
+          Alcotest.test_case "dense vs sparse differential" `Quick
+            test_dense_sparse_differential;
+          Alcotest.test_case "sparse footprint" `Quick test_sparse_footprint;
+          Alcotest.test_case "heap-key overflow boundary" `Quick
+            test_heap_key_overflow_guard;
+          Alcotest.test_case "correct counters" `Quick
+            test_correct_count_tracks_fold;
+        ] );
+    ]

@@ -203,6 +203,19 @@ let test_e14_memory_failure_asymmetry () =
     Alcotest.(check string) "stuck on itself" (cell registers 1) (cell registers 4)
   | _ -> Alcotest.fail "expected two rows"
 
+let test_e15_threshold_sharp () =
+  let t = table "E15" in
+  Alcotest.(check int) "three families" 3 (List.length t.T.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check string)
+        (cell row 0 ^ ": empirical threshold matches certificate")
+        "yes" (cell row 5);
+      Alcotest.(check string)
+        (cell row 0 ^ ": within 10% of the Thm 4.3 bound")
+        "yes" (cell row 9))
+    t.T.rows
+
 let test_a1_register_objects_cost_more () =
   let t = table "A1" in
   match t.T.rows with
@@ -247,6 +260,8 @@ let () =
           Alcotest.test_case "E13 replicated log" `Quick test_e13_replication;
           Alcotest.test_case "E14 memory failure" `Quick
             test_e14_memory_failure_asymmetry;
+          Alcotest.test_case "E15 threshold sharp" `Quick
+            test_e15_threshold_sharp;
           Alcotest.test_case "A1 object cost" `Quick
             test_a1_register_objects_cost_more;
           Alcotest.test_case "A3 bracket" `Quick test_a3_bounds_bracket;
